@@ -1,0 +1,123 @@
+// Command benchserve is the standalone serving benchmark (the Fig 8
+// workflow): it deploys a model on a simulated platform and sweeps maximum
+// request concurrency, printing a benchmark_serving.py-style summary per
+// point and a final gnuplot-ready series.
+//
+//	benchserve -platform hops -model meta-llama/Llama-4-Scout-17B-16E-Instruct -tp 4
+//	benchserve -platform eldorado -concurrencies 1,16,256 -num-prompts 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/sharegpt"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/vhttp"
+)
+
+func main() {
+	var (
+		platform = flag.String("platform", "hops", "hops, eldorado, goodall")
+		model    = flag.String("model", llm.Scout.Name, "model name")
+		tp       = flag.Int("tp", 4, "tensor parallel size")
+		pp       = flag.Int("pp", 1, "pipeline parallel size")
+		maxLen   = flag.Int("max-model-len", 65536, "context limit")
+		prompts  = flag.Int("num-prompts", 1000, "requests per point")
+		concs    = flag.String("concurrencies", "", "comma list (default 1..1024 powers of 2)")
+		seed     = flag.Int64("seed", 0, "dataset sampling seed")
+	)
+	flag.Parse()
+
+	var points []int
+	if *concs == "" {
+		points = bench.SweepConcurrencies()
+	} else {
+		for _, part := range strings.Split(*concs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(err)
+			}
+			points = append(points, n)
+		}
+	}
+	var pf core.Platform
+	switch *platform {
+	case "hops":
+		pf = core.PlatformHops
+	case "eldorado":
+		pf = core.PlatformEldorado
+	case "goodall":
+		pf = core.PlatformGoodall
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platform))
+	}
+	m, err := llm.ByName(*model)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := site.New(site.Options{Small: true, Seed: *seed + 3})
+	d := core.NewDeployer(s)
+	var failure error
+	done := false
+	s.Eng.Go("benchserve", func(p *sim.Proc) {
+		defer func() { done = true }()
+		switch pf.Kind {
+		case "k8s":
+			failure = core.SeedModelToS3(p, d, m)
+		default:
+			fsys := s.HopsLustre
+			if pf.Name == "eldorado" {
+				fsys = s.EldoradoLustre
+			}
+			failure = core.SeedModel(p, fsys, m)
+		}
+		if failure != nil {
+			return
+		}
+		dp, err := d.Deploy(p, core.VLLMPackage(), pf, core.DeployConfig{
+			Model: m, TensorParallel: *tp, PipelineParallel: *pp,
+			MaxModelLen: *maxLen, Offline: true,
+		})
+		if err != nil {
+			failure = err
+			return
+		}
+		defer dp.Stop()
+		fmt.Printf("# serving %s on %s at %s\n", m.Short, pf.Name, dp.BaseURL)
+		ds := sharegpt.Synthesize(*seed, 4000)
+		target := &bench.HTTPTarget{
+			Client:  &vhttp.Client{Net: s.Net, From: site.LoginHops},
+			BaseURL: dp.BaseURL,
+		}
+		results := bench.Sweep(p, target, bench.Config{
+			Name: *platform, Dataset: ds, NumPrompts: *prompts, Seed: *seed,
+		}, points)
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		series := bench.ToSeries(fmt.Sprintf("%s %s TP%d", pf.Name, m.Short, *tp), results)
+		fmt.Println(metrics.DatFile("output token throughput vs max concurrency", []metrics.Series{series}))
+	})
+	for i := 0; i < 100000 && !done; i++ {
+		s.Eng.RunFor(10 * time.Minute)
+	}
+	if failure != nil {
+		fatal(failure)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchserve:", err)
+	os.Exit(1)
+}

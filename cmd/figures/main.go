@@ -1,0 +1,97 @@
+// Command figures regenerates the paper's tables and figures. For each
+// experiment it writes a gnuplot-style .dat file plus a summary block with
+// paper-vs-measured anchors.
+//
+// Usage:
+//
+//	figures -all                 # every experiment (full sweeps)
+//	figures -id fig9             # one experiment
+//	figures -quick -all          # thinned sweeps for a fast pass
+//	figures -out results         # output directory (default results/)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "experiment id (fig9, fig10, fig12, startup, regpull, s3route, ingress, quant, parallel, maxlen)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "thin the sweeps for a fast pass")
+		out   = flag.String("out", "results", "output directory for .dat files")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	case *id != "":
+		ids = []string{*id}
+	default:
+		fmt.Fprintln(os.Stderr, "figures: pass -id <experiment> or -all (see -list)")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	failed := false
+	for _, eid := range ids {
+		fmt.Printf("==> %s\n", eid)
+		res, err := experiments.RunOne(eid, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", eid, err)
+			failed = true
+			continue
+		}
+		path := filepath.Join(*out, res.ID+".dat")
+		if err := os.WriteFile(path, []byte(res.Dat()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("    wrote %s\n", path)
+		if res.Table != "" {
+			fmt.Println(indent(res.Table, "    "))
+		}
+		for _, a := range res.Anchors {
+			fmt.Printf("    anchor %-55s paper %8.1f %-5s measured %8.1f (%+.1f%%)\n",
+				a.Name, a.Paper, a.Unit, a.Measured, a.Deviation()*100)
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("    note: %s\n", n)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func indent(s, pad string) string {
+	out := pad
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			out += pad
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Quickstart: bring up the simulated converged site, deploy a small model
+// on one Hops node with Podman, and send a chat completion through the
+// OpenAI-compatible API — the minimal end-to-end path of the case study.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+)
+
+func main() {
+	s := site.New(site.Options{Small: true, Seed: 7})
+	d := core.NewDeployer(s)
+	model := llm.Llama318B
+
+	var failure error
+	done := false
+	s.Eng.Go("quickstart", func(p *sim.Proc) {
+		defer func() { done = true }()
+
+		// Stage the model weights onto the Hops parallel filesystem.
+		if failure = core.SeedModel(p, s.HopsLustre, model); failure != nil {
+			return
+		}
+
+		// Deploy: the tool picks the CUDA image, Podman flags, and offline
+		// environment from package metadata.
+		start := p.Now()
+		dp, err := d.Deploy(p, core.VLLMPackage(), core.PlatformHops, core.DeployConfig{
+			Model:          model,
+			TensorParallel: 1,
+			MaxModelLen:    8192,
+			Offline:        true,
+		})
+		if err != nil {
+			failure = err
+			return
+		}
+		defer dp.Stop()
+		fmt.Printf("deployed %s in %s of simulated time\n  endpoint: %s\n",
+			model.Short, p.Now().Sub(start).Round(time.Second), dp.BaseURL)
+
+		// Query it, Figure-7 style.
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		body, _ := json.Marshal(vllm.ChatRequest{
+			Messages:  []vllm.ChatMessage{{Role: "user", Content: "How long to get from Earth to Mars?"}},
+			MaxTokens: 96,
+		})
+		t0 := p.Now()
+		resp, err := client.Do(p, &vhttp.Request{
+			Method: "POST",
+			URL:    dp.BaseURL + "/v1/chat/completions",
+			Header: map[string]string{"Content-Type": "application/json"},
+			Body:   body,
+		})
+		if err != nil {
+			failure = err
+			return
+		}
+		var cr vllm.ChatResponse
+		json.Unmarshal(resp.Body, &cr)
+		fmt.Printf("chat completion: %d prompt + %d completion tokens in %s\n",
+			cr.Usage.PromptTokens, cr.Usage.CompletionTokens, p.Now().Sub(t0).Round(time.Millisecond))
+		fmt.Printf("assistant: %.80s...\n", cr.Choices[0].Message.Content)
+	})
+	for i := 0; i < 10000 && !done; i++ {
+		s.Eng.RunFor(time.Minute)
+	}
+	if failure != nil {
+		log.Fatal(failure)
+	}
+}

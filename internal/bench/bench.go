@@ -1,0 +1,271 @@
+// Package bench reimplements vLLM's benchmark_serving.py methodology (§3.4):
+// a stream of dataset-sampled requests held at a maximum request concurrency,
+// measuring output-token throughput and latency distributions. A sweep over
+// concurrencies 1..1024 in powers of two regenerates the paper's figures.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sharegpt"
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+)
+
+// Target abstracts where requests go: directly into an engine, or over the
+// (virtual) network through the OpenAI API like the real benchmark container.
+type Target interface {
+	// Do issues one request and blocks until completion, returning the
+	// generated token count and the time to first token (0 if unknown).
+	Do(p *sim.Proc, promptTokens, maxNewTokens int) (generated int, ttft time.Duration, err error)
+}
+
+// EngineTarget drives a vllm.Engine in-process.
+type EngineTarget struct{ Engine *vllm.Engine }
+
+// Do implements Target.
+func (t *EngineTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, error) {
+	r := t.Engine.Submit(prompt, maxNew)
+	p.Wait(r.Done())
+	return r.Generated, r.TTFT(), r.Err
+}
+
+// HTTPTarget sends OpenAI chat completions to a base URL, as the
+// containerized benchmark does (Fig 8).
+type HTTPTarget struct {
+	Client  *vhttp.Client
+	BaseURL string // e.g. "http://hops15:8000"
+	Model   string
+	APIKey  string
+}
+
+// Do implements Target.
+func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, error) {
+	content := vllm.SynthesizeText(maxInt(prompt-4, 1))
+	body, _ := json.Marshal(vllm.ChatRequest{
+		Model:     t.Model,
+		Messages:  []vllm.ChatMessage{{Role: "user", Content: content}},
+		MaxTokens: maxNew,
+	})
+	req := &vhttp.Request{
+		Method: "POST",
+		URL:    strings.TrimSuffix(t.BaseURL, "/") + "/v1/chat/completions",
+		Header: map[string]string{"Content-Type": "application/json"},
+		Body:   body,
+	}
+	if t.APIKey != "" {
+		req.Header["Authorization"] = "Bearer " + t.APIKey
+	}
+	resp, err := t.Client.Do(p, req)
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.Status != 200 {
+		var er vllm.ErrorResponse
+		if json.Unmarshal(resp.Body, &er) == nil && er.Error.Message != "" {
+			return 0, 0, fmt.Errorf("http %d: %s", resp.Status, er.Error.Message)
+		}
+		return 0, 0, fmt.Errorf("http %d", resp.Status)
+	}
+	var cr vllm.ChatResponse
+	if err := json.Unmarshal(resp.Body, &cr); err != nil {
+		return 0, 0, fmt.Errorf("bad response: %w", err)
+	}
+	var ttft time.Duration
+	if v := resp.Header["X-Request-Ttft-Micros"]; v != "" {
+		var us int64
+		fmt.Sscanf(v, "%d", &us)
+		ttft = time.Duration(us) * time.Microsecond
+	}
+	return cr.Usage.CompletionTokens, ttft, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Config parameterizes one benchmark run.
+type Config struct {
+	Name           string
+	Dataset        *sharegpt.Dataset
+	NumPrompts     int // default 1000
+	MaxConcurrency int // the swept variable
+	Seed           int64
+}
+
+// Result mirrors benchmark_serving.py's summary block.
+type Result struct {
+	Name        string
+	Concurrency int
+
+	Duration  time.Duration
+	Completed int
+	Failed    int
+
+	InputTokens  int64
+	OutputTokens int64
+
+	RequestThroughput float64 // req/s
+	OutputThroughput  float64 // output tok/s
+	TotalThroughput   float64 // (in+out) tok/s
+
+	TTFT metrics.Dist // ms
+	TPOT metrics.Dist // ms (per output token after the first)
+	E2E  metrics.Dist // ms
+
+	Crashed  bool
+	CrashMsg string
+}
+
+// String renders the benchmark_serving-style summary block.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "============ Serving Benchmark Result ============\n")
+	fmt.Fprintf(&b, "Run:                              %s\n", r.Name)
+	fmt.Fprintf(&b, "Max request concurrency:          %d\n", r.Concurrency)
+	fmt.Fprintf(&b, "Successful requests:              %d\n", r.Completed)
+	fmt.Fprintf(&b, "Failed requests:                  %d\n", r.Failed)
+	fmt.Fprintf(&b, "Benchmark duration (s):           %.2f\n", r.Duration.Seconds())
+	fmt.Fprintf(&b, "Total input tokens:               %d\n", r.InputTokens)
+	fmt.Fprintf(&b, "Total generated tokens:           %d\n", r.OutputTokens)
+	fmt.Fprintf(&b, "Request throughput (req/s):       %.2f\n", r.RequestThroughput)
+	fmt.Fprintf(&b, "Output token throughput (tok/s):  %.2f\n", r.OutputThroughput)
+	fmt.Fprintf(&b, "Total token throughput (tok/s):   %.2f\n", r.TotalThroughput)
+	fmt.Fprintf(&b, "Mean TTFT (ms):                   %.2f\n", r.TTFT.Mean())
+	fmt.Fprintf(&b, "Median TTFT (ms):                 %.2f\n", r.TTFT.Median())
+	fmt.Fprintf(&b, "P99 TTFT (ms):                    %.2f\n", r.TTFT.P99())
+	fmt.Fprintf(&b, "Mean TPOT (ms):                   %.2f\n", r.TPOT.Mean())
+	fmt.Fprintf(&b, "Mean E2EL (ms):                   %.2f\n", r.E2E.Mean())
+	if r.Crashed {
+		fmt.Fprintf(&b, "!! RUN ABORTED: %s\n", r.CrashMsg)
+	}
+	fmt.Fprintf(&b, "==================================================\n")
+	return b.String()
+}
+
+// Run executes one benchmark: NumPrompts requests drawn from the dataset,
+// issued by MaxConcurrency closed-loop workers. It must be called from a
+// process. On target failure (server crash) the run aborts and the partial
+// result is marked Crashed, mirroring the paper's Fig 12 run 1.
+func Run(p *sim.Proc, target Target, cfg Config) *Result {
+	if cfg.NumPrompts <= 0 {
+		cfg.NumPrompts = 1000
+	}
+	if cfg.MaxConcurrency <= 0 {
+		cfg.MaxConcurrency = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	entries := cfg.Dataset.Sample(rng, cfg.NumPrompts)
+
+	res := &Result{Name: cfg.Name, Concurrency: cfg.MaxConcurrency}
+	eng := p.Engine()
+	start := p.Now()
+	var end time.Time
+
+	next := 0
+	aborted := false
+	group := eng.NewGroup()
+	workers := cfg.MaxConcurrency
+	if workers > cfg.NumPrompts {
+		workers = cfg.NumPrompts
+	}
+	for w := 0; w < workers; w++ {
+		group.Add(1)
+		eng.Go(fmt.Sprintf("bench-worker-%d", w), func(wp *sim.Proc) {
+			defer group.Finish()
+			for {
+				if aborted || next >= len(entries) {
+					return
+				}
+				e := entries[next]
+				next++
+				reqStart := wp.Now()
+				gen, ttft, err := target.Do(wp, e.PromptTokens, e.OutputTokens)
+				if err != nil {
+					res.Failed++
+					if !aborted {
+						aborted = true
+						res.Crashed = true
+						res.CrashMsg = err.Error()
+					}
+					return
+				}
+				res.Completed++
+				res.InputTokens += int64(e.PromptTokens)
+				res.OutputTokens += int64(gen)
+				if ttft > 0 {
+					res.TTFT.AddDuration(ttft)
+				}
+				lat := wp.Now().Sub(reqStart)
+				res.E2E.AddDuration(lat)
+				if gen > 1 && ttft > 0 {
+					res.TPOT.Add(float64(lat-ttft) / float64(time.Millisecond) / float64(gen-1))
+				}
+				end = wp.Now()
+			}
+		})
+	}
+	group.WaitAll(p)
+	if end.IsZero() {
+		end = p.Now()
+	}
+	res.Duration = end.Sub(start)
+	if secs := res.Duration.Seconds(); secs > 0 {
+		res.RequestThroughput = float64(res.Completed) / secs
+		res.OutputThroughput = float64(res.OutputTokens) / secs
+		res.TotalThroughput = float64(res.InputTokens+res.OutputTokens) / secs
+	}
+	return res
+}
+
+// SweepConcurrencies is the paper's x-axis: powers of two from 1 to 1024.
+func SweepConcurrencies() []int {
+	var out []int
+	for c := 1; c <= 1024; c *= 2 {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Sweep runs the benchmark across concurrencies against one target,
+// returning one Result per point. It stops early if a run crashes (the
+// server is gone), recording the partial point like the paper's figures.
+func Sweep(p *sim.Proc, target Target, base Config, concurrencies []int) []*Result {
+	var out []*Result
+	for _, c := range concurrencies {
+		cfg := base
+		cfg.MaxConcurrency = c
+		cfg.Name = fmt.Sprintf("%s-c%d", base.Name, c)
+		// benchmark_serving.py samples with a fixed seed, so every
+		// concurrency point replays the same request set.
+		r := Run(p, target, cfg)
+		out = append(out, r)
+		if r.Crashed {
+			break
+		}
+	}
+	return out
+}
+
+// ToSeries converts sweep results into a plot series (x = concurrency,
+// y = output token throughput), annotating crashes.
+func ToSeries(name string, results []*Result) metrics.Series {
+	s := metrics.Series{Name: name}
+	for _, r := range results {
+		note := ""
+		if r.Crashed {
+			note = "crash"
+		}
+		s.Add(float64(r.Concurrency), r.OutputThroughput, note)
+	}
+	return s
+}

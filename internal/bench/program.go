@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cruntime"
+	"repro/internal/sharegpt"
+	"repro/internal/vhttp"
+)
+
+// ContainerProgram is the application in the vllm/vllm-bench image: the
+// benchmark_serving.py invocation of Figure 8, runnable under any runtime.
+// After the run the Result field holds the measurements (reachable through
+// Container.Program).
+type ContainerProgram struct {
+	Result *Result
+}
+
+// Run implements cruntime.Program. Recognized arguments mirror the script:
+//
+//	--backend openai-chat --endpoint /v1/chat/completions
+//	--base-url URL --dataset-name=sharegpt --dataset-path=...
+//	--model NAME --max-concurrency N --num-prompts N --seed N
+func (bp *ContainerProgram) Run(ctx *cruntime.ExecContext) error {
+	args := ctx.Args
+	cfg := Config{NumPrompts: 1000, MaxConcurrency: 1, Seed: 0}
+	baseURL, model := "", ""
+	datasetName := "sharegpt"
+	get := func(i int, name string) (string, int, error) {
+		arg := args[i]
+		if eq := strings.Index(arg, "="); eq >= 0 {
+			return arg[eq+1:], i, nil
+		}
+		if i+1 >= len(args) {
+			return "", i, fmt.Errorf("benchmark_serving: %s needs a value", name)
+		}
+		return args[i+1], i + 1, nil
+	}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name := a
+		if eq := strings.Index(a, "="); eq >= 0 {
+			name = a[:eq]
+		}
+		var val string
+		var err error
+		switch name {
+		case "--base-url":
+			val, i, err = get(i, name)
+			baseURL = val
+		case "--model":
+			val, i, err = get(i, name)
+			model = val
+		case "--dataset-name":
+			val, i, err = get(i, name)
+			datasetName = val
+		case "--max-concurrency":
+			val, i, err = get(i, name)
+			if err == nil {
+				cfg.MaxConcurrency, err = strconv.Atoi(val)
+			}
+		case "--num-prompts":
+			val, i, err = get(i, name)
+			if err == nil {
+				cfg.NumPrompts, err = strconv.Atoi(val)
+			}
+		case "--seed":
+			val, i, err = get(i, name)
+			if err == nil {
+				var s int64
+				s, err = strconv.ParseInt(val, 10, 64)
+				cfg.Seed = s
+			}
+		case "--backend", "--endpoint", "--dataset-path":
+			_, i, err = get(i, name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if baseURL == "" {
+		return fmt.Errorf("benchmark_serving: --base-url is required")
+	}
+	if ds, ok := ctx.Props["bench.dataset"].(*sharegpt.Dataset); ok {
+		cfg.Dataset = ds
+	} else if datasetName == "sharegpt" {
+		cfg.Dataset = sharegpt.Synthesize(0, 4000)
+	} else {
+		return fmt.Errorf("benchmark_serving: unsupported dataset %q", datasetName)
+	}
+	cfg.Name = fmt.Sprintf("bench-%s-c%d", ctx.Node.Name, cfg.MaxConcurrency)
+	target := &HTTPTarget{
+		Client:  &vhttp.Client{Net: ctx.Net, From: ctx.Hostname},
+		BaseURL: baseURL,
+		Model:   model,
+	}
+	res := Run(ctx.Proc, target, cfg)
+	bp.Result = res
+	for _, line := range strings.Split(strings.TrimSpace(res.String()), "\n") {
+		ctx.Logf("%s", line)
+	}
+	if res.Crashed {
+		return fmt.Errorf("benchmark aborted: %s", res.CrashMsg)
+	}
+	return nil
+}
+
+// RegisterProgram wires the bench image into a program registry.
+func RegisterProgram(progs *cruntime.Programs) {
+	progs.Register("vllm/vllm-bench", func() cruntime.Program { return &ContainerProgram{} })
+}
+
+var _ cruntime.Program = (*ContainerProgram)(nil)

@@ -1,0 +1,242 @@
+// Package core is the reproduction's primary contribution: the container
+// deployment tool the paper's §4 proposes — "a package manager for deploying
+// containerized applications and services".
+//
+// It absorbs the four classes of differences the paper identifies:
+//
+//   - Container runtime user-interface differences: package metadata encodes
+//     the execution-environment expectations (root, writable rootfs, clean
+//     environment, GPUs) and the planner derives the Podman flags, the
+//     Apptainer flag set of Fig 5, or Kubernetes semantics automatically.
+//   - Computing platform differences: packages carry one image per
+//     accelerator flavor (CUDA/ROCm) and the planner selects by the target
+//     platform's GPU vendor.
+//   - Application and service configuration: offline/online profiles and
+//     single/multi-node deployment shapes (including Ray bootstrap) are
+//     handled by the deployer, not the user.
+//   - Computing center differences: a SiteProfile captures registries,
+//     object-store endpoints, credentials, and preferred runtimes.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cruntime"
+	"repro/internal/fsim"
+	"repro/internal/hw"
+	"repro/internal/llm"
+	"repro/internal/registry"
+)
+
+// ExecutionNeeds is the §4 container metadata: what environment the
+// containerized application expects, from which runtime flags derive.
+type ExecutionNeeds struct {
+	NeedsRoot           bool
+	NeedsWritableRootFS bool
+	NeedsCleanEnv       bool
+	NeedsGPU            bool
+	// OfflineEnv is applied in air-gapped deployments; OnlineEnv otherwise.
+	OfflineEnv map[string]string
+	OnlineEnv  map[string]string
+	Port       int
+}
+
+// ContainerPackage is one deployable application: images per accelerator
+// flavor plus execution metadata.
+type ContainerPackage struct {
+	Name        string
+	Description string
+	// ImageByArch maps accelerator flavor ("cuda", "rocm", "cpu") to an
+	// image reference.
+	ImageByArch map[string]string
+	Needs       ExecutionNeeds
+}
+
+// ImageFor selects the image for a GPU vendor (the paper's example: users
+// must otherwise know that AMD publishes the ROCm vLLM builds).
+func (pkg *ContainerPackage) ImageFor(vendor hw.Vendor) (string, error) {
+	arch := "cuda"
+	switch vendor {
+	case hw.AMD:
+		arch = "rocm"
+	case hw.Intel:
+		arch = "oneapi"
+	case "":
+		arch = "cpu"
+	}
+	ref, ok := pkg.ImageByArch[arch]
+	if !ok {
+		return "", fmt.Errorf("core: package %s has no %s image (available: %v)", pkg.Name, arch, pkg.archs())
+	}
+	return ref, nil
+}
+
+func (pkg *ContainerPackage) archs() []string {
+	var out []string
+	for a := range pkg.ImageByArch {
+		out = append(out, a)
+	}
+	return out
+}
+
+// VLLMPackage is the catalog entry for the vLLM inference server.
+func VLLMPackage() *ContainerPackage {
+	offline := map[string]string{
+		"OMP_NUM_THREADS":            "1",
+		"HF_HUB_ENABLE_HF_TRANSFER":  "0",
+		"HF_HUB_DISABLE_TELEMETRY":   "1",
+		"VLLM_NO_USAGE_STATS":        "1",
+		"DO_NOT_TRACK":               "1",
+		"HF_DATASETS_OFFLINE":        "1",
+		"TRANSFORMERS_OFFLINE":       "1",
+		"HF_HUB_OFFLINE":             "1",
+		"VLLM_DISABLE_COMPILE_CACHE": "1",
+	}
+	return &ContainerPackage{
+		Name:        "vllm",
+		Description: "vLLM OpenAI-compatible LLM inference server",
+		ImageByArch: map[string]string{
+			"cuda": "vllm/vllm-openai:v0.9.1",
+			"rocm": "rocm/vllm:rocm6.4.1_vllm_0.9.1_20250702",
+		},
+		Needs: ExecutionNeeds{
+			NeedsRoot:           true,
+			NeedsWritableRootFS: true,
+			NeedsCleanEnv:       true,
+			NeedsGPU:            true,
+			OfflineEnv:          offline,
+			OnlineEnv: map[string]string{
+				"OMP_NUM_THREADS": "1",
+			},
+			Port: 8000,
+		},
+	}
+}
+
+// SiteProfile captures the site-specific configuration of §4's fourth
+// bullet: shared-service endpoints, credentials, and runtime preferences.
+type SiteProfile struct {
+	Name        string
+	Registry    *registry.Registry
+	S3Endpoint  string
+	AccessKey   string
+	SecretKey   string
+	ModelBucket string
+	HubHost     string
+	// PreferredRuntime maps platform name → "podman" | "apptainer" | "helm".
+	PreferredRuntime map[string]string
+}
+
+// RuntimeFor returns the runtime a platform should use.
+func (sp *SiteProfile) RuntimeFor(platform string, kind string) string {
+	if r, ok := sp.PreferredRuntime[platform]; ok {
+		return r
+	}
+	if kind == "k8s" {
+		return "helm"
+	}
+	return "podman"
+}
+
+// DeployConfig is the user-facing deployment request.
+type DeployConfig struct {
+	Model            *llm.ModelSpec
+	TensorParallel   int
+	PipelineParallel int // >1 implies multi-node (Ray)
+	MaxModelLen      int
+	Port             int
+	Offline          bool
+	// Persistent requests Compute-as-Login provisioning on HPC platforms
+	// (survives job time limits); on Kubernetes it is the default behaviour.
+	Persistent bool
+	// Replicas only applies to Kubernetes deployments.
+	Replicas int
+	// IngressHost exposes the service externally on Kubernetes.
+	IngressHost string
+}
+
+func (cfg *DeployConfig) nodes(gpusPerNode int) int {
+	world := cfg.TensorParallel * cfg.PipelineParallel
+	n := (world + gpusPerNode - 1) / gpusPerNode
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ServeArgs renders the vLLM arguments for this configuration (shared by
+// every platform — the whole point of the case study).
+func (cfg *DeployConfig) ServeArgs(modelArg string) []string {
+	args := []string{"serve", modelArg,
+		fmt.Sprintf("--tensor_parallel_size=%d", cfg.TensorParallel),
+		"--disable-log-requests",
+	}
+	if cfg.PipelineParallel > 1 {
+		args = append(args, fmt.Sprintf("--pipeline_parallel_size=%d", cfg.PipelineParallel))
+	}
+	if cfg.MaxModelLen > 0 {
+		args = append(args, fmt.Sprintf("--max-model-len=%d", cfg.MaxModelLen))
+	}
+	if cfg.Port > 0 && cfg.Port != 8000 {
+		args = append(args, fmt.Sprintf("--port=%d", cfg.Port))
+	}
+	return args
+}
+
+// EnvFor merges the package's profile env for the offline/online mode.
+func EnvFor(pkg *ContainerPackage, offline bool) map[string]string {
+	src := pkg.Needs.OnlineEnv
+	if offline {
+		src = pkg.Needs.OfflineEnv
+	}
+	out := map[string]string{}
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// AdaptApptainer derives the Apptainer flag set from package metadata —
+// reproducing exactly the Fig 5 flags for the vLLM package.
+func AdaptApptainer(host *cruntime.Host, pkg *ContainerPackage, vendor hw.Vendor) *cruntime.Apptainer {
+	return &cruntime.Apptainer{
+		Host:          host,
+		FakeRoot:      pkg.Needs.NeedsRoot,
+		WritableTmpfs: pkg.Needs.NeedsWritableRootFS,
+		CleanEnv:      pkg.Needs.NeedsCleanEnv,
+		NoHome:        pkg.Needs.NeedsCleanEnv, // home isolation rides with env hygiene
+		NV:            pkg.Needs.NeedsGPU && vendor == hw.NVIDIA,
+		ROCm:          pkg.Needs.NeedsGPU && vendor == hw.AMD,
+	}
+}
+
+// AdaptPodman derives Podman options from package metadata.
+func AdaptPodman(host *cruntime.Host, pkg *ContainerPackage) *cruntime.Podman {
+	return &cruntime.Podman{Host: host, DeviceGPUs: pkg.Needs.NeedsGPU}
+}
+
+// ModelDirOn returns the conventional model directory on a platform
+// filesystem.
+func ModelDirOn(fs *fsim.FS, model *llm.ModelSpec) string {
+	return "/models/" + model.Name
+}
+
+// modelMount binds the platform model directory into the container at the
+// path the vLLM images expect.
+func modelMount(fs *fsim.FS) cruntime.Mount {
+	return cruntime.Mount{FS: fs, HostPath: "/models", CtrPath: "/vllm-workspace/models"}
+}
+
+// HasModel reports whether a model's weights are staged on fs.
+func HasModel(fs *fsim.FS, model *llm.ModelSpec) bool {
+	dir := ModelDirOn(fs, model)
+	var have int64
+	for _, f := range fs.List(dir) {
+		if strings.HasSuffix(f.Path, ".safetensors") {
+			have += f.Size
+		}
+	}
+	want := int64(float64(model.ParamsTotal) * model.Quant.BytesPerParam())
+	return have >= want
+}

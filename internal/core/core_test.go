@@ -1,0 +1,394 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cruntime"
+	"repro/internal/ingress"
+	"repro/internal/llm"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/slurm"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+)
+
+func newSite(t *testing.T) (*site.Site, *Deployer) {
+	t.Helper()
+	s := site.New(site.Options{Small: true, Seed: 1})
+	return s, NewDeployer(s)
+}
+
+// run executes fn on a process and drives the sim until fn completes (the
+// site has perpetual controllers, so Run() alone never returns).
+func run(t *testing.T, s *site.Site, fn func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	s.Eng.Go("test", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	for i := 0; i < 10000 && !done; i++ {
+		s.Eng.RunFor(time.Minute)
+	}
+	if !done {
+		t.Fatal("test process did not finish within simulated time budget")
+	}
+}
+
+func TestPlanHopsPodmanMatchesFig4(t *testing.T) {
+	_, d := newSite(t)
+	plan, err := d.Plan(VLLMPackage(), PlatformHops, DeployConfig{
+		Model: llm.Scout, TensorParallel: 4, MaxModelLen: 65536, Offline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Runtime != "podman" || plan.Image != "vllm/vllm-openai:v0.9.1" {
+		t.Fatalf("plan = %+v", plan)
+	}
+	for _, want := range []string{
+		"podman run", "--network=host", "--ipc=host", "--device nvidia.com/gpu=all",
+		`-e "HF_HUB_OFFLINE=1"`, `-e "VLLM_NO_USAGE_STATS=1"`, `-e "TRANSFORMERS_OFFLINE=1"`,
+		"--workdir=/vllm-workspace/models",
+		"vllm/vllm-openai:v0.9.1", "serve", "meta-llama/Llama-4-Scout-17B-16E-Instruct",
+		"--tensor_parallel_size=4", "--max-model-len=65536",
+	} {
+		if !strings.Contains(plan.Artifact, want) {
+			t.Errorf("hops plan missing %q:\n%s", want, plan.Artifact)
+		}
+	}
+}
+
+func TestPlanEldoradoApptainerMatchesFig5(t *testing.T) {
+	_, d := newSite(t)
+	plan, err := d.Plan(VLLMPackage(), PlatformEldorado, DeployConfig{
+		Model: llm.Scout, TensorParallel: 4, MaxModelLen: 65536, Offline: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Runtime != "apptainer" {
+		t.Fatalf("eldorado runtime = %s", plan.Runtime)
+	}
+	// Platform difference: the ROCm build is selected automatically.
+	if plan.Image != "rocm/vllm:rocm6.4.1_vllm_0.9.1_20250702" {
+		t.Fatalf("eldorado image = %s", plan.Image)
+	}
+	for _, want := range []string{
+		"apptainer exec", "--fakeroot", "--writable-tmpfs", "--cleanenv", "--no-home", "--rocm",
+		`-e "HF_HOME=/root/.cache/huggingface"`,
+	} {
+		if !strings.Contains(plan.Artifact, want) {
+			t.Errorf("eldorado plan missing %q:\n%s", want, plan.Artifact)
+		}
+	}
+	if strings.Contains(plan.Artifact, "--nv") {
+		t.Error("NVIDIA flag must not appear on the AMD platform")
+	}
+}
+
+func TestPlanGoodallHelmMatchesFig6(t *testing.T) {
+	_, d := newSite(t)
+	plan, err := d.Plan(VLLMPackage(), PlatformGoodall, DeployConfig{
+		Model: llm.ScoutW4A16, TensorParallel: 2, MaxModelLen: 65536, Offline: true,
+		IngressHost: "scout.apps.goodall.example.gov",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Runtime != "helm" {
+		t.Fatalf("goodall runtime = %s", plan.Runtime)
+	}
+	for _, want := range []string{
+		"repository: vllm/vllm-openai", "tag: v0.9.1",
+		"--tensor-parallel-size=2", "--max-model-len=65536",
+		"path: RedHatAI/Llama-4-Scout-17B-16E-Instruct-quantized.w4a16",
+		"HF_HUB_OFFLINE", "host: scout.apps.goodall.example.gov",
+	} {
+		if !strings.Contains(plan.Artifact, want) {
+			t.Errorf("goodall values missing %q:\n%s", want, plan.Artifact)
+		}
+	}
+}
+
+func TestAirgapWorkflowEndToEnd(t *testing.T) {
+	// The full §3 case study with the small model: download from the hub on
+	// the build host, sync to S3, stage to Lustre, deploy with Podman,
+	// query through the OpenAI API.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := d.FetchModel(p, model, "hf_token"); err != nil {
+			t.Fatalf("FetchModel: %v", err)
+		}
+		// Model is in S3 (without .git) and replicating.
+		if got := s.S3ABQ.TotalBytes(site.ModelBucket, model.Name); got < model.RepoBytes()/2 {
+			t.Fatalf("S3 bytes = %d", got)
+		}
+		if err := d.StageModel(p, PlatformHops, model); err != nil {
+			t.Fatalf("StageModel: %v", err)
+		}
+		if !HasModel(s.HopsLustre, model) {
+			t.Fatal("model not on Lustre after staging")
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+		})
+		if err != nil {
+			t.Fatalf("Deploy: %v", err)
+		}
+		defer dp.Stop()
+		if !dp.Healthy(p) {
+			t.Fatal("service not healthy")
+		}
+		// Fig 7: an OpenAI chat completion.
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		body, _ := json.Marshal(vllm.ChatRequest{
+			Model:     model.Name,
+			Messages:  []vllm.ChatMessage{{Role: "user", Content: "How long to get from Earth to Mars?"}},
+			MaxTokens: 64,
+		})
+		resp, err := client.Do(p, &vhttp.Request{
+			Method: "POST", URL: dp.BaseURL + "/v1/chat/completions",
+			Header: map[string]string{"Content-Type": "application/json"},
+			Body:   body,
+		})
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("chat: %v %d %s", err, resp.Status, resp.Body)
+		}
+		var cr vllm.ChatResponse
+		if err := json.Unmarshal(resp.Body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Usage.CompletionTokens != 64 || cr.Choices[0].Message.Content == "" {
+			t.Fatalf("completion = %+v", cr)
+		}
+	})
+}
+
+func TestDeployRequiresStagedModel(t *testing.T) {
+	s, d := newSite(t)
+	run(t, s, func(p *sim.Proc) {
+		_, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: llm.Llama318B, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+		})
+		if err == nil || !strings.Contains(err.Error(), "not staged") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestApptainerDefaultsCrashAndMetadataFixes(t *testing.T) {
+	// §3.2: "These differences cause the vLLM container to crash at startup
+	// using Apptainer's default configuration." The package metadata derives
+	// the fixing flags.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.EldoradoLustre, model); err != nil {
+			t.Fatal(err)
+		}
+		pkg := VLLMPackage()
+		image, _ := pkg.ImageFor(d.platformVendor(PlatformEldorado))
+		spec := d.hpcSpec(pkg, image, s.EldoradoLustre, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true, Port: 8000,
+		})
+		node := s.EldoradoNodes[0]
+
+		// Default Apptainer: crash at startup.
+		defaults := &cruntime.Apptainer{Host: s.Host}
+		ctr, err := defaults.Run(p, node, spec)
+		if err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		p.Wait(ctr.Done())
+		if ctr.State != cruntime.StateFailed {
+			t.Fatalf("default apptainer state = %s, want failed", ctr.State)
+		}
+
+		// Metadata-derived flags: works.
+		fixed := AdaptApptainer(s.Host, pkg, d.platformVendor(PlatformEldorado))
+		ctr2, err := fixed.Run(p, node, spec)
+		if err != nil {
+			t.Fatalf("adapted launch: %v", err)
+		}
+		if err := waitReady(p, ctr2); err != nil {
+			t.Fatalf("adapted apptainer failed: %v\nlogs: %v", err, ctr2.Logs())
+		}
+		ctr2.Stop()
+	})
+}
+
+func TestDeployGoodallHelmEndToEnd(t *testing.T) {
+	s, d := newSite(t)
+	model := llm.ScoutW4A16
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModelToS3(p, d, model); err != nil {
+			t.Fatal(err)
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformGoodall, DeployConfig{
+			Model: model, TensorParallel: 2, MaxModelLen: 65536, Offline: true,
+			IngressHost: "scout.apps.goodall.example.gov",
+		})
+		if err != nil {
+			t.Fatalf("Deploy: %v", err)
+		}
+		defer dp.Stop()
+		// Query through the Kubernetes ingress from a laptop.
+		client := &vhttp.Client{Net: s.Net, From: "laptop"}
+		resp, err := client.Get(p, dp.ExternalURL+"/v1/models")
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("ingress query: %v %d", err, resp.Status)
+		}
+		if !strings.Contains(string(resp.Body), model.Name) {
+			t.Fatalf("models = %s", resp.Body)
+		}
+		if dp.Engine() == nil {
+			t.Fatal("engine handle unavailable")
+		}
+	})
+}
+
+func TestMultiNodeRayDeployment(t *testing.T) {
+	// §3.5 with the 405B model across 4 Hops nodes (TP4×PP4).
+	s, d := newSite(t)
+	model := llm.Llama31405B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.HopsLustre, model); err != nil {
+			t.Fatal(err)
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 4, PipelineParallel: 4,
+			MaxModelLen: 32768, Offline: true,
+		})
+		if err != nil {
+			t.Fatalf("Deploy: %v", err)
+		}
+		defer dp.Stop()
+		if len(dp.containers) != 4 {
+			t.Fatalf("containers = %d, want 4 (one Ray container per node)", len(dp.containers))
+		}
+		if dp.ray.TotalGPUs() != 16 {
+			t.Fatalf("ray GPUs = %d, want 16", dp.ray.TotalGPUs())
+		}
+		// A query flows end to end.
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		body, _ := json.Marshal(vllm.ChatRequest{MaxTokens: 16,
+			Messages: []vllm.ChatMessage{{Role: "user", Content: "hello"}}})
+		resp, err := client.Do(p, &vhttp.Request{Method: "POST",
+			URL: dp.BaseURL + "/v1/chat/completions", Body: body})
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("chat on 405B: %v %d %s", err, resp.Status, resp.Body)
+		}
+		// Multi-node unreliability: losing a worker kills the engine.
+		dp.ray.LoseWorker(dp.containers[2].Node.Name, errNodeDown)
+		if crashed, cerr := dp.Engine().Crashed(); !crashed || !strings.Contains(cerr.Error(), "died") {
+			t.Fatalf("engine should crash on worker loss: %v %v", crashed, cerr)
+		}
+	})
+}
+
+var errNodeDown = &nodeDownErr{}
+
+type nodeDownErr struct{}
+
+func (*nodeDownErr) Error() string { return "NCCL watchdog timeout" }
+
+func TestSSHTunnelAccessPath(t *testing.T) {
+	// §3.3's single-user path: the user tunnels through the login node to
+	// the compute node running their service.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.HopsLustre, model); err != nil {
+			t.Fatal(err)
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dp.Stop()
+		node := strings.TrimSuffix(strings.TrimPrefix(dp.BaseURL, "http://"), ":8000")
+		tun := &ingress.SSHTunnel{
+			Net: s.Net, LocalHost: "laptop", LocalPort: 8000,
+			LoginHost: site.LoginHops, TargetHost: node, TargetPort: 8000,
+		}
+		if err := tun.Open(); err != nil {
+			t.Fatal(err)
+		}
+		defer tun.Close()
+		if want := "ssh -L 8000:" + node + ":8000 -N -f " + site.LoginHops; tun.CommandLine() != want {
+			t.Fatalf("tunnel command = %q, want %q", tun.CommandLine(), want)
+		}
+		// The laptop talks to "localhost" through the tunnel.
+		laptop := &vhttp.Client{Net: s.Net, From: "laptop"}
+		resp, err := laptop.Get(p, "http://laptop:8000/v1/models")
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("tunneled request: %v %d", err, resp.Status)
+		}
+		if !strings.Contains(string(resp.Body), model.Name) {
+			t.Fatalf("models over tunnel = %s", resp.Body)
+		}
+		// When the service dies, the tunnel yields 502 — unlike Kubernetes,
+		// nothing self-heals on this path.
+		dp.Engine().Crash(errNodeDown)
+		resp, err = laptop.Get(p, "http://laptop:8000/v1/models")
+		if err != nil || resp.Status != 502 {
+			t.Fatalf("post-crash tunnel: %v %d", err, resp.Status)
+		}
+	})
+}
+
+func TestCaLPersistentOutlivesJobLimit(t *testing.T) {
+	// §2.1/§3.3: batch jobs die at the time limit; CaL services persist.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.HopsLustre, model); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Persistent: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cal.Stop()
+		if cal.ExternalURL == "" || !strings.Contains(cal.ExternalURL, site.CaLGateway) {
+			t.Fatalf("CaL external URL = %q", cal.ExternalURL)
+		}
+		if !batch.Healthy(p) || !cal.Healthy(p) {
+			t.Fatal("both services should be healthy initially")
+		}
+		// Cross the 48h partition limit.
+		p.Sleep(49 * time.Hour)
+		if batch.Healthy(p) {
+			t.Fatal("batch service should have died at the job time limit")
+		}
+		if batch.job.State != slurm.StateTimeout {
+			t.Fatalf("batch job state = %s", batch.job.State)
+		}
+		if !cal.Healthy(p) {
+			t.Fatal("CaL service should survive the time limit")
+		}
+		// External access through the gateway works.
+		client := &vhttp.Client{Net: s.Net, From: "laptop"}
+		resp, err := client.Get(p, cal.ExternalURL+"/health")
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("CaL gateway: %v %d", err, resp.Status)
+		}
+	})
+}

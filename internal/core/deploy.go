@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cruntime"
+	"repro/internal/flux"
+	"repro/internal/helm"
+	"repro/internal/hw"
+	"repro/internal/k8s"
+	"repro/internal/ray"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/slurm"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+	"repro/internal/yamlite"
+)
+
+// Small aliases keeping deployer.go readable.
+type vhttpClient = vhttp.Client
+
+func yamliteMarshal(v any) []byte { return yamlite.Marshal(v) }
+
+// Deploy executes a plan: it stages nothing implicitly (call StageModel
+// first on HPC platforms) and blocks until the service is ready or failed.
+func (d *Deployer) Deploy(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*Deployment, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("core: DeployConfig.Model is required")
+	}
+	if cfg.TensorParallel <= 0 {
+		cfg.TensorParallel = 1
+	}
+	if cfg.PipelineParallel <= 0 {
+		cfg.PipelineParallel = 1
+	}
+	if cfg.Port == 0 {
+		cfg.Port = pkg.Needs.Port
+	}
+	switch pf.Kind {
+	case "slurm":
+		return d.deploySlurm(p, pkg, pf, cfg)
+	case "flux":
+		return d.deployFlux(p, pkg, pf, cfg)
+	case "k8s":
+		return d.deployK8s(p, pkg, pf, cfg)
+	}
+	return nil, fmt.Errorf("core: unknown platform kind %q", pf.Kind)
+}
+
+// waitReady waits for a container to report ready or exit.
+func waitReady(p *sim.Proc, c *cruntime.Container) error {
+	readyOrDead := p.Engine().NewSignal()
+	c.ReadySignal().OnFire(readyOrDead.Fire)
+	c.Done().OnFire(readyOrDead.Fire)
+	p.Wait(readyOrDead)
+	if c.Ready() {
+		return nil
+	}
+	if c.ExitErr != nil {
+		return c.ExitErr
+	}
+	return fmt.Errorf("core: container %s exited before becoming ready (state %s)", c.ID, c.State)
+}
+
+// deploySlurm covers three Hops shapes: CaL-persistent single node,
+// batch single node, and multi-node Ray (Fig 11).
+func (d *Deployer) deploySlurm(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*Deployment, error) {
+	s := d.Site
+	fs := d.platformFS(pf)
+	if !HasModel(fs, cfg.Model) {
+		return nil, fmt.Errorf("core: model %s not staged on %s (run StageModel first)", cfg.Model.Name, fs.Name)
+	}
+	vendor := d.platformVendor(pf)
+	image, err := pkg.ImageFor(vendor)
+	if err != nil {
+		return nil, err
+	}
+	rt := d.runtimeFor(pkg, pf, vendor)
+	spec := d.hpcSpec(pkg, image, fs, cfg)
+	nodesNeeded := cfg.nodes(d.gpusPerNode(pf))
+	dp := &Deployment{Name: pkg.Name, Platform: pf, dep: d}
+
+	if cfg.Persistent {
+		if nodesNeeded > 1 {
+			return nil, fmt.Errorf("core: Compute-as-Login supports single-node services (need %d nodes)", nodesNeeded)
+		}
+		// Operator provisions a CaL node and gateway route, then the user
+		// deploys directly on it.
+		free := s.Hops.FreeNodes("batch")
+		if len(free) == 0 {
+			return nil, fmt.Errorf("core: no idle node available for CaL reservation")
+		}
+		node := free[len(free)-1]
+		extPort := 10000 + cfg.Port%1000
+		if _, err := s.ProvisionCaL(node.Name, extPort, cfg.Port); err != nil {
+			return nil, err
+		}
+		dp.calPort = extPort
+		ctr, err := rt.Run(p, node, spec)
+		if err != nil {
+			s.CaL.RemoveRoute(extPort)
+			s.Hops.ReleaseReservation(node.Name)
+			return nil, err
+		}
+		dp.containers = append(dp.containers, ctr)
+		if err := waitReady(p, ctr); err != nil {
+			dp.Stop()
+			s.Hops.ReleaseReservation(node.Name)
+			return nil, err
+		}
+		dp.server = serverOf(ctr)
+		dp.BaseURL = fmt.Sprintf("http://%s:%d", node.Name, cfg.Port)
+		dp.ExternalURL = fmt.Sprintf("http://%s:%d", site.CaLGateway, extPort)
+		return dp, nil
+	}
+
+	// Batch job path.
+	started := sim.NewFuture[*Deployment](p.Engine())
+	job, err := s.Hops.Submit(slurm.JobSpec{
+		Name:      "vllm-" + cfg.Model.Short,
+		Nodes:     nodesNeeded,
+		TimeLimit: 48 * time.Hour,
+		Run: func(jc *slurm.JobContext) error {
+			inner, err := d.runOnNodes(jc.Proc, rt, spec, jc.Nodes, pkg, cfg, func(fn func()) { jc.OnCleanup(fn) })
+			if err != nil {
+				started.Resolve(nil, err)
+				return err
+			}
+			started.Resolve(inner, nil)
+			// Hold the allocation until the service dies or the job ends.
+			holdUntilDead(jc.Proc, inner)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	dp2, derr := sim.Await(p, started)
+	if derr != nil {
+		return nil, derr
+	}
+	dp2.job = job
+	return dp2, nil
+}
+
+func (d *Deployer) runtimeFor(pkg *ContainerPackage, pf Platform, vendor hw.Vendor) cruntime.Runtime {
+	switch d.Profile.RuntimeFor(pf.Name, pf.Kind) {
+	case "apptainer":
+		return AdaptApptainer(d.Site.Host, pkg, vendor)
+	default:
+		return AdaptPodman(d.Site.Host, pkg)
+	}
+}
+
+// holdUntilDead parks the job script while the service lives.
+func holdUntilDead(p *sim.Proc, dp *Deployment) {
+	dead := p.Engine().NewSignal()
+	for _, c := range dp.containers {
+		c.Done().OnFire(dead.Fire)
+	}
+	p.Wait(dead)
+}
+
+// runOnNodes starts the service on an allocated node set: directly for a
+// single node, via Ray bootstrap for multiple (Fig 11).
+func (d *Deployer) runOnNodes(p *sim.Proc, rt cruntime.Runtime, spec cruntime.Spec, nodes []*hw.Node, pkg *ContainerPackage, cfg DeployConfig, onCleanup func(func())) (*Deployment, error) {
+	dp := &Deployment{Name: pkg.Name, Platform: Platform{Name: nodes[0].Cluster}, dep: d}
+	if len(nodes) == 1 {
+		ctr, err := rt.Run(p, nodes[0], spec)
+		if err != nil {
+			return nil, err
+		}
+		dp.containers = append(dp.containers, ctr)
+		onCleanup(func() { ctr.Stop() })
+		if err := waitReady(p, ctr); err != nil {
+			return nil, err
+		}
+		dp.server = serverOf(ctr)
+		dp.BaseURL = fmt.Sprintf("http://%s:%d", nodes[0].Name, cfg.Port)
+		return dp, nil
+	}
+
+	// Multi-node: one Ray container per node (head first), then exec serve.
+	cluster := ray.NewCluster(p.Engine(), "ray-"+dp.Name, len(nodes))
+	dp.ray = cluster
+	for i, node := range nodes {
+		role := "--worker"
+		if i == 0 {
+			role = "--head"
+		}
+		rspec := spec
+		rspec.Name = fmt.Sprintf("%s-ray-%d", pkg.Name, i)
+		rspec.Entrypoint = []string{"run-cluster.sh"}
+		rspec.Args = []string{role, nodes[0].Name}
+		rspec.Props = map[string]any{"ray.cluster": cluster}
+		ctr, err := rt.Run(p, node, rspec)
+		if err != nil {
+			return nil, err
+		}
+		dp.containers = append(dp.containers, ctr)
+		onCleanup(func() { ctr.Stop() })
+	}
+	p.Wait(cluster.Ready())
+	serveArgs := cfg.ServeArgs(cfg.Model.Name)[1:] // drop the "serve" verb
+	sp, err := cluster.ExecServe(p, d.Profile.HubHost, serveArgs)
+	if err != nil {
+		return nil, err
+	}
+	dp.server = sp
+	dp.BaseURL = fmt.Sprintf("http://%s:%d", nodes[0].Name, cfg.Port)
+	return dp, nil
+}
+
+// serverOf extracts the vLLM server program from a container.
+func serverOf(c *cruntime.Container) *vllm.ServerProgram {
+	switch prog := c.Program.(type) {
+	case *vllm.ServerProgram:
+		return prog
+	case *ray.BootstrapProgram:
+		return prog.Serve
+	}
+	return nil
+}
+
+// deployFlux mirrors the Slurm path with a Flux jobspec (El Dorado).
+func (d *Deployer) deployFlux(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*Deployment, error) {
+	fs := d.platformFS(pf)
+	if !HasModel(fs, cfg.Model) {
+		return nil, fmt.Errorf("core: model %s not staged on %s (run StageModel first)", cfg.Model.Name, fs.Name)
+	}
+	vendor := d.platformVendor(pf)
+	image, err := pkg.ImageFor(vendor)
+	if err != nil {
+		return nil, err
+	}
+	rt := d.runtimeFor(pkg, pf, vendor)
+	spec := d.hpcSpec(pkg, image, fs, cfg)
+	nodesNeeded := cfg.nodes(d.gpusPerNode(pf))
+
+	started := sim.NewFuture[*Deployment](p.Engine())
+	_, err = d.Site.Eldorado.Submit(flux.Jobspec{
+		Name:     "vllm-" + cfg.Model.Short,
+		NumNodes: nodesNeeded,
+		Duration: 48 * time.Hour,
+		Run: func(fc *flux.JobContext) error {
+			inner, err := d.runOnNodes(fc.Proc, rt, spec, fc.Nodes, pkg, cfg, func(fn func()) { fc.OnCleanup(fn) })
+			if err != nil {
+				started.Resolve(nil, err)
+				return err
+			}
+			started.Resolve(inner, nil)
+			holdUntilDead(fc.Proc, inner)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sim.Await(p, started)
+}
+
+// deployK8s installs the bundled Helm chart and waits for readiness.
+func (d *Deployer) deployK8s(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*Deployment, error) {
+	cluster := d.k8sCluster(pf)
+	if cluster == nil {
+		return nil, fmt.Errorf("core: unknown k8s platform %q", pf.Name)
+	}
+	image, err := pkg.ImageFor(d.platformVendor(pf))
+	if err != nil {
+		return nil, err
+	}
+	values := d.helmValues(pkg, image, cfg)
+	rel, err := helm.Install(cluster, helm.VLLMChart(), pkg.Name, "ai", values)
+	if err != nil {
+		return nil, err
+	}
+	dp := &Deployment{Name: pkg.Name, Platform: pf, dep: d, release: rel, cluster: cluster}
+	// Wait for at least one ready pod (model download + load can take
+	// tens of minutes).
+	deadline := p.Now().Add(4 * time.Hour)
+	for {
+		if pods := cluster.ReadyPods(map[string]string{"app": pkg.Name}); len(pods) > 0 {
+			dp.BaseURL = fmt.Sprintf("http://%s:%d", pods[0].Status.PodIP, cfg.Port)
+			if cfg.IngressHost != "" {
+				dp.ExternalURL = fmt.Sprintf("http://%s:%d", cfg.IngressHost, cfg.Port)
+			}
+			return dp, nil
+		}
+		// Surface unrecoverable pod failures early.
+		for _, pod := range cluster.Pods(map[string]string{"app": pkg.Name}) {
+			if pod.Status.Phase == k8s.PodFailed && pod.Status.Restarts == 0 && pod.Status.Message != "" {
+				// Deployment controller will retry; keep waiting unless we
+				// time out below.
+				break
+			}
+		}
+		if p.Now().After(deadline) {
+			dp.Stop()
+			return nil, fmt.Errorf("core: %s on %s: pods never became ready", pkg.Name, pf.Name)
+		}
+		p.Sleep(30 * time.Second)
+	}
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cruntime"
+	"repro/internal/fsim"
+	"repro/internal/helm"
+	"repro/internal/hw"
+	"repro/internal/k8s"
+	"repro/internal/ray"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/slurm"
+	"repro/internal/vllm"
+)
+
+// Platform identifies a deployment target on the site.
+type Platform struct {
+	Name string
+	Kind string // "slurm" | "flux" | "k8s"
+}
+
+// Well-known platforms.
+var (
+	PlatformHops     = Platform{Name: "hops", Kind: "slurm"}
+	PlatformEldorado = Platform{Name: "eldorado", Kind: "flux"}
+	PlatformGoodall  = Platform{Name: "goodall", Kind: "k8s"}
+	PlatformCEE      = Platform{Name: "cee", Kind: "k8s"}
+)
+
+// Deployer plans and executes package deployments across the site.
+type Deployer struct {
+	Site    *site.Site
+	Profile *SiteProfile
+}
+
+// NewDeployer builds a deployer with the site's default profile.
+func NewDeployer(s *site.Site) *Deployer {
+	return &Deployer{
+		Site: s,
+		Profile: &SiteProfile{
+			Name:        "sandia-sim",
+			Registry:    s.Quay,
+			S3Endpoint:  site.S3Endpoint,
+			AccessKey:   site.AccessKey,
+			SecretKey:   site.SecretKey,
+			ModelBucket: site.ModelBucket,
+			HubHost:     site.HubHost,
+			PreferredRuntime: map[string]string{
+				"hops":     "podman",
+				"eldorado": "apptainer",
+			},
+		},
+	}
+}
+
+func (d *Deployer) platformVendor(pf Platform) hw.Vendor {
+	switch pf.Name {
+	case "eldorado":
+		return hw.AMD
+	default:
+		return hw.NVIDIA
+	}
+}
+
+func (d *Deployer) platformFS(pf Platform) *fsim.FS {
+	switch pf.Name {
+	case "hops":
+		return d.Site.HopsLustre
+	case "eldorado":
+		return d.Site.EldoradoLustre
+	}
+	return nil
+}
+
+func (d *Deployer) k8sCluster(pf Platform) *k8s.Cluster {
+	switch pf.Name {
+	case "goodall":
+		return d.Site.Goodall
+	case "cee":
+		return d.Site.CEE
+	}
+	return nil
+}
+
+// Plan is the reviewable rendering of a deployment: the exact artifact a
+// user would otherwise write by hand (Figs 4, 5, 6).
+type Plan struct {
+	Platform Platform
+	Runtime  string
+	Image    string
+	Artifact string // podman/apptainer command line or Helm values YAML
+	Notes    []string
+}
+
+// Plan renders the deployment for (pkg, platform, cfg) without executing.
+func (d *Deployer) Plan(pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*Plan, error) {
+	vendor := d.platformVendor(pf)
+	image, err := pkg.ImageFor(vendor)
+	if err != nil {
+		return nil, err
+	}
+	rt := d.Profile.RuntimeFor(pf.Name, pf.Kind)
+	plan := &Plan{Platform: pf, Runtime: rt, Image: image}
+	if cfg.Port == 0 {
+		cfg.Port = pkg.Needs.Port
+	}
+	switch pf.Kind {
+	case "slurm", "flux":
+		fs := d.platformFS(pf)
+		spec := d.hpcSpec(pkg, image, fs, cfg)
+		switch rt {
+		case "podman":
+			plan.Artifact = AdaptPodman(d.Site.Host, pkg).Render(spec)
+		case "apptainer":
+			plan.Artifact = AdaptApptainer(d.Site.Host, pkg, vendor).Render(spec)
+		default:
+			return nil, fmt.Errorf("core: runtime %q unsupported on %s", rt, pf.Name)
+		}
+		if cfg.PipelineParallel > 1 {
+			plan.Notes = append(plan.Notes, fmt.Sprintf(
+				"multi-node: %d nodes; Ray cluster bootstrapped via run-cluster.sh head/worker containers, then `vllm serve` exec'd on the head",
+				cfg.nodes(d.gpusPerNode(pf))))
+		}
+		if cfg.Persistent {
+			plan.Notes = append(plan.Notes, "persistent: requires a Compute-as-Login node reservation (operator action) routed via "+site.CaLGateway)
+		}
+	case "k8s":
+		values := d.helmValues(pkg, image, cfg)
+		plan.Artifact = renderValuesYAML(values)
+		plan.Notes = append(plan.Notes, "helm install "+pkg.Name+" ./charts/vllm -f values.yaml")
+	default:
+		return nil, fmt.Errorf("core: unknown platform kind %q", pf.Kind)
+	}
+	return plan, nil
+}
+
+func (d *Deployer) gpusPerNode(pf Platform) int {
+	switch pf.Name {
+	case "goodall":
+		return 2
+	default:
+		return 4
+	}
+}
+
+// hpcSpec builds the runtime-agnostic container spec for HPC deployments.
+func (d *Deployer) hpcSpec(pkg *ContainerPackage, image string, fs *fsim.FS, cfg DeployConfig) cruntime.Spec {
+	env := EnvFor(pkg, cfg.Offline)
+	env["HF_HOME"] = "/root/.cache/huggingface"
+	return cruntime.Spec{
+		Name:        pkg.Name,
+		Image:       image,
+		Env:         env,
+		Mounts:      []cruntime.Mount{modelMount(fs)},
+		WorkingDir:  "/vllm-workspace/models",
+		Entrypoint:  []string{"vllm"},
+		Args:        cfg.ServeArgs(cfg.Model.Name),
+		GPUs:        cruntime.GPURequest{All: true},
+		NetworkHost: true,
+		IPCHost:     true,
+		Port:        cfg.Port,
+	}
+}
+
+// helmValues builds the chart values for Kubernetes deployments (Fig 6).
+func (d *Deployer) helmValues(pkg *ContainerPackage, image string, cfg DeployConfig) map[string]any {
+	repo, tag := image, "latest"
+	if i := strings.LastIndex(image, ":"); i > strings.LastIndex(image, "/") {
+		repo, tag = image[:i], image[i+1:]
+	}
+	command := []any{"vllm", "serve", "/data/", "--host", "0.0.0.0",
+		"--port", fmt.Sprint(cfg.Port),
+		"--served-model-name", cfg.Model.Name,
+		fmt.Sprintf("--tensor-parallel-size=%d", cfg.TensorParallel),
+		"--disable-log-requests",
+	}
+	if cfg.MaxModelLen > 0 {
+		command = append(command, fmt.Sprintf("--max-model-len=%d", cfg.MaxModelLen))
+	}
+	var envList []any
+	envList = append(envList,
+		map[string]any{"name": "HOME", "value": "/data"},
+		map[string]any{"name": "HF_HOME", "value": "/data"},
+	)
+	for k, v := range EnvFor(pkg, cfg.Offline) {
+		envList = append(envList, map[string]any{"name": k, "value": v})
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	storage := cfg.Model.WeightBytes()*3/2>>30 + 64
+	values := map[string]any{
+		"image": map[string]any{
+			"repository": repo, "tag": tag,
+			"command": command,
+		},
+		"replicas": int64(replicas),
+		"port":     int64(cfg.Port),
+		"env":      envList,
+		"resources": map[string]any{
+			"gpuResource": "nvidia.com/gpu",
+			"gpus":        int64(cfg.TensorParallel),
+		},
+		"storage": map[string]any{"size": fmt.Sprintf("%dGi", storage), "class": "standard"},
+		"model":   map[string]any{"bucket": d.Profile.ModelBucket, "path": cfg.Model.Name},
+		"s3": map[string]any{
+			"endpoint": d.Profile.S3Endpoint, "accessKey": d.Profile.AccessKey, "secretKey": d.Profile.SecretKey,
+		},
+	}
+	if cfg.IngressHost != "" {
+		values["ingress"] = map[string]any{"enabled": true, "host": cfg.IngressHost}
+	}
+	return values
+}
+
+func renderValuesYAML(values map[string]any) string {
+	return string(yamliteMarshal(values))
+}
+
+// Deployment is a live deployed service.
+type Deployment struct {
+	Name     string
+	Platform Platform
+	BaseURL  string // reachable inside the site fabric
+	// ExternalURL is set when the service is routed off-platform (CaL or
+	// Kubernetes ingress).
+	ExternalURL string
+
+	server     *vllm.ServerProgram
+	containers []*cruntime.Container
+	job        *slurm.Job
+	release    *helm.Release
+	cluster    *k8s.Cluster
+	ray        *ray.Cluster
+	calPort    int
+	dep        *Deployer
+	stopped    bool
+}
+
+// Engine exposes the serving engine (metrics, fault injection). For
+// Kubernetes deployments it resolves through the first ready pod.
+func (dp *Deployment) Engine() *vllm.Engine {
+	if dp.server != nil {
+		return dp.server.Engine
+	}
+	if dp.cluster != nil {
+		for _, pod := range dp.cluster.ReadyPods(map[string]string{"app": dp.Name}) {
+			ctr := dp.cluster.PodContainer(pod.Meta.Namespace, pod.Meta.Name)
+			if ctr == nil {
+				continue
+			}
+			if bp, ok := ctr.Program.(*ray.BootstrapProgram); ok && bp.Serve != nil && bp.Serve.Engine != nil {
+				return bp.Serve.Engine
+			}
+			if sp, ok := ctr.Program.(*vllm.ServerProgram); ok {
+				return sp.Engine
+			}
+		}
+	}
+	return nil
+}
+
+// LoseRayWorker kills one Ray worker container of a multi-node deployment
+// (fault injection for the §3.5 fragility experiments). No-op for
+// single-node deployments.
+func (dp *Deployment) LoseRayWorker() {
+	if dp.ray == nil || len(dp.containers) < 2 {
+		return
+	}
+	// The last container is a worker; stopping it triggers Ray's
+	// worker-lost path via the bootstrap program's teardown.
+	victim := dp.containers[len(dp.containers)-1]
+	dp.ray.LoseWorker(victim.Node.Name, fmt.Errorf("container killed"))
+	victim.Stop()
+}
+
+// Healthy reports whether the service answers its health endpoint.
+func (dp *Deployment) Healthy(p *sim.Proc) bool {
+	client := d2client(dp)
+	resp, err := client.Get(p, dp.BaseURL+"/health")
+	return err == nil && resp.Status == 200
+}
+
+func d2client(dp *Deployment) *vhttpClient {
+	return &vhttpClient{Net: dp.dep.Site.Net, From: site.LoginHops}
+}
+
+// Stop tears the deployment down: containers, jobs, releases, CaL routes.
+func (dp *Deployment) Stop() {
+	if dp.stopped {
+		return
+	}
+	dp.stopped = true
+	if dp.server != nil && dp.server.Engine != nil {
+		dp.server.Engine.Stop()
+	}
+	for _, c := range dp.containers {
+		c.Stop()
+	}
+	if dp.job != nil {
+		dp.dep.Site.Hops.Cancel(dp.job)
+	}
+	if dp.release != nil && dp.cluster != nil {
+		helm.Uninstall(dp.cluster, dp.release)
+	}
+	if dp.calPort != 0 {
+		dp.dep.Site.CaL.RemoveRoute(dp.calPort)
+	}
+}

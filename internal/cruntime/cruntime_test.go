@@ -1,0 +1,410 @@
+package cruntime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fsim"
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/oci"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+)
+
+type fixture struct {
+	eng    *sim.Engine
+	fabric *netsim.Fabric
+	host   *Host
+	node   *hw.Node
+	amd    *hw.Node
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	fabric := netsim.New(eng)
+	net := vhttp.NewNet(fabric)
+	reg := registry.New(fabric, Config2TestRegistry())
+	reg.UnpackBW = 0
+	for _, im := range oci.Catalog() {
+		reg.Push(im)
+	}
+	reg.Push(&oci.Image{
+		Repository: "test/app", Tag: "v1", Arch: "cpu",
+		Layers: []oci.Layer{oci.NewLayer("test-app", 1000)},
+		Config: oci.Config{
+			Env:        map[string]string{"APP_MODE": "image-default"},
+			Entrypoint: []string{"/bin/app"},
+			WorkingDir: "/srv",
+		},
+	})
+	progs := NewPrograms()
+	host := NewHost(eng, net, fabric, progs, reg)
+	node := hw.NewNode(fabric, hw.NodeSpec{Name: "hops01", Cluster: "hops", GPUModel: hw.H100SXM, GPUCount: 4})
+	amd := hw.NewNode(fabric, hw.NodeSpec{Name: "eldo01", Cluster: "eldorado", GPUModel: hw.MI300A, GPUCount: 4})
+	return &fixture{eng: eng, fabric: fabric, host: host, node: node, amd: amd}
+}
+
+// Config2TestRegistry returns a high-bandwidth registry config for tests.
+func Config2TestRegistry() registry.Config {
+	return registry.Config{Name: "test", EgressBW: 1e15}
+}
+
+// envProbe captures the ExecContext a program observed.
+type envProbe struct {
+	ctx  *ExecContext
+	err  error
+	hold time.Duration // keep running this long after capture
+}
+
+func (pr *envProbe) Run(ctx *ExecContext) error {
+	pr.ctx = ctx
+	ctx.SetReady(true)
+	if pr.hold > 0 {
+		ctx.Proc.Sleep(pr.hold)
+	}
+	return pr.err
+}
+
+func (f *fixture) registerProbe(hold time.Duration, exitErr error) *envProbe {
+	pr := &envProbe{hold: hold, err: exitErr}
+	f.host.Programs.Register("test/app", func() Program { return pr })
+	return pr
+}
+
+func testSpec() Spec {
+	return Spec{
+		Name:  "app",
+		Image: "test/app:v1",
+		Env:   map[string]string{"EXPLICIT": "yes"},
+		GPUs:  GPURequest{All: true},
+	}
+}
+
+func TestPodmanDefaultSemantics(t *testing.T) {
+	f := newFixture(t)
+	pr := f.registerProbe(0, nil)
+	pd := &Podman{Host: f.host, DeviceGPUs: true}
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		c, err := pd.Run(p, f.node, testSpec())
+		if err != nil {
+			t.Errorf("Run: %v", err)
+			return
+		}
+		p.Wait(c.Done())
+	})
+	f.eng.Run()
+	ctx := pr.ctx
+	if ctx == nil {
+		t.Fatal("program never ran")
+	}
+	if ctx.User != "root" || ctx.Home != "/root" {
+		t.Fatalf("podman user/home = %s %s, want root /root", ctx.User, ctx.Home)
+	}
+	if !ctx.RootFSWritable || !ctx.HomeWritable {
+		t.Fatal("podman rootfs should be writable (CoW layer)")
+	}
+	if _, leaked := ctx.Env["PYTHONPATH"]; leaked {
+		t.Fatal("podman must not leak the host environment")
+	}
+	if ctx.Env["APP_MODE"] != "image-default" || ctx.Env["EXPLICIT"] != "yes" {
+		t.Fatalf("env layering wrong: %v", ctx.Env)
+	}
+	if !ctx.GPUVisible || len(ctx.GPUs) != 4 {
+		t.Fatalf("gpus: visible=%v n=%d, want all 4", ctx.GPUVisible, len(ctx.GPUs))
+	}
+	if ctx.WorkingDir != "/srv" {
+		t.Fatalf("workdir = %s, want image default /srv", ctx.WorkingDir)
+	}
+}
+
+func TestPodmanWithoutDeviceFlagHidesGPUs(t *testing.T) {
+	f := newFixture(t)
+	pr := f.registerProbe(0, nil)
+	pd := &Podman{Host: f.host, DeviceGPUs: false}
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		c, _ := pd.Run(p, f.node, testSpec())
+		p.Wait(c.Done())
+	})
+	f.eng.Run()
+	if pr.ctx.GPUVisible {
+		t.Fatal("GPUs visible without --device flag")
+	}
+}
+
+func TestApptainerDefaultSemantics(t *testing.T) {
+	f := newFixture(t)
+	pr := f.registerProbe(0, nil)
+	ap := &Apptainer{Host: f.host} // all defaults
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		c, err := ap.Run(p, f.node, testSpec())
+		if err != nil {
+			t.Errorf("Run: %v", err)
+			return
+		}
+		p.Wait(c.Done())
+	})
+	f.eng.Run()
+	ctx := pr.ctx
+	if ctx.User != "jdoe" || ctx.Home != "/home/jdoe" {
+		t.Fatalf("apptainer user/home = %s %s, want calling user", ctx.User, ctx.Home)
+	}
+	if !ctx.HomeWritable {
+		t.Fatal("default apptainer binds the user home writable")
+	}
+	if ctx.RootFSWritable {
+		t.Fatal("default apptainer rootfs must be read-only")
+	}
+	if ctx.Env["PYTHONPATH"] != "/opt/site/python3.9/site-packages" {
+		t.Fatal("default apptainer must pass the host environment through")
+	}
+	if ctx.GPUVisible {
+		t.Fatal("GPUs must be invisible without --nv")
+	}
+}
+
+func TestApptainerFixedFlagsMatchPodman(t *testing.T) {
+	f := newFixture(t)
+	pr := f.registerProbe(0, nil)
+	ap := &Apptainer{Host: f.host, FakeRoot: true, WritableTmpfs: true, CleanEnv: true, NoHome: true, NV: true}
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		c, _ := ap.Run(p, f.node, testSpec())
+		p.Wait(c.Done())
+	})
+	f.eng.Run()
+	ctx := pr.ctx
+	if ctx.User != "root" || !ctx.RootFSWritable || !ctx.GPUVisible {
+		t.Fatalf("fixed apptainer semantics wrong: user=%s writable=%v gpu=%v", ctx.User, ctx.RootFSWritable, ctx.GPUVisible)
+	}
+	if _, leaked := ctx.Env["PYTHONPATH"]; leaked {
+		t.Fatal("--cleanenv must strip host env")
+	}
+}
+
+func TestApptainerVendorFlagMismatch(t *testing.T) {
+	f := newFixture(t)
+	pr := f.registerProbe(0, nil)
+	// --nv on an AMD node exposes nothing.
+	ap := &Apptainer{Host: f.host, NV: true}
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		c, _ := ap.Run(p, f.amd, testSpec())
+		p.Wait(c.Done())
+	})
+	f.eng.Run()
+	if pr.ctx.GPUVisible {
+		t.Fatal("--nv must not expose AMD GPUs")
+	}
+	// --rocm on the AMD node works.
+	pr2 := f.registerProbe(0, nil)
+	ap2 := &Apptainer{Host: f.host, ROCm: true}
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		c, _ := ap2.Run(p, f.amd, testSpec())
+		p.Wait(c.Done())
+	})
+	f.eng.Run()
+	if !pr2.ctx.GPUVisible {
+		t.Fatal("--rocm should expose AMD GPUs")
+	}
+}
+
+func TestContainerLifecycleAndGPURelease(t *testing.T) {
+	f := newFixture(t)
+	f.registerProbe(time.Hour, nil)
+	pd := &Podman{Host: f.host, DeviceGPUs: true}
+	var c *Container
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		var err error
+		c, err = pd.Run(p, f.node, testSpec())
+		if err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+	f.eng.RunFor(time.Minute)
+	if c.State != StateRunning || !c.Ready() {
+		t.Fatalf("state = %s ready=%v, want running/ready", c.State, c.Ready())
+	}
+	if free := len(f.node.FreeGPUs()); free != 0 {
+		t.Fatalf("free GPUs while running = %d, want 0", free)
+	}
+	c.Stop()
+	f.eng.Run()
+	if c.State != StateKilled {
+		t.Fatalf("state after stop = %s", c.State)
+	}
+	if free := len(f.node.FreeGPUs()); free != 4 {
+		t.Fatalf("free GPUs after stop = %d, want 4", free)
+	}
+	if !c.Done().Fired() {
+		t.Fatal("done signal not fired")
+	}
+}
+
+func TestCrashSetsFailedStateAndLogs(t *testing.T) {
+	f := newFixture(t)
+	f.registerProbe(0, errors.New("CUDA out of memory"))
+	pd := &Podman{Host: f.host, DeviceGPUs: true}
+	var c *Container
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		c, _ = pd.Run(p, f.node, testSpec())
+	})
+	f.eng.Run()
+	if c.State != StateFailed {
+		t.Fatalf("state = %s, want failed", c.State)
+	}
+	if c.ExitErr == nil || !strings.Contains(c.ExitErr.Error(), "CUDA") {
+		t.Fatalf("ExitErr = %v", c.ExitErr)
+	}
+	logs := strings.Join(c.Logs(), "\n")
+	if !strings.Contains(logs, "FATAL") {
+		t.Fatalf("logs missing crash line: %q", logs)
+	}
+	if free := len(f.node.FreeGPUs()); free != 4 {
+		t.Fatal("GPUs leaked after crash")
+	}
+}
+
+func TestGPUOversubscriptionRejected(t *testing.T) {
+	f := newFixture(t)
+	f.registerProbe(time.Hour, nil)
+	pd := &Podman{Host: f.host, DeviceGPUs: true}
+	var firstErr, secondErr error
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		_, firstErr = pd.Run(p, f.node, testSpec())
+		_, secondErr = pd.Run(p, f.node, testSpec())
+	})
+	f.eng.RunFor(time.Minute)
+	if firstErr != nil {
+		t.Fatalf("first run failed: %v", firstErr)
+	}
+	if secondErr == nil {
+		t.Fatal("second all-GPU container should fail to start")
+	}
+}
+
+func TestPathWritableSemantics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fabric := netsim.New(eng)
+	models := fsim.New(fabric, fsim.Config{Name: "lustre"})
+	ctx := &ExecContext{
+		Home: "/home/jdoe", HomeWritable: true, RootFSWritable: false,
+		Mounts: []Mount{
+			{FS: models, HostPath: "/lustre/models", CtrPath: "/vllm-workspace/models"},
+			{FS: models, HostPath: "/lustre/cfg", CtrPath: "/etc/site", ReadOnly: true},
+		},
+	}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/vllm-workspace/models/llama", true},
+		{"/etc/site/profile", false},
+		{"/home/jdoe/.cache", true},
+		{"/root/.cache", false},
+		{"/usr/lib/python3", false},
+	}
+	for _, c := range cases {
+		if got := ctx.PathWritable(c.path); got != c.want {
+			t.Errorf("PathWritable(%s) = %v, want %v", c.path, got, c.want)
+		}
+	}
+	if m, rel, ok := ctx.LookupMount("/vllm-workspace/models/llama/config.json"); !ok || m.HostPath != "/lustre/models" || rel != "/llama/config.json" {
+		t.Fatalf("LookupMount = %v %q %v", m, rel, ok)
+	}
+}
+
+func TestFlattenedFileSource(t *testing.T) {
+	f := newFixture(t)
+	pr := f.registerProbe(0, nil)
+	_ = pr
+	lustre := fsim.New(f.fabric, fsim.Config{Name: "lustre", ReadBW: 1000})
+	lustre.WriteMeta("/images/app.sif", 5000, time.Time{})
+	ap := &Apptainer{Host: f.host, NV: true}
+	spec := testSpec()
+	spec.FlattenedFile = &Mount{FS: lustre, HostPath: "/images/app.sif"}
+	var started time.Duration
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		c, err := ap.Run(p, f.node, spec)
+		if err != nil {
+			t.Errorf("Run: %v", err)
+			return
+		}
+		started = f.eng.Since(sim.Epoch)
+		p.Wait(c.Done())
+	})
+	f.eng.Run()
+	// 5000 B over 1000 B/s FS read = 5 s before start.
+	if got := started.Seconds(); got < 4.9 || got > 5.3 {
+		t.Fatalf("flattened start at %.2fs, want ~5s (FS read time)", got)
+	}
+}
+
+func TestMissingProgramAndImageErrors(t *testing.T) {
+	f := newFixture(t)
+	pd := &Podman{Host: f.host}
+	var progErr, imgErr error
+	f.eng.Go("deploy", func(p *sim.Proc) {
+		_, progErr = pd.Run(p, f.node, Spec{Name: "x", Image: "test/app:v1"}) // no program registered
+		_, imgErr = pd.Run(p, f.node, Spec{Name: "y", Image: "ghost/none:v9"})
+	})
+	f.eng.Run()
+	if progErr == nil || !strings.Contains(progErr.Error(), "no program registered") {
+		t.Fatalf("progErr = %v", progErr)
+	}
+	if imgErr == nil || !strings.Contains(imgErr.Error(), "manifest unknown") {
+		t.Fatalf("imgErr = %v", imgErr)
+	}
+}
+
+func TestRenderPodmanMatchesPaperShape(t *testing.T) {
+	pd := &Podman{}
+	spec := Spec{
+		Name: "vllm", Image: "vllm/vllm-openai:v0.9.1",
+		NetworkHost: true, IPCHost: true,
+		Entrypoint: []string{"vllm"},
+		GPUs:       GPURequest{All: true},
+		Env:        map[string]string{"HF_HUB_OFFLINE": "1", "VLLM_NO_USAGE_STATS": "1"},
+		Mounts:     []Mount{{HostPath: "./models", CtrPath: "/vllm-workspace/models"}},
+		WorkingDir: "/vllm-workspace/models",
+		Args:       []string{"serve", "meta-llama/Llama-4-Scout-17B-16E-Instruct", "--tensor_parallel_size=4", "--max-model-len=65536"},
+	}
+	out := pd.Render(spec)
+	for _, want := range []string{
+		"podman run", "--rm", "--name=vllm", "--network=host", "--ipc=host",
+		"--entrypoint=vllm", "--device nvidia.com/gpu=all",
+		`-e "HF_HUB_OFFLINE=1"`, "--volume=./models:/vllm-workspace/models",
+		"--workdir=/vllm-workspace/models", "vllm/vllm-openai:v0.9.1",
+		"--tensor_parallel_size=4", "--max-model-len=65536",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("podman render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderApptainerMatchesPaperShape(t *testing.T) {
+	ap := &Apptainer{FakeRoot: true, WritableTmpfs: true, CleanEnv: true, NoHome: true, NV: true}
+	lfs := fsim.New(nil, fsim.Config{Name: "x"})
+	spec := Spec{
+		Name: "vllm", Image: "vllm/vllm-openai:v0.9.1",
+		FlattenedFile: &Mount{FS: lfs, HostPath: "vllm-cuda.sif"},
+		Entrypoint:    []string{"vllm"},
+		Env:           map[string]string{"HF_HOME": "/root/.cache/huggingface"},
+		Mounts:        []Mount{{HostPath: "./models", CtrPath: "/vllm-workspace/models"}},
+		WorkingDir:    "/vllm-workspace/models",
+		Args:          []string{"serve", "meta-llama/Llama-4-Scout-17B-16E-Instruct"},
+	}
+	out := ap.Render(spec)
+	for _, want := range []string{
+		"apptainer exec", "--fakeroot", "--writable-tmpfs", "--cleanenv", "--no-home", "--nv",
+		`-e "HF_HOME=/root/.cache/huggingface"`, "--bind ./models:/vllm-workspace/models",
+		"--cwd /vllm-workspace/models", "vllm-cuda.sif vllm",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("apptainer render missing %q:\n%s", want, out)
+		}
+	}
+}

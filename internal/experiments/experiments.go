@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§3.4, §3.5) plus the ablations DESIGN.md commits to. Each
+// experiment runs against a freshly assembled site, produces gnuplot-style
+// series and summary tables, and records measured values next to the
+// paper's for EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sharegpt"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/vhttp"
+)
+
+// Options scale experiment cost.
+type Options struct {
+	// Quick shrinks prompt counts and run counts for CI-speed execution.
+	Quick bool
+	Seed  int64
+}
+
+// prompts matches the paper's 1000 queries per point; the count shapes the
+// measured throughput (tail effects), so Quick mode must not reduce it.
+func (o Options) prompts() int { return 1000 }
+
+// concurrencies returns the sweep's x-axis; Quick mode thins the points but
+// keeps both anchor ends (batch 1 and 1024).
+func (o Options) concurrencies() []int {
+	if o.Quick {
+		return []int{1, 16, 256, 1024}
+	}
+	return bench.SweepConcurrencies()
+}
+
+// Anchor compares one paper-reported value with the measurement.
+type Anchor struct {
+	Name     string
+	Paper    float64
+	Measured float64
+	Unit     string
+}
+
+// Deviation returns the relative error.
+func (a Anchor) Deviation() float64 {
+	if a.Paper == 0 {
+		return 0
+	}
+	return (a.Measured - a.Paper) / a.Paper
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID      string
+	Title   string
+	Series  []metrics.Series
+	Table   string
+	Anchors []Anchor
+	Notes   []string
+}
+
+// Dat renders the gnuplot data file.
+func (r *Result) Dat() string { return metrics.DatFile(r.ID+": "+r.Title, r.Series) }
+
+// Experiment is a runnable reproduction unit.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(p *sim.Proc, s *site.Site, d *core.Deployer, opts Options) (*Result, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig9", Title: "Hops (H100) vs El Dorado (MI300A), Llama 4 Scout", Run: runFig9},
+		{ID: "fig10", Title: "Hops vs Goodall (H100-NVL), quantized Scout", Run: runFig10},
+		{ID: "fig12", Title: "Hops multi-node inference, Llama 3.1 405B", Run: runFig12},
+		{ID: "startup", Title: "Time-to-ready by model and image source", Run: runStartup},
+		{ID: "regpull", Title: "Registry pull bottleneck vs flattened images", Run: runRegPull},
+		{ID: "s3route", Title: "Hops→S3 bandwidth before/after routing fix", Run: runS3Route},
+		{ID: "ingress", Title: "Service recovery: CaL+cron vs Kubernetes", Run: runIngressFailover},
+		{ID: "quant", Title: "Quantization ablation: bf16 TP4 vs w4a16 TP2", Run: runQuant},
+		{ID: "parallel", Title: "Parallelism ablation for 405B: TP×PP layouts", Run: runParallel},
+		{ID: "maxlen", Title: "--max-model-len capacity gate for Scout", Run: runMaxLen},
+	}
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// RunOne assembles a fresh site and executes the experiment on it.
+func RunOne(id string, opts Options) (*Result, error) {
+	exp, err := ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	s := site.New(site.Options{Small: opts.Quick, Seed: opts.Seed + 77})
+	d := core.NewDeployer(s)
+	var res *Result
+	var rerr error
+	done := false
+	s.Eng.Go("experiment:"+id, func(p *sim.Proc) {
+		res, rerr = exp.Run(p, s, d, opts)
+		done = true
+	})
+	for i := 0; i < 100000 && !done; i++ {
+		s.Eng.RunFor(10 * time.Minute)
+	}
+	if !done {
+		return nil, fmt.Errorf("experiments: %s did not finish", id)
+	}
+	return res, rerr
+}
+
+// sweepDeployment runs the concurrency sweep against a live deployment from
+// the login host, as the containerized benchmark would.
+func sweepDeployment(p *sim.Proc, s *site.Site, baseURL, runName string, opts Options) []*bench.Result {
+	ds := sharegpt.Synthesize(opts.Seed, 4000)
+	target := &bench.HTTPTarget{
+		Client:  &vhttp.Client{Net: s.Net, From: site.LoginHops},
+		BaseURL: baseURL,
+	}
+	return bench.Sweep(p, target, bench.Config{
+		Name: runName, Dataset: ds, NumPrompts: opts.prompts(), Seed: opts.Seed,
+	}, opts.concurrencies())
+}
+
+func lastTput(results []*bench.Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	return results[len(results)-1].OutputThroughput
+}
+
+func firstTput(results []*bench.Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	return results[0].OutputThroughput
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quick runs every experiment in Quick mode; the calibration tests below
+// assert the paper anchors on the figures.
+func runQuickExp(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := RunOne(id, Options{Quick: true, Seed: 11})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return res
+}
+
+func assertAnchor(t *testing.T, res *Result, name string, tolerance float64) {
+	t.Helper()
+	for _, a := range res.Anchors {
+		if a.Name == name {
+			if dev := math.Abs(a.Deviation()); dev > tolerance {
+				t.Errorf("%s: paper %.1f%s vs measured %.1f%s (%.0f%% off, tol %.0f%%)",
+					a.Name, a.Paper, a.Unit, a.Measured, a.Unit, dev*100, tolerance*100)
+			}
+			return
+		}
+	}
+	t.Fatalf("anchor %q missing from %s (have %+v)", name, res.ID, res.Anchors)
+}
+
+func TestFig9Anchors(t *testing.T) {
+	res := runQuickExp(t, "fig9")
+	if len(res.Series) < 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	assertAnchor(t, res, "Hops batch-1 rate", 0.10)
+	assertAnchor(t, res, "Hops max throughput", 0.12)
+	assertAnchor(t, res, "Eldorado batch-1 rate", 0.10)
+	assertAnchor(t, res, "Eldorado max throughput", 0.12)
+	// Platform ordering: Hops beats El Dorado at every point (Fig 9 shape).
+	hops, eldo := res.Series[0], res.Series[len(res.Series)-1]
+	for i := range hops.Points {
+		if i < len(eldo.Points) && hops.Points[i].Y <= eldo.Points[i].Y {
+			t.Errorf("ordering violated at c=%g: hops %.0f ≤ eldo %.0f",
+				hops.Points[i].X, hops.Points[i].Y, eldo.Points[i].Y)
+		}
+	}
+	// Ratio at saturation ≈ 2.3× (4313/1899).
+	ratio := hops.Points[len(hops.Points)-1].Y / eldo.Points[len(eldo.Points)-1].Y
+	if ratio < 1.8 || ratio > 2.9 {
+		t.Errorf("Hops/Eldorado saturation ratio = %.2f, want ~2.3", ratio)
+	}
+	if res.Dat() == "" || !strings.Contains(res.Dat(), "Hops HPC, Run 1") {
+		t.Error("dat output malformed")
+	}
+}
+
+func TestFig10Anchors(t *testing.T) {
+	res := runQuickExp(t, "fig10")
+	assertAnchor(t, res, "Hops w4a16 max throughput", 0.15)
+	assertAnchor(t, res, "Goodall w4a16 max throughput", 0.15)
+	for _, n := range res.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Error(n)
+		}
+	}
+}
+
+func TestFig12Anchors(t *testing.T) {
+	res := runQuickExp(t, "fig12")
+	assertAnchor(t, res, "405B batch-1 rate", 0.12)
+	assertAnchor(t, res, "405B max throughput", 0.15)
+	// Run 1 must crash and the series must carry the annotation.
+	crashFound := false
+	for _, pt := range res.Series[0].Points {
+		if pt.Note == "crash" {
+			crashFound = true
+		}
+	}
+	if !crashFound {
+		t.Error("run 1 crash annotation missing")
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Error(n)
+		}
+	}
+}
+
+func TestStartupTable(t *testing.T) {
+	res := runQuickExp(t, "startup")
+	if !strings.Contains(res.Table, "Llama-3.1-405B") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+	// Paper: "30 minutes or more" for large models; accept 30-90 for 405B.
+	for _, a := range res.Anchors {
+		if a.Measured < 30 || a.Measured > 90 {
+			t.Errorf("405B startup = %.1f min, want 30-90 ('30 minutes or more')", a.Measured)
+		}
+	}
+}
+
+func TestRegPullAblation(t *testing.T) {
+	res := runQuickExp(t, "regpull")
+	if len(res.Series) != 2 {
+		t.Fatal("want registry + SIF series")
+	}
+	reg, sif := res.Series[0], res.Series[1]
+	// Registry pull time grows ~linearly with node count; SIF reads barely
+	// move, so the gap widens dramatically.
+	regGrowth := reg.Points[len(reg.Points)-1].Y / reg.Points[0].Y
+	sifGrowth := sif.Points[len(sif.Points)-1].Y / sif.Points[0].Y
+	if regGrowth < 2.5 {
+		t.Errorf("registry growth = %.1f×, want ≥ 2.5× at 8 nodes", regGrowth)
+	}
+	if sifGrowth > 3 {
+		t.Errorf("SIF growth = %.1f×, want ≈ flat", sifGrowth)
+	}
+	speedup := reg.Points[len(reg.Points)-1].Y / sif.Points[len(sif.Points)-1].Y
+	if speedup < 10 {
+		t.Errorf("flattened speedup at max nodes = %.1f×, want ≥ 10×", speedup)
+	}
+}
+
+func TestS3RouteAblation(t *testing.T) {
+	res := runQuickExp(t, "s3route")
+	assertAnchor(t, res, "bandwidth improvement (paper: 'order of magnitude')", 0.25)
+}
+
+func TestIngressFailover(t *testing.T) {
+	res := runQuickExp(t, "ingress")
+	for _, n := range res.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Error(n)
+		}
+	}
+	if !strings.Contains(res.Table, "kubelet") || !strings.Contains(res.Table, "cron") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+}
+
+func TestQuantAblation(t *testing.T) {
+	res := runQuickExp(t, "quant")
+	if len(res.Series) != 2 {
+		t.Fatal("want 2 series")
+	}
+	bf16 := res.Series[0].Points
+	w4 := res.Series[1].Points
+	// bf16 TP4 clearly out-throughputs w4a16 TP2 at saturation.
+	if bf16[len(bf16)-1].Y < w4[len(w4)-1].Y*1.5 {
+		t.Errorf("bf16 max %.0f vs w4a16 %.0f: expected ≥1.5× gap",
+			bf16[len(bf16)-1].Y, w4[len(w4)-1].Y)
+	}
+}
+
+func TestParallelAblation(t *testing.T) {
+	res := runQuickExp(t, "parallel")
+	if !strings.Contains(res.Table, "TP4×PP4") || !strings.Contains(res.Table, "TP16") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+	// The paper layout must beat cross-node TP at batch 256.
+	paper := res.Series[0].Points[1].Y
+	flat := res.Series[2].Points[1].Y
+	if paper < flat*2 {
+		t.Errorf("TP4×PP4 (%.0f) should be ≫ TP16 (%.0f) at batch 256", paper, flat)
+	}
+}
+
+func TestMaxLenGate(t *testing.T) {
+	res := runQuickExp(t, "maxlen")
+	if !strings.Contains(res.Table, "10000000") {
+		t.Fatalf("table:\n%s", res.Table)
+	}
+	if !strings.Contains(res.Table, "FAILS") {
+		t.Error("10M context should fail")
+	}
+	lines := strings.Split(res.Table, "\n")
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "65536") && !strings.Contains(ln, "OK") {
+			t.Errorf("65536 should be OK: %s", ln)
+		}
+	}
+}
+
+func TestByIDErrors(t *testing.T) {
+	if _, err := ByID("ghost"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+	if len(All()) < 10 {
+		t.Fatalf("experiments = %d, want ≥ 10", len(All()))
+	}
+}

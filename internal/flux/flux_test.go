@@ -1,0 +1,181 @@
+package flux
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func newInstance(t *testing.T, n int) (*sim.Engine, *Instance) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	fabric := netsim.New(eng)
+	var nodes []*hw.Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, hw.NewNode(fabric, hw.NodeSpec{
+			Name: fmt.Sprintf("eldo%04d", 1000+i), GPUModel: hw.MI300A, GPUCount: 4,
+		}))
+	}
+	return eng, NewInstance(eng, "eldorado", nodes)
+}
+
+func sleepSpec(name string, nodes int, d time.Duration) Jobspec {
+	return Jobspec{
+		Name: name, NumNodes: nodes, Duration: 10 * d,
+		Run: func(fc *JobContext) error { fc.Proc.Sleep(d); return nil },
+	}
+}
+
+func TestRunToCompletion(t *testing.T) {
+	eng, in := newInstance(t, 2)
+	var env map[string]string
+	job, err := in.Submit(Jobspec{
+		Name: "hello", NumNodes: 2, Duration: time.Hour,
+		Run: func(fc *JobContext) error {
+			env = fc.Env
+			fc.Proc.Sleep(5 * time.Minute)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if job.State != StateComplete {
+		t.Fatalf("state = %s", job.State)
+	}
+	if env["FLUX_JOB_SIZE"] != "2" || env["FLUX_JOB_ID"] != job.ID {
+		t.Fatalf("env = %v", env)
+	}
+	if len(in.FreeNodes()) != 2 {
+		t.Fatal("nodes not released")
+	}
+}
+
+func TestFirstFitSkipsBlockedJob(t *testing.T) {
+	// Unlike Slurm FIFO, Flux first-fit lets a small job start even when an
+	// earlier larger job is blocked (no reservation in the default policy).
+	eng, in := newInstance(t, 2)
+	in.Submit(sleepSpec("hog", 2, time.Hour))
+	big, _ := in.Submit(sleepSpec("big", 2, time.Hour))
+	small, _ := in.Submit(sleepSpec("small", 1, 10*time.Minute))
+	eng.RunFor(time.Minute)
+	if big.State != StateSched {
+		t.Fatalf("big = %s", big.State)
+	}
+	if small.State != StateSched {
+		t.Fatalf("small = %s (no free nodes yet)", small.State)
+	}
+	eng.Run()
+	if big.State != StateComplete || small.State != StateComplete {
+		t.Fatalf("big=%s small=%s", big.State, small.State)
+	}
+}
+
+func TestUrgencyOrdering(t *testing.T) {
+	eng, in := newInstance(t, 1)
+	in.Submit(sleepSpec("running", 1, time.Hour))
+	low, _ := in.Submit(Jobspec{Name: "low", NumNodes: 1, Urgency: 8, Duration: time.Hour,
+		Run: func(fc *JobContext) error { fc.Proc.Sleep(time.Minute); return nil }})
+	high, _ := in.Submit(Jobspec{Name: "high", NumNodes: 1, Urgency: 24, Duration: time.Hour,
+		Run: func(fc *JobContext) error { fc.Proc.Sleep(time.Minute); return nil }})
+	eng.Run()
+	if !high.Start.Before(low.Start) {
+		t.Fatalf("urgency ignored: high started %v, low %v", high.Start, low.Start)
+	}
+}
+
+func TestAllocationExpiry(t *testing.T) {
+	eng, in := newInstance(t, 1)
+	job, _ := in.Submit(Jobspec{
+		Name: "forever", NumNodes: 1, Duration: 30 * time.Minute,
+		Run: func(fc *JobContext) error { fc.Proc.Sleep(100 * time.Hour); return nil },
+	})
+	eng.Run()
+	if job.State != StateTimeout {
+		t.Fatalf("state = %s", job.State)
+	}
+	if got := job.End.Sub(job.Start); got != 30*time.Minute {
+		t.Fatalf("expired at %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng, in := newInstance(t, 1)
+	running, _ := in.Submit(sleepSpec("r", 1, time.Hour))
+	queued, _ := in.Submit(sleepSpec("q", 1, time.Hour))
+	eng.RunFor(time.Minute)
+	in.Cancel(queued)
+	in.Cancel(running)
+	eng.RunFor(time.Minute)
+	if running.State != StateCanceled || queued.State != StateCanceled {
+		t.Fatalf("states: %s %s", running.State, queued.State)
+	}
+	if len(in.FreeNodes()) != 1 {
+		t.Fatal("node leak after cancel")
+	}
+}
+
+func TestNestedInstance(t *testing.T) {
+	eng, in := newInstance(t, 4)
+	var childJob *Job
+	parent, _ := in.Submit(Jobspec{
+		Name: "parent", NumNodes: 4, Duration: 2 * time.Hour,
+		Run: func(fc *JobContext) error {
+			child, err := fc.Alloc(2)
+			if err != nil {
+				return err
+			}
+			childJob, _ = child.Submit(sleepSpec("inner", 2, 10*time.Minute))
+			fc.Proc.Wait(childJob.Done())
+			return nil
+		},
+	})
+	eng.Run()
+	if parent.State != StateComplete || childJob.State != StateComplete {
+		t.Fatalf("parent=%s child=%s", parent.State, childJob.State)
+	}
+	// Over-subscribing the nested alloc fails.
+	boom, _ := in.Submit(Jobspec{
+		Name: "boom", NumNodes: 2, Duration: time.Hour,
+		Run: func(fc *JobContext) error {
+			_, err := fc.Alloc(3)
+			return err
+		},
+	})
+	eng.Run()
+	if boom.State != StateFailed {
+		t.Fatalf("boom = %s", boom.State)
+	}
+}
+
+func TestFailurePropagation(t *testing.T) {
+	eng, in := newInstance(t, 1)
+	cleaned := false
+	job, _ := in.Submit(Jobspec{
+		Name: "bad", NumNodes: 1, Duration: time.Hour,
+		Run: func(fc *JobContext) error {
+			fc.OnCleanup(func() { cleaned = true })
+			return errors.New("container crashed")
+		},
+	})
+	eng.Run()
+	if job.State != StateFailed || job.Reason != "container crashed" {
+		t.Fatalf("state=%s reason=%q", job.State, job.Reason)
+	}
+	if !cleaned {
+		t.Fatal("cleanup skipped on failure")
+	}
+}
+
+func TestUnsatisfiableRequest(t *testing.T) {
+	_, in := newInstance(t, 2)
+	if _, err := in.Submit(Jobspec{Name: "x", NumNodes: 3}); err == nil {
+		t.Fatal("unsatisfiable jobspec should be rejected")
+	}
+}

@@ -1,0 +1,203 @@
+package helm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cruntime"
+	"repro/internal/hw"
+	"repro/internal/k8s"
+	"repro/internal/netsim"
+	"repro/internal/oci"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+	"repro/internal/yamlite"
+)
+
+func scoutOverrides() map[string]any {
+	return map[string]any{
+		"image": map[string]any{
+			"command": []any{
+				"vllm", "serve", "/data/",
+				"--host", "0.0.0.0", "--port", "8000",
+				"--served-model-name", "meta-llama/Llama-4-Scout-17B-16E-Instruct",
+				"--tensor-parallel-size=4",
+				"--disable-log-requests",
+				"--max-model-len=65536",
+			},
+		},
+		"model": map[string]any{"path": "meta-llama/Llama-4-Scout-17B-16E-Instruct"},
+		"s3": map[string]any{
+			"endpoint": "http://s3.example.gov:9000", "accessKey": "AK", "secretKey": "SK",
+		},
+		"ingress": map[string]any{"enabled": true, "host": "scout.apps.goodall.example.gov"},
+	}
+}
+
+func TestRenderVLLMChart(t *testing.T) {
+	docs, err := Render(VLLMChart(), "scout", "ai", scoutOverrides())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 4 {
+		t.Fatalf("docs = %d, want 4 (pvc, deployment, ingress, service)", len(docs))
+	}
+	all := strings.Join(docs, "\n---\n")
+	for _, want := range []string{
+		`"vllm/vllm-openai:v0.9.1"`,
+		"--tensor-parallel-size=4",
+		"--max-model-len=65536",
+		"s3://huggingface.co/meta-llama/Llama-4-Scout-17B-16E-Instruct",
+		"claimName: scout-storage",
+		`nvidia.com/gpu: "4"`,
+		"host: scout.apps.goodall.example.gov",
+		"name: HF_HUB_OFFLINE",
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("rendered chart missing %q", want)
+		}
+	}
+	// Every document must parse as YAML with a kind.
+	for _, doc := range docs {
+		tree, err := yamlite.Parse([]byte(doc))
+		if err != nil {
+			t.Fatalf("unparseable doc: %v\n%s", err, doc)
+		}
+		if yamlite.GetString(tree, "kind", "") == "" {
+			t.Fatalf("doc missing kind:\n%s", doc)
+		}
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	// model.path is required.
+	over := scoutOverrides()
+	delete(over["model"].(map[string]any), "path")
+	over["model"].(map[string]any)["path"] = ""
+	if _, err := Render(VLLMChart(), "x", "ai", over); err == nil || !strings.Contains(err.Error(), "model.path") {
+		t.Fatalf("err = %v, want required-value failure", err)
+	}
+	// Disabled ingress drops the document.
+	over = scoutOverrides()
+	over["ingress"] = map[string]any{"enabled": false}
+	docs, err := Render(VLLMChart(), "x", "ai", over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("docs = %d, want 3 without ingress", len(docs))
+	}
+}
+
+func newK8sFixture(t *testing.T) (*sim.Engine, *k8s.Cluster, *cruntime.Host) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	fabric := netsim.New(eng)
+	net := vhttp.NewNet(fabric)
+	reg := registry.New(fabric, registry.Config{Name: "quay", EgressBW: 1e15})
+	reg.UnpackBW = 0
+	for _, im := range oci.Catalog() {
+		reg.Push(im)
+	}
+	progs := cruntime.NewPrograms()
+	host := cruntime.NewHost(eng, net, fabric, progs, reg)
+	cluster := k8s.NewCluster(eng, net, fabric, host, "goodall")
+	for i := 0; i < 2; i++ {
+		cluster.AddNode(hw.NewNode(fabric, hw.NodeSpec{
+			Name: fmt.Sprintf("goodall%02d", i+1), GPUModel: hw.H100NVL, GPUCount: 2,
+		}))
+	}
+	return eng, cluster, host
+}
+
+func TestInstallCreatesObjects(t *testing.T) {
+	eng, cluster, host := newK8sFixture(t)
+	// Stub programs so pods can exist (they'll fail on missing S3, which is
+	// fine for object-level assertions).
+	host.Programs.Register("amazon/aws-cli", func() cruntime.Program {
+		return cruntime.ProgramFunc(func(ctx *cruntime.ExecContext) error { return nil })
+	})
+	host.Programs.Register("vllm/vllm-openai", func() cruntime.Program {
+		return cruntime.ProgramFunc(func(ctx *cruntime.ExecContext) error {
+			ctx.SetReady(true)
+			ctx.Proc.Sleep(1000 * time.Hour)
+			return nil
+		})
+	})
+	over := scoutOverrides()
+	over["resources"] = map[string]any{"gpuResource": "nvidia.com/gpu", "gpus": int64(2)}
+	rel, err := Install(cluster, VLLMChart(), "scout", "ai", over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Objects) != 4 {
+		t.Fatalf("release objects = %v", rel.Objects)
+	}
+	eng.RunFor(2 * time.Minute)
+	if cluster.Store().Get(k8s.KindDeployment, "ai/scout") == nil {
+		t.Fatal("deployment missing")
+	}
+	if cluster.Store().Get(k8s.KindService, "ai/scout") == nil {
+		t.Fatal("service missing")
+	}
+	if _, err := cluster.VolumeFS("ai", "scout-storage"); err != nil {
+		t.Fatalf("pvc not bound: %v", err)
+	}
+	pods := cluster.ReadyPods(map[string]string{"app": "scout"})
+	if len(pods) != 1 {
+		for _, p := range cluster.Pods(nil) {
+			t.Logf("pod %s: %s %s", p.Meta.Name, p.Status.Phase, p.Status.Message)
+		}
+		t.Fatalf("ready pods = %d", len(pods))
+	}
+	// Uninstall removes everything.
+	Uninstall(cluster, rel)
+	eng.RunFor(time.Minute)
+	if got := len(cluster.Pods(map[string]string{"app": "scout"})); got != 0 {
+		t.Fatalf("pods after uninstall = %d", got)
+	}
+	if cluster.Store().Get(k8s.KindService, "ai/scout") != nil {
+		t.Fatal("service survived uninstall")
+	}
+}
+
+func TestTemplateFuncs(t *testing.T) {
+	chart := &Chart{
+		Name: "t", Values: map[string]any{"a": "", "b": "set", "list": []any{"x", "y"}},
+		Templates: map[string]string{
+			"t.yaml": `kind: Service
+metadata:
+  name: {{ .Values.a | default "fallback" }}
+  namespace: {{ .Values.b | default "nope" }}
+  labels:
+    l: {{ .Values.b | quote }}
+spec:
+  selector: {{ .Values.list | toYaml | nindent 4 }}
+`,
+		},
+	}
+	docs, err := Render(chart, "r", "ns", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := docs[0]
+	for _, want := range []string{"name: fallback", "namespace: set", `l: "set"`, "- x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstallRejectsBadManifests(t *testing.T) {
+	_, cluster, _ := newK8sFixture(t)
+	chart := &Chart{
+		Name:      "bad",
+		Templates: map[string]string{"x.yaml": "kind: Gremlin\nmetadata:\n  name: g\n"},
+	}
+	if _, err := Install(cluster, chart, "r", "ns", nil); err == nil || !strings.Contains(err.Error(), "unsupported manifest kind") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+package helm
+
+// VLLMChart returns the bundled vLLM chart, mirroring the upstream project's
+// Helm chart as described in §3.2: a PersistentVolumeClaim for model
+// storage, an init container that downloads the model from site object
+// storage with the AWS client container (same image as Figure 3), the vLLM
+// server container itself (Figure 6 values), a Service, and an optional
+// Ingress for secure external routing.
+func VLLMChart() *Chart {
+	return &Chart{
+		Name:    "vllm",
+		Version: "0.2.0",
+		Values: map[string]any{
+			"image": map[string]any{
+				"repository": "vllm/vllm-openai",
+				"tag":        "v0.9.1",
+				"command": []any{
+					"vllm", "serve", "/data/",
+					"--host", "0.0.0.0", "--port", "8000",
+				},
+			},
+			"replicas": int64(1),
+			"port":     int64(8000),
+			"env": []any{
+				map[string]any{"name": "HOME", "value": "/data"},
+				map[string]any{"name": "HF_HOME", "value": "/data"},
+				map[string]any{"name": "HF_HUB_DISABLE_TELEMETRY", "value": "1"},
+				map[string]any{"name": "HF_HUB_OFFLINE", "value": "1"},
+				map[string]any{"name": "TRANSFORMERS_OFFLINE", "value": "1"},
+				map[string]any{"name": "VLLM_NO_USAGE_STATS", "value": "1"},
+				map[string]any{"name": "DO_NOT_TRACK", "value": "1"},
+			},
+			"resources": map[string]any{
+				"gpuResource": "nvidia.com/gpu",
+				"gpus":        int64(4),
+			},
+			"storage": map[string]any{
+				"size":  "500Gi",
+				"class": "standard",
+			},
+			"model": map[string]any{
+				"bucket": "huggingface.co",
+				"path":   "",
+			},
+			"s3": map[string]any{
+				"endpoint":  "",
+				"accessKey": "",
+				"secretKey": "",
+			},
+			"ingress": map[string]any{
+				"enabled": false,
+				"host":    "",
+			},
+			"initImage": "amazon/aws-cli:latest",
+		},
+		Templates: map[string]string{
+			"pvc.yaml": `apiVersion: v1
+kind: PersistentVolumeClaim
+metadata:
+  name: {{ .Release.Name }}-storage
+  namespace: {{ .Release.Namespace }}
+spec:
+  storageClassName: {{ .Values.storage.class }}
+  resources:
+    requests:
+      storage: {{ .Values.storage.size }}
+`,
+			"deployment.yaml": `apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    app: {{ .Release.Name }}
+spec:
+  replicas: {{ .Values.replicas }}
+  selector:
+    matchLabels:
+      app: {{ .Release.Name }}
+  template:
+    metadata:
+      labels:
+        app: {{ .Release.Name }}
+    spec:
+      volumes:
+        - name: data
+          persistentVolumeClaim:
+            claimName: {{ .Release.Name }}-storage
+      initContainers:
+        - name: fetch-model
+          image: {{ .Values.initImage }}
+          args:
+            - s3
+            - sync
+            - s3://{{ .Values.model.bucket }}/{{ required "model.path is required" .Values.model.path }}
+            - /data
+          env:
+            - name: AWS_ENDPOINT_URL
+              value: {{ .Values.s3.endpoint | quote }}
+            - name: AWS_ACCESS_KEY_ID
+              value: {{ .Values.s3.accessKey | quote }}
+            - name: AWS_SECRET_ACCESS_KEY
+              value: {{ .Values.s3.secretKey | quote }}
+            - name: AWS_REQUEST_CHECKSUM_CALCULATION
+              value: "when_required"
+            - name: AWS_MAX_ATTEMPTS
+              value: "10"
+          volumeMounts:
+            - name: data
+              mountPath: /data
+      containers:
+        - name: vllm
+          image: "{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+          command: {{ .Values.image.command | toYaml | nindent 12 }}
+          env: {{ .Values.env | toYaml | nindent 12 }}
+          ports:
+            - containerPort: {{ .Values.port }}
+          resources:
+            limits:
+              {{ .Values.resources.gpuResource }}: {{ .Values.resources.gpus | quote }}
+          volumeMounts:
+            - name: data
+              mountPath: /data
+`,
+			"service.yaml": `apiVersion: v1
+kind: Service
+metadata:
+  name: {{ .Release.Name }}
+  namespace: {{ .Release.Namespace }}
+spec:
+  selector:
+    app: {{ .Release.Name }}
+  ports:
+    - port: {{ .Values.port }}
+      targetPort: {{ .Values.port }}
+`,
+			"ingress.yaml": `{{ if .Values.ingress.enabled }}apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {{ .Release.Name }}
+  namespace: {{ .Release.Namespace }}
+spec:
+  host: {{ .Values.ingress.host }}
+  serviceName: {{ .Release.Name }}
+  servicePort: {{ .Values.port }}
+{{ end }}`,
+		},
+	}
+}

@@ -1,0 +1,158 @@
+package ingress
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+)
+
+func newNet(t *testing.T) (*sim.Engine, *vhttp.Net) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	return eng, vhttp.NewNet(netsim.New(eng))
+}
+
+func backend(net *vhttp.Net, host string, port int, body string, up *bool) {
+	net.Listen(host, port, vhttp.ServiceFunc(func(p *sim.Proc, r *vhttp.Request) *vhttp.Response {
+		return vhttp.Text(200, body)
+	}), vhttp.ListenOptions{Up: func() bool { return up == nil || *up }})
+}
+
+func get(eng *sim.Engine, net *vhttp.Net, from, url string) (status int, body string) {
+	eng.Go("probe", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: from}
+		resp, err := c.Get(p, url)
+		if err != nil {
+			status = -1
+			body = err.Error()
+			return
+		}
+		status, body = resp.Status, string(resp.Body)
+	})
+	eng.RunFor(time.Second)
+	return status, body
+}
+
+func TestSSHTunnel(t *testing.T) {
+	eng, net := newNet(t)
+	backend(net, "hops15", 8000, "vllm says hi", nil)
+	tun := &SSHTunnel{
+		Net: net, LocalHost: "laptop", LocalPort: 8000,
+		LoginHost: "hops-login1", TargetHost: "hops15", TargetPort: 8000,
+	}
+	if err := tun.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tun.CommandLine(); got != "ssh -L 8000:hops15:8000 -N -f hops-login1" {
+		t.Fatalf("cmdline = %q", got)
+	}
+	status, body := get(eng, net, "laptop", "http://laptop:8000/v1/models")
+	if status != 200 || body != "vllm says hi" {
+		t.Fatalf("status=%d body=%q", status, body)
+	}
+	// Double open on the same port fails.
+	tun2 := *tun
+	if err := tun2.Open(); err == nil {
+		t.Fatal("port collision should fail")
+	}
+	tun.Close()
+	if status, _ := get(eng, net, "laptop", "http://laptop:8000/"); status != -1 {
+		t.Fatalf("tunnel still forwarding after close: %d", status)
+	}
+}
+
+func TestSSHTunnelBackendDown(t *testing.T) {
+	eng, net := newNet(t)
+	up := true
+	backend(net, "hops15", 8000, "x", &up)
+	tun := &SSHTunnel{Net: net, LocalHost: "laptop", LocalPort: 9000, LoginHost: "login", TargetHost: "hops15", TargetPort: 8000}
+	tun.Open()
+	up = false
+	status, body := get(eng, net, "laptop", "http://laptop:9000/")
+	if status != 502 || !strings.Contains(body, "connect failed") {
+		t.Fatalf("status=%d body=%q", status, body)
+	}
+}
+
+func TestCaLRouting(t *testing.T) {
+	eng, net := newNet(t)
+	backend(net, "hops15", 8000, "scout", nil)
+	backend(net, "hops22", 8000, "llama405b", nil)
+	cal := NewCaL(net, "hops-gw.example.gov")
+	if err := cal.AddRoute(Route{ExternalPort: 10080, TargetHost: "hops15", TargetPort: 8000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.AddRoute(Route{ExternalPort: 10081, TargetHost: "hops22", TargetPort: 8000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cal.AddRoute(Route{ExternalPort: 10080, TargetHost: "x", TargetPort: 1}); err == nil {
+		t.Fatal("duplicate port should fail")
+	}
+	if _, body := get(eng, net, "user", "http://hops-gw.example.gov:10080/"); body != "scout" {
+		t.Fatalf("route 10080 = %q", body)
+	}
+	if _, body := get(eng, net, "user", "http://hops-gw.example.gov:10081/"); body != "llama405b" {
+		t.Fatalf("route 10081 = %q", body)
+	}
+	// User retargets their route to a new node without operator help.
+	if err := cal.Retarget(10080, "hops22", 8000); err != nil {
+		t.Fatal(err)
+	}
+	if _, body := get(eng, net, "user", "http://hops-gw.example.gov:10080/"); body != "llama405b" {
+		t.Fatalf("after retarget = %q", body)
+	}
+	cal.RemoveRoute(10081)
+	if status, _ := get(eng, net, "user", "http://hops-gw.example.gov:10081/"); status != -1 {
+		t.Fatal("removed route still listening")
+	}
+}
+
+func TestCaLBadGatewayWhenServiceDies(t *testing.T) {
+	eng, net := newNet(t)
+	up := true
+	backend(net, "hops15", 8000, "scout", &up)
+	cal := NewCaL(net, "gw")
+	cal.AddRoute(Route{ExternalPort: 10080, TargetHost: "hops15", TargetPort: 8000})
+	up = false
+	status, body := get(eng, net, "user", "http://gw:10080/")
+	if status != 502 || !strings.Contains(body, "Bad Gateway") {
+		t.Fatalf("status=%d body=%q", status, body)
+	}
+}
+
+func TestCronRestarterRecoversService(t *testing.T) {
+	eng, net := newNet(t)
+	up := true
+	backend(net, "hops15", 8000, "scout", &up)
+	cr := &CronRestarter{
+		Net: net, From: "hops-login1",
+		HealthURL: "http://hops15:8000/health",
+		Interval:  5 * time.Minute,
+		Redeploy: func(p *sim.Proc) error {
+			p.Sleep(2 * time.Minute) // redeploy takes time
+			up = true
+			return nil
+		},
+	}
+	cr.Start(eng)
+	// Service dies at t=12min; the cron notices at the 15min poll and
+	// restores by ~17min.
+	eng.Schedule(12*time.Minute, func() { up = false })
+	eng.RunUntil(sim.Epoch.Add(14 * time.Minute))
+	if up {
+		t.Fatal("service should still be down before the poll")
+	}
+	eng.RunUntil(sim.Epoch.Add(20 * time.Minute))
+	if !up || cr.Restarts != 1 {
+		t.Fatalf("up=%v restarts=%d", up, cr.Restarts)
+	}
+	cr.Stop()
+	eng.RunUntil(sim.Epoch.Add(2 * time.Hour))
+	if cr.Restarts != 1 {
+		t.Fatal("restarter kept acting after Stop")
+	}
+}

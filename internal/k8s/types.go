@@ -1,0 +1,242 @@
+// Package k8s simulates a Kubernetes cluster in the style of the paper's
+// OpenShift platforms (Goodall, CEE): a declarative object store with
+// watches, a Deployment controller, a GPU-aware scheduler, per-node kubelets
+// that pull images and run containers with CRI semantics, services with
+// endpoint tracking, ingress routing with automatic re-targeting, and
+// dynamically provisioned persistent volumes.
+//
+// The control loop behaviours the paper relies on are first-class: when a
+// vLLM container crashes or a node drains, the pod is restarted or replaced
+// and ingress routes update without operator action (§3.3).
+package k8s
+
+import (
+	"fmt"
+
+	"repro/internal/fsim"
+)
+
+// ObjectMeta is shared object metadata.
+type ObjectMeta struct {
+	Name      string            `yaml:"name"`
+	Namespace string            `yaml:"namespace"`
+	Labels    map[string]string `yaml:"labels"`
+}
+
+// NamespacedName keys an object within a kind.
+func (m ObjectMeta) NamespacedName() string {
+	ns := m.Namespace
+	if ns == "" {
+		ns = "default"
+	}
+	return ns + "/" + m.Name
+}
+
+// EnvVar is one container environment entry.
+type EnvVar struct {
+	Name  string `yaml:"name"`
+	Value string `yaml:"value"`
+}
+
+// ContainerPort declares a served port.
+type ContainerPort struct {
+	ContainerPort int `yaml:"containerPort"`
+}
+
+// ResourceRequirements carries limits; the only schedulable extended
+// resources in this simulation are GPUs (nvidia.com/gpu, amd.com/gpu).
+type ResourceRequirements struct {
+	Limits map[string]string `yaml:"limits"`
+}
+
+// GPURequest extracts the GPU count and vendor resource name from limits.
+func (r ResourceRequirements) GPURequest() (resource string, count int) {
+	for _, res := range []string{"nvidia.com/gpu", "amd.com/gpu", "gpu.intel.com/i915"} {
+		if v, ok := r.Limits[res]; ok {
+			fmt.Sscanf(v, "%d", &count)
+			return res, count
+		}
+	}
+	return "", 0
+}
+
+// VolumeMount binds a pod volume into a container path.
+type VolumeMount struct {
+	Name      string `yaml:"name"`
+	MountPath string `yaml:"mountPath"`
+	ReadOnly  bool   `yaml:"readOnly"`
+}
+
+// Container is one container in a pod.
+type Container struct {
+	Name         string               `yaml:"name"`
+	Image        string               `yaml:"image"`
+	Command      []string             `yaml:"command"`
+	Args         []string             `yaml:"args"`
+	Env          []EnvVar             `yaml:"env"`
+	Ports        []ContainerPort      `yaml:"ports"`
+	Resources    ResourceRequirements `yaml:"resources"`
+	VolumeMounts []VolumeMount        `yaml:"volumeMounts"`
+}
+
+// EnvMap converts Env to a map.
+func (c Container) EnvMap() map[string]string {
+	m := map[string]string{}
+	for _, e := range c.Env {
+		m[e.Name] = e.Value
+	}
+	return m
+}
+
+// Volume declares a pod volume source.
+type Volume struct {
+	Name                  string     `yaml:"name"`
+	EmptyDir              *struct{}  `yaml:"emptyDir"`
+	PersistentVolumeClaim *PVCSource `yaml:"persistentVolumeClaim"`
+}
+
+// PVCSource references a claim.
+type PVCSource struct {
+	ClaimName string `yaml:"claimName"`
+}
+
+// PodSpec is the pod's desired state.
+type PodSpec struct {
+	Containers     []Container       `yaml:"containers"`
+	InitContainers []Container       `yaml:"initContainers"`
+	NodeSelector   map[string]string `yaml:"nodeSelector"`
+	Volumes        []Volume          `yaml:"volumes"`
+	RestartPolicy  string            `yaml:"restartPolicy"` // Always (default) | Never
+}
+
+// PodPhase is the pod lifecycle phase.
+type PodPhase string
+
+const (
+	PodPending   PodPhase = "Pending"
+	PodRunning   PodPhase = "Running"
+	PodSucceeded PodPhase = "Succeeded"
+	PodFailed    PodPhase = "Failed"
+)
+
+// PodStatus is the observed state.
+type PodStatus struct {
+	Phase    PodPhase
+	NodeName string
+	PodIP    string // virtual hostname programs listen on
+	Ready    bool
+	Restarts int
+	Message  string
+}
+
+// Pod is the schedulable unit.
+type Pod struct {
+	Meta   ObjectMeta `yaml:"metadata"`
+	Spec   PodSpec    `yaml:"spec"`
+	Status PodStatus  `yaml:"-"`
+}
+
+// PodTemplate is a pod stamped out by a controller.
+type PodTemplate struct {
+	Meta ObjectMeta `yaml:"metadata"`
+	Spec PodSpec    `yaml:"spec"`
+}
+
+// DeploymentSpec declares replicas of a template.
+type DeploymentSpec struct {
+	Replicas int `yaml:"replicas"`
+	Selector struct {
+		MatchLabels map[string]string `yaml:"matchLabels"`
+	} `yaml:"selector"`
+	Template PodTemplate `yaml:"template"`
+}
+
+// Deployment manages identical pods.
+type Deployment struct {
+	Meta ObjectMeta     `yaml:"metadata"`
+	Spec DeploymentSpec `yaml:"spec"`
+}
+
+// ServicePort maps a service port to pod targets.
+type ServicePort struct {
+	Port       int `yaml:"port"`
+	TargetPort int `yaml:"targetPort"`
+}
+
+// ServiceSpec selects backend pods.
+type ServiceSpec struct {
+	Selector map[string]string `yaml:"selector"`
+	Ports    []ServicePort     `yaml:"ports"`
+}
+
+// Service is a stable virtual endpoint over ready pods.
+type Service struct {
+	Meta ObjectMeta  `yaml:"metadata"`
+	Spec ServiceSpec `yaml:"spec"`
+}
+
+// Endpoints is the controller-maintained ready-backend list.
+type Endpoints struct {
+	Meta      ObjectMeta
+	Addresses []string // pod IPs
+	Port      int
+}
+
+// IngressSpec routes an external host to a service.
+type IngressSpec struct {
+	Host        string `yaml:"host"`
+	ServiceName string `yaml:"serviceName"`
+	ServicePort int    `yaml:"servicePort"`
+}
+
+// Ingress exposes a service at an external URL.
+type Ingress struct {
+	Meta ObjectMeta  `yaml:"metadata"`
+	Spec IngressSpec `yaml:"spec"`
+}
+
+// PVCSpec requests storage.
+type PVCSpec struct {
+	StorageClassName string `yaml:"storageClassName"`
+	Resources        struct {
+		Requests map[string]string `yaml:"requests"`
+	} `yaml:"resources"`
+}
+
+// PVCPhase tracks claim binding.
+type PVCPhase string
+
+const (
+	ClaimPending PVCPhase = "Pending"
+	ClaimBound   PVCPhase = "Bound"
+)
+
+// PersistentVolumeClaim requests a volume.
+type PersistentVolumeClaim struct {
+	Meta   ObjectMeta `yaml:"metadata"`
+	Spec   PVCSpec    `yaml:"spec"`
+	Status struct {
+		Phase      PVCPhase
+		VolumeName string
+	} `yaml:"-"`
+}
+
+// PersistentVolume is provisioned storage backed by a simulated filesystem.
+type PersistentVolume struct {
+	Meta     ObjectMeta
+	Capacity int64
+	Class    string
+	FS       *fsim.FS
+	ClaimRef string
+}
+
+// Kind names for the object store.
+const (
+	KindPod        = "Pod"
+	KindDeployment = "Deployment"
+	KindService    = "Service"
+	KindEndpoints  = "Endpoints"
+	KindIngress    = "Ingress"
+	KindPVC        = "PersistentVolumeClaim"
+	KindPV         = "PersistentVolume"
+)

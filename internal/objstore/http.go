@@ -1,0 +1,155 @@
+package objstore
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+)
+
+// REST façade: the S3 API subset the workflow needs, served over vhttp.
+//
+//	PUT    /{bucket}/{key}   upload (x-amz-meta-*, checksum headers honored)
+//	GET    /{bucket}/{key}   download
+//	HEAD   /{bucket}/{key}   metadata probe
+//	DELETE /{bucket}/{key}   delete
+//	GET    /{bucket}?prefix= list (ListBucketResult XML)
+//	PUT    /{bucket}         create bucket
+
+// listBucketResult mirrors S3's ListObjectsV2 XML document.
+type listBucketResult struct {
+	XMLName  xml.Name     `xml:"ListBucketResult"`
+	Name     string       `xml:"Name"`
+	Prefix   string       `xml:"Prefix"`
+	KeyCount int          `xml:"KeyCount"`
+	Contents []xmlContent `xml:"Contents"`
+}
+
+type xmlContent struct {
+	Key          string `xml:"Key"`
+	Size         int64  `xml:"Size"`
+	ETag         string `xml:"ETag"`
+	LastModified string `xml:"LastModified"`
+}
+
+type errorResult struct {
+	XMLName xml.Name `xml:"Error"`
+	Code    string   `xml:"Code"`
+	Message string   `xml:"Message"`
+}
+
+func xmlError(status int, code, msg string) *vhttp.Response {
+	body, _ := xml.Marshal(errorResult{Code: code, Message: msg})
+	return &vhttp.Response{Status: status, Body: body, Header: map[string]string{"Content-Type": "application/xml"}}
+}
+
+// Serve implements vhttp.Service.
+func (s *Server) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+	// Authentication: all requests must present a known key pair.
+	access := req.Header["X-Amz-Access-Key"]
+	secret := req.Header["X-Amz-Secret-Key"]
+	if !s.authOK(access, secret) {
+		return xmlError(403, "AccessDenied", "invalid credentials")
+	}
+	// The checksum negotiation quirk (§3.1): older server implementations
+	// reject the new SDK default integrity headers.
+	if s.LegacyChecksums && req.Header["X-Amz-Sdk-Checksum-Algorithm"] != "" {
+		return xmlError(400, "InvalidRequest",
+			"checksum algorithm not supported by this S3 implementation; "+
+				"set AWS_REQUEST_CHECKSUM_CALCULATION=when_required")
+	}
+
+	parts := strings.SplitN(strings.TrimPrefix(req.Path, "/"), "/", 2)
+	bucketName := parts[0]
+	key := ""
+	if len(parts) > 1 {
+		key = parts[1]
+	}
+	if bucketName == "" {
+		return xmlError(400, "InvalidRequest", "missing bucket")
+	}
+
+	switch {
+	case req.Method == "PUT" && key == "":
+		s.CreateBucket(bucketName)
+		return &vhttp.Response{Status: 200}
+
+	case req.Method == "GET" && key == "":
+		prefix := req.Query.Get("prefix")
+		infos, err := s.List(bucketName, prefix)
+		if err != nil {
+			return xmlError(404, "NoSuchBucket", bucketName)
+		}
+		res := listBucketResult{Name: bucketName, Prefix: prefix, KeyCount: len(infos)}
+		for _, o := range infos {
+			res.Contents = append(res.Contents, xmlContent{
+				Key: o.Key, Size: o.Size, ETag: `"` + o.ETag + `"`,
+				LastModified: o.LastModified.UTC().Format(time.RFC3339),
+			})
+		}
+		body, _ := xml.MarshalIndent(res, "", "  ")
+		return &vhttp.Response{Status: 200, Body: body, Header: map[string]string{"Content-Type": "application/xml"}}
+
+	case req.Method == "PUT":
+		size := req.BodyBytes()
+		if v := req.Header["X-Amz-Decoded-Content-Length"]; v != "" {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				size = n
+			}
+		}
+		meta := map[string]string{}
+		for k, v := range req.Header {
+			if strings.HasPrefix(strings.ToLower(k), "x-amz-meta-") {
+				meta[strings.ToLower(k)] = v
+			}
+		}
+		var content []byte
+		if len(req.Body) > 0 {
+			content = req.Body
+		}
+		obj, err := s.Put(bucketName, key, size, content, meta)
+		if err != nil {
+			return xmlError(404, "NoSuchBucket", bucketName)
+		}
+		return &vhttp.Response{Status: 200, Header: map[string]string{"ETag": `"` + obj.ETag + `"`}}
+
+	case req.Method == "GET":
+		obj, err := s.Get(bucketName, key)
+		if err != nil {
+			if strings.Contains(err.Error(), "NoSuchBucket") {
+				return xmlError(404, "NoSuchBucket", bucketName)
+			}
+			return xmlError(404, "NoSuchKey", key)
+		}
+		return &vhttp.Response{
+			Status: 200,
+			Body:   obj.Content,
+			Size:   obj.Size,
+			Header: map[string]string{
+				"ETag":           `"` + obj.ETag + `"`,
+				"Content-Length": fmt.Sprintf("%d", obj.Size),
+			},
+		}
+
+	case req.Method == "HEAD":
+		obj, err := s.Get(bucketName, key)
+		if err != nil {
+			return &vhttp.Response{Status: 404}
+		}
+		return &vhttp.Response{Status: 200, Header: map[string]string{
+			"ETag":           `"` + obj.ETag + `"`,
+			"Content-Length": fmt.Sprintf("%d", obj.Size),
+		}}
+
+	case req.Method == "DELETE":
+		if err := s.Delete(bucketName, key); err != nil {
+			return xmlError(404, "NoSuchBucket", bucketName)
+		}
+		return &vhttp.Response{Status: 204}
+	}
+	return xmlError(405, "MethodNotAllowed", req.Method)
+}

@@ -1,0 +1,114 @@
+package oci
+
+// Catalog builds the container images the paper's case study uses. Layer
+// sizes approximate the public images: the CUDA vLLM image is ~10 GiB
+// compressed across a dozen layers, the ROCm build is larger, and the utility
+// images (alpine/git, amazon/aws-cli) are small.
+func Catalog() []*Image {
+	gib := int64(1) << 30
+	mib := int64(1) << 20
+
+	vllmCuda := &Image{
+		Repository: "vllm/vllm-openai",
+		Tag:        "v0.9.1",
+		Arch:       "cuda",
+		Layers: []Layer{
+			NewLayer("ubuntu-base", 80*mib),
+			NewLayer("cuda-runtime", 3*gib),
+			NewLayer("cudnn-nccl", 2*gib),
+			NewLayer("torch-cu124", 3*gib),
+			NewLayer("vllm-wheel", 1*gib),
+			NewLayer("flash-attn", 600*mib),
+			NewLayer("python-deps", 900*mib),
+			NewLayer("entrypoint", 1*mib),
+		},
+		Config: Config{
+			Env: map[string]string{
+				"PATH":    "/usr/local/bin:/usr/bin",
+				"HF_HOME": "/root/.cache/huggingface",
+			},
+			Entrypoint: []string{"python3", "-m", "vllm.entrypoints.openai.api_server"},
+			WorkingDir: "/vllm-workspace",
+			User:       "", // expects root inside an isolated container
+			Labels: map[string]string{
+				"org.opencontainers.image.title": "vLLM OpenAI-compatible server",
+				"ai.accelerator":                 "cuda",
+			},
+		},
+	}
+
+	vllmRocm := &Image{
+		Repository: "rocm/vllm",
+		Tag:        "rocm6.4.1_vllm_0.9.1_20250702",
+		Arch:       "rocm",
+		Layers: []Layer{
+			NewLayer("ubuntu-base", 80*mib),
+			NewLayer("rocm-runtime", 8*gib),
+			NewLayer("rccl-hipblas", 3*gib),
+			NewLayer("torch-rocm", 4*gib),
+			NewLayer("vllm-rocm-wheel", 1*gib),
+			NewLayer("python-deps", 900*mib),
+			NewLayer("entrypoint", 1*mib),
+		},
+		Config: Config{
+			Env: map[string]string{
+				"PATH":    "/usr/local/bin:/usr/bin",
+				"HF_HOME": "/root/.cache/huggingface",
+			},
+			Entrypoint: []string{"python3", "-m", "vllm.entrypoints.openai.api_server"},
+			WorkingDir: "/vllm-workspace",
+			User:       "",
+			Labels: map[string]string{
+				"org.opencontainers.image.title": "vLLM ROCm build",
+				"ai.accelerator":                 "rocm",
+			},
+		},
+	}
+
+	alpineGit := &Image{
+		Repository: "alpine/git",
+		Tag:        "latest",
+		Arch:       "cpu",
+		Layers: []Layer{
+			NewLayer("alpine-base", 8*mib),
+			NewLayer("git", 30*mib),
+		},
+		Config: Config{
+			Entrypoint: []string{"git"},
+			WorkingDir: "/git",
+			Labels:     map[string]string{"org.opencontainers.image.title": "alpine git"},
+		},
+	}
+
+	awsCli := &Image{
+		Repository: "amazon/aws-cli",
+		Tag:        "latest",
+		Arch:       "cpu",
+		Layers: []Layer{
+			NewLayer("al2023-base", 150*mib),
+			NewLayer("awscli-v2", 250*mib),
+		},
+		Config: Config{
+			Entrypoint: []string{"aws"},
+			WorkingDir: "/aws",
+			Labels:     map[string]string{"org.opencontainers.image.title": "AWS CLI"},
+		},
+	}
+
+	benchImage := &Image{
+		Repository: "vllm/vllm-bench",
+		Tag:        "v0.9.1",
+		Arch:       "cpu",
+		Layers: []Layer{
+			NewLayer("python-base", 120*mib),
+			NewLayer("bench-scripts", 20*mib),
+		},
+		Config: Config{
+			Entrypoint: []string{"python3", "/app/vllm/benchmarks/benchmark_serving.py"},
+			WorkingDir: "/vllm-workspace",
+			Labels:     map[string]string{"org.opencontainers.image.title": "vLLM serving benchmark"},
+		},
+	}
+
+	return []*Image{vllmCuda, vllmRocm, alpineGit, awsCli, benchImage}
+}

@@ -1,0 +1,248 @@
+// Package ray simulates the Ray distributed substrate vLLM uses for
+// multi-node inference (§3.5): a head node with a global control store
+// (GCS) tracking joined workers and their GPUs, placement-group-style
+// capacity queries, worker-loss propagation, and the container bootstrap
+// program matching the paper's run-cluster.sh flow (Fig 11) — one vLLM
+// container per node starting ray head/worker, then `vllm serve` exec'd
+// inside the head container.
+package ray
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cruntime"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/vllm"
+)
+
+// member is one joined ray node.
+type member struct {
+	node *hw.Node
+	gpus []*hw.GPU
+	ctx  *cruntime.ExecContext
+}
+
+// Cluster is one Ray cluster instance.
+type Cluster struct {
+	eng  *sim.Engine
+	Name string
+
+	head    *member
+	workers map[string]*member
+
+	ready        *sim.Signal // fires when head + expected workers joined
+	expected     int
+	onWorkerLost []func(error)
+	lost         bool
+}
+
+// NewCluster creates an empty cluster expecting expectNodes members
+// (head included).
+func NewCluster(eng *sim.Engine, name string, expectNodes int) *Cluster {
+	return &Cluster{
+		eng: eng, Name: name,
+		workers:  make(map[string]*member),
+		ready:    eng.NewSignal(),
+		expected: expectNodes,
+	}
+}
+
+// Ready fires once the head and all expected workers have joined.
+func (c *Cluster) Ready() *sim.Signal { return c.ready }
+
+// Members returns the number of joined nodes.
+func (c *Cluster) Members() int {
+	n := len(c.workers)
+	if c.head != nil {
+		n++
+	}
+	return n
+}
+
+// TotalGPUs implements vllm.RayHandle.
+func (c *Cluster) TotalGPUs() int {
+	n := 0
+	if c.head != nil {
+		n += len(c.head.gpus)
+	}
+	for _, w := range c.workers {
+		n += len(w.gpus)
+	}
+	return n
+}
+
+// GPUsPerNode implements vllm.RayHandle.
+func (c *Cluster) GPUsPerNode() int {
+	if c.head == nil {
+		return 0
+	}
+	return len(c.head.gpus)
+}
+
+// GPUModel implements vllm.RayHandle.
+func (c *Cluster) GPUModel() (hw.GPUModel, bool) {
+	if c.head == nil || len(c.head.gpus) == 0 {
+		return hw.GPUModel{}, false
+	}
+	return c.head.gpus[0].Model, true
+}
+
+// OnWorkerLost implements vllm.RayHandle.
+func (c *Cluster) OnWorkerLost(fn func(error)) { c.onWorkerLost = append(c.onWorkerLost, fn) }
+
+func (c *Cluster) join(role string, ctx *cruntime.ExecContext) error {
+	m := &member{node: ctx.Node, gpus: ctx.GPUs, ctx: ctx}
+	switch role {
+	case "head":
+		if c.head != nil {
+			return fmt.Errorf("ray: cluster %s already has a head (%s)", c.Name, c.head.node.Name)
+		}
+		c.head = m
+	case "worker":
+		c.workers[ctx.Node.Name] = m
+	default:
+		return fmt.Errorf("ray: unknown role %q", role)
+	}
+	if c.Members() >= c.expected {
+		c.ready.Fire()
+	}
+	return nil
+}
+
+// LoseWorker simulates a node/container loss; the engine watching the
+// cluster crashes (the Fig 12 failure mode).
+func (c *Cluster) LoseWorker(nodeName string, err error) {
+	if _, ok := c.workers[nodeName]; !ok {
+		if c.head == nil || c.head.node.Name != nodeName {
+			return
+		}
+		c.head = nil
+	} else {
+		delete(c.workers, nodeName)
+	}
+	if c.lost {
+		return
+	}
+	c.lost = true
+	for _, fn := range c.onWorkerLost {
+		fn(fmt.Errorf("ray: node %s died: %w", nodeName, err))
+	}
+}
+
+// ExecServe runs `vllm serve` inside the head container (the paper's
+// "exec into one of the vLLM containers and start the vLLM server"). It
+// blocks until the server is ready or fails, returning the program handle
+// so callers can reach the engine for fault injection and metrics.
+func (c *Cluster) ExecServe(p *sim.Proc, hubHost string, serveArgs []string) (*vllm.ServerProgram, error) {
+	if c.head == nil {
+		return nil, fmt.Errorf("ray: cluster %s has no head node", c.Name)
+	}
+	headCtx := c.head.ctx
+	execCtx := *headCtx // copy; shares node/GPUs/mounts/env
+	execCtx.Entrypoint = []string{"vllm"}
+	execCtx.Args = append([]string{"serve"}, serveArgs...)
+	if execCtx.Props == nil {
+		execCtx.Props = map[string]any{}
+	} else {
+		props := make(map[string]any, len(execCtx.Props))
+		for k, v := range execCtx.Props {
+			props[k] = v
+		}
+		execCtx.Props = props
+	}
+	execCtx.Props["ray.cluster"] = c
+
+	sp := &vllm.ServerProgram{HubHost: hubHost}
+	done := c.eng.NewSignal()
+	var runErr error
+	c.eng.Go("ray-exec-serve", func(ep *sim.Proc) {
+		ec := execCtx
+		ec.Proc = ep
+		runErr = sp.Run(&ec)
+		done.Fire()
+	})
+	// Wait for readiness (server up) or early exit (startup failure).
+	for {
+		if sp.Engine != nil {
+			if crashed, _ := sp.Engine.Crashed(); !crashed {
+				// Ready once the API is listening; ServerProgram sets the
+				// container ready flag, mirrored here by Engine existence.
+				return sp, nil
+			}
+		}
+		if done.Fired() {
+			if runErr != nil {
+				return nil, runErr
+			}
+			return sp, nil
+		}
+		p.Sleep(5 * time.Second)
+	}
+}
+
+// BootstrapProgram is the run-cluster.sh behaviour inside the vLLM image:
+// `--head` starts the GCS and registers the node, `--worker` joins the head.
+// The container stays resident (the Ray runtime) until killed; an unexpected
+// exit is a worker loss.
+type BootstrapProgram struct {
+	// Serve delegates non-bootstrap invocations (plain `vllm serve ...`)
+	// to the API server program, so one image serves both roles.
+	Serve *vllm.ServerProgram
+}
+
+// NewDispatchFactory returns a program factory for the vLLM images that
+// routes `run-cluster.sh --head/--worker` to Ray bootstrap and everything
+// else to the normal server program.
+func NewDispatchFactory(hubHost string) func() cruntime.Program {
+	return func() cruntime.Program {
+		return &BootstrapProgram{Serve: &vllm.ServerProgram{HubHost: hubHost}}
+	}
+}
+
+// Run implements cruntime.Program.
+func (b *BootstrapProgram) Run(ctx *cruntime.ExecContext) error {
+	isBootstrap := len(ctx.Entrypoint) > 0 && ctx.Entrypoint[0] == "run-cluster.sh"
+	if !isBootstrap {
+		for _, a := range ctx.Args {
+			if a == "--head" || a == "--worker" {
+				isBootstrap = true
+			}
+		}
+	}
+	if !isBootstrap {
+		return b.Serve.Run(ctx)
+	}
+	cluster, _ := ctx.Props["ray.cluster"].(*Cluster)
+	if cluster == nil {
+		return fmt.Errorf("run-cluster.sh: no ray cluster configured (missing Props)")
+	}
+	role := "worker"
+	args := append(append([]string{}, ctx.Entrypoint...), ctx.Args...)
+	for _, a := range args {
+		if a == "--head" {
+			role = "head"
+		}
+	}
+	if !ctx.GPUVisible || len(ctx.GPUs) == 0 {
+		return fmt.Errorf("run-cluster.sh: no GPUs visible to the Ray runtime")
+	}
+	// GCS handshake latency.
+	ctx.Proc.Sleep(3 * time.Second)
+	if err := cluster.join(role, ctx); err != nil {
+		return err
+	}
+	ctx.Logf("ray %s started on %s with %d GPUs", role, ctx.Node.Name, len(ctx.GPUs))
+	ctx.SetReady(true)
+	defer func() {
+		// Reaching here means the container is exiting; if the cluster is
+		// still serving, that is a worker loss.
+		cluster.LoseWorker(ctx.Node.Name, fmt.Errorf("ray runtime exited"))
+	}()
+	ctx.Proc.Sleep(1000 * time.Hour) // resident until killed
+	return nil
+}
+
+var _ cruntime.Program = (*BootstrapProgram)(nil)
+var _ vllm.RayHandle = (*Cluster)(nil)

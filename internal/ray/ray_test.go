@@ -1,0 +1,277 @@
+package ray
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cruntime"
+	"repro/internal/fsim"
+	"repro/internal/hw"
+	"repro/internal/llm"
+	"repro/internal/netsim"
+	"repro/internal/oci"
+	"repro/internal/registry"
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+)
+
+type fixture struct {
+	eng    *sim.Engine
+	fabric *netsim.Fabric
+	net    *vhttp.Net
+	host   *cruntime.Host
+	nodes  []*hw.Node
+	lustre *fsim.FS
+}
+
+func newFixture(t *testing.T, nNodes int) *fixture {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	fabric := netsim.New(eng)
+	net := vhttp.NewNet(fabric)
+	reg := registry.New(fabric, registry.Config{Name: "quay", EgressBW: 1e15})
+	reg.UnpackBW = 0
+	for _, im := range oci.Catalog() {
+		reg.Push(im)
+	}
+	progs := cruntime.NewPrograms()
+	progs.Register("vllm/vllm-openai", NewDispatchFactory("huggingface.co"))
+	host := cruntime.NewHost(eng, net, fabric, progs, reg)
+	var nodes []*hw.Node
+	for i := 0; i < nNodes; i++ {
+		nodes = append(nodes, hw.NewNode(fabric, hw.NodeSpec{
+			Name: fmt.Sprintf("hops%02d", i+1), Cluster: "hops",
+			GPUModel: hw.H100SXM, GPUCount: 4, NICBW: netsim.Gbps(200),
+		}))
+	}
+	lustre := fsim.New(fabric, fsim.Config{Name: "lustre", ReadBW: netsim.GBps(80), Networked: true})
+	return &fixture{eng: eng, fabric: fabric, net: net, host: host, nodes: nodes, lustre: lustre}
+}
+
+func (f *fixture) seed(t *testing.T, model *llm.ModelSpec) {
+	t.Helper()
+	dir := "/models/" + model.Name
+	for _, file := range model.RepoFiles() {
+		if file.Name == "config.json" {
+			f.lustre.WriteContent(dir+"/"+file.Name, []byte(`{"_name_or_path": "`+model.Name+`"}`), time.Time{})
+			continue
+		}
+		f.lustre.WriteMeta(dir+"/"+file.Name, file.Size, time.Time{})
+	}
+}
+
+func (f *fixture) raySpec(role string, head string) cruntime.Spec {
+	return cruntime.Spec{
+		Name:  "vllm-ray-" + role,
+		Image: "vllm/vllm-openai:v0.9.1",
+		Env:   map[string]string{"HF_HUB_OFFLINE": "1", "HF_HOME": "/root/.cache/huggingface"},
+		Mounts: []cruntime.Mount{{
+			FS: f.lustre, HostPath: "/models", CtrPath: "/vllm-workspace/models",
+		}},
+		WorkingDir:  "/vllm-workspace/models",
+		Entrypoint:  []string{"run-cluster.sh"},
+		Args:        []string{"--" + role, head},
+		GPUs:        cruntime.GPURequest{All: true},
+		NetworkHost: true,
+	}
+}
+
+// bootCluster starts one bootstrap container per node and waits for
+// membership.
+func bootCluster(t *testing.T, f *fixture, p *sim.Proc, cluster *Cluster) []*cruntime.Container {
+	t.Helper()
+	pd := &cruntime.Podman{Host: f.host, DeviceGPUs: true}
+	var ctrs []*cruntime.Container
+	for i, node := range f.nodes {
+		role := "worker"
+		if i == 0 {
+			role = "head"
+		}
+		spec := f.raySpec(role, f.nodes[0].Name)
+		spec.Props = map[string]any{"ray.cluster": cluster}
+		ctr, err := pd.Run(p, node, spec)
+		if err != nil {
+			t.Errorf("boot %s: %v", role, err)
+			return nil
+		}
+		ctrs = append(ctrs, ctr)
+	}
+	p.Wait(cluster.Ready())
+	return ctrs
+}
+
+func TestClusterMembershipAndResources(t *testing.T) {
+	f := newFixture(t, 4)
+	cluster := NewCluster(f.eng, "test", 4)
+	var ctrs []*cruntime.Container
+	f.eng.Go("test", func(p *sim.Proc) {
+		ctrs = bootCluster(t, f, p, cluster)
+	})
+	f.eng.RunFor(time.Hour)
+	if cluster.Members() != 4 || cluster.TotalGPUs() != 16 || cluster.GPUsPerNode() != 4 {
+		t.Fatalf("members=%d gpus=%d per-node=%d", cluster.Members(), cluster.TotalGPUs(), cluster.GPUsPerNode())
+	}
+	if m, ok := cluster.GPUModel(); !ok || m.Name != hw.H100SXM.Name {
+		t.Fatalf("gpu model = %v %v", m, ok)
+	}
+	for _, c := range ctrs {
+		if !c.Ready() {
+			t.Fatalf("bootstrap container %s not ready", c.ID)
+		}
+	}
+}
+
+func TestDoubleHeadRejected(t *testing.T) {
+	f := newFixture(t, 2)
+	cluster := NewCluster(f.eng, "test", 2)
+	var second *cruntime.Container
+	f.eng.Go("test", func(p *sim.Proc) {
+		pd := &cruntime.Podman{Host: f.host, DeviceGPUs: true}
+		for i := 0; i < 2; i++ {
+			spec := f.raySpec("head", f.nodes[0].Name)
+			spec.Props = map[string]any{"ray.cluster": cluster}
+			ctr, err := pd.Run(p, f.nodes[i], spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			second = ctr
+			p.Sleep(10 * time.Second)
+		}
+	})
+	f.eng.RunFor(time.Hour)
+	if second.State != cruntime.StateFailed || !strings.Contains(second.ExitErr.Error(), "already has a head") {
+		t.Fatalf("second head: state=%s err=%v", second.State, second.ExitErr)
+	}
+}
+
+func TestExecServeAndWorkerLoss(t *testing.T) {
+	f := newFixture(t, 4)
+	f.seed(t, llm.Llama31405B)
+	cluster := NewCluster(f.eng, "test", 4)
+	var ctrs []*cruntime.Container
+	var serveErr error
+	var sp *serveHandle
+	f.eng.Go("test", func(p *sim.Proc) {
+		ctrs = bootCluster(t, f, p, cluster)
+		prog, err := cluster.ExecServe(p, "huggingface.co", []string{
+			llm.Llama31405B.Name,
+			"--tensor_parallel_size=4", "--pipeline_parallel_size=4",
+			"--max-model-len=32768",
+		})
+		serveErr = err
+		if prog != nil {
+			sp = &serveHandle{prog: prog}
+		}
+	})
+	f.eng.RunFor(3 * time.Hour)
+	if serveErr != nil {
+		t.Fatalf("ExecServe: %v", serveErr)
+	}
+	if sp == nil || sp.prog.Engine == nil {
+		t.Fatal("no engine after serve")
+	}
+	// The API is live on the head node.
+	var status int
+	f.eng.Go("probe", func(p *sim.Proc) {
+		client := &vhttp.Client{Net: f.net, From: "login"}
+		resp, err := client.Get(p, "http://hops01:8000/health")
+		if err == nil {
+			status = resp.Status
+		}
+	})
+	f.eng.RunFor(time.Minute)
+	if status != 200 {
+		t.Fatalf("health = %d", status)
+	}
+	// Worker loss propagates into the engine.
+	cluster.LoseWorker("hops03", errors.New("node reboot"))
+	f.eng.RunFor(time.Minute)
+	if crashed, err := sp.prog.Engine.Crashed(); !crashed || !strings.Contains(err.Error(), "hops03") {
+		t.Fatalf("crashed=%v err=%v", crashed, err)
+	}
+	// Cleanup: stop remaining containers.
+	for _, c := range ctrs {
+		c.Stop()
+	}
+	f.eng.RunFor(time.Minute)
+}
+
+func TestExecServeRequiresEnoughGPUs(t *testing.T) {
+	f := newFixture(t, 2) // only 8 GPUs
+	f.seed(t, llm.Llama31405B)
+	cluster := NewCluster(f.eng, "test", 2)
+	var serveErr error
+	f.eng.Go("test", func(p *sim.Proc) {
+		bootCluster(t, f, p, cluster)
+		_, serveErr = cluster.ExecServe(p, "huggingface.co", []string{
+			llm.Llama31405B.Name, "--tensor_parallel_size=4", "--pipeline_parallel_size=4",
+		})
+	})
+	f.eng.RunFor(time.Hour)
+	if serveErr == nil || !strings.Contains(serveErr.Error(), "placement group") {
+		t.Fatalf("err = %v, want placement-group failure", serveErr)
+	}
+}
+
+func TestExecServeWithoutHead(t *testing.T) {
+	f := newFixture(t, 1)
+	cluster := NewCluster(f.eng, "test", 1)
+	var err error
+	f.eng.Go("test", func(p *sim.Proc) {
+		_, err = cluster.ExecServe(p, "hub", nil)
+	})
+	f.eng.RunFor(time.Minute)
+	if err == nil || !strings.Contains(err.Error(), "no head") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBootstrapWithoutClusterProps(t *testing.T) {
+	f := newFixture(t, 1)
+	var ctr *cruntime.Container
+	f.eng.Go("test", func(p *sim.Proc) {
+		pd := &cruntime.Podman{Host: f.host, DeviceGPUs: true}
+		spec := f.raySpec("head", f.nodes[0].Name) // Props missing
+		var err error
+		ctr, err = pd.Run(p, f.nodes[0], spec)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	f.eng.RunFor(time.Hour)
+	if ctr.State != cruntime.StateFailed || !strings.Contains(ctr.ExitErr.Error(), "no ray cluster") {
+		t.Fatalf("state=%s err=%v", ctr.State, ctr.ExitErr)
+	}
+}
+
+func TestDispatchRoutesPlainServe(t *testing.T) {
+	// Without --head/--worker the dispatch program behaves as the normal
+	// vLLM server (single-node path).
+	f := newFixture(t, 1)
+	f.seed(t, llm.Llama318B)
+	var ctr *cruntime.Container
+	f.eng.Go("test", func(p *sim.Proc) {
+		pd := &cruntime.Podman{Host: f.host, DeviceGPUs: true}
+		spec := f.raySpec("head", "")
+		spec.Entrypoint = []string{"vllm"}
+		spec.Args = []string{"serve", llm.Llama318B.Name, "--tensor_parallel_size=1", "--max-model-len=8192"}
+		var err error
+		ctr, err = pd.Run(p, f.nodes[0], spec)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	f.eng.RunFor(time.Hour)
+	if !ctr.Ready() {
+		t.Fatalf("plain serve not ready: %v (%v)", ctr.ExitErr, ctr.Logs())
+	}
+	ctr.Stop()
+	f.eng.RunFor(time.Minute)
+}
+
+type serveHandle struct{ prog *vllm.ServerProgram }

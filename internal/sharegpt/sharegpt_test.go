@@ -1,0 +1,95 @@
+package sharegpt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSynthesizeMoments(t *testing.T) {
+	d := Synthesize(1, 20000)
+	p, o := d.Means()
+	// benchmark_serving's filtered ShareGPT averages ~220 prompt / ~190
+	// output tokens; the synthetic corpus must land nearby.
+	if p < 190 || p > 250 {
+		t.Fatalf("mean prompt = %.1f, want ~220", p)
+	}
+	if o < 160 || o > 220 {
+		t.Fatalf("mean output = %.1f, want ~190", o)
+	}
+	for _, e := range d.Entries {
+		if e.PromptTokens < 4 || e.PromptTokens > 2048 || e.OutputTokens < 4 || e.OutputTokens > 2048 {
+			t.Fatalf("entry out of clamp range: %+v", e)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(42, 100)
+	b := Synthesize(42, 100)
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := Synthesize(43, 100)
+	same := true
+	for i := range a.Entries {
+		if a.Entries[i] != c.Entries[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSampleWithReplacement(t *testing.T) {
+	d := Synthesize(1, 50)
+	rng := rand.New(rand.NewSource(7))
+	s := d.Sample(rng, 500)
+	if len(s) != 500 {
+		t.Fatalf("sample size = %d", len(s))
+	}
+}
+
+func TestLoadJSON(t *testing.T) {
+	data := []byte(`[
+	  {"id":"c1","conversations":[
+	    {"from":"human","value":"` + makeString(400) + `"},
+	    {"from":"gpt","value":"` + makeString(800) + `"},
+	    {"from":"human","value":"tiny"},
+	    {"from":"gpt","value":"` + makeString(100) + `"}
+	  ]},
+	  {"id":"c2","conversations":[
+	    {"from":"gpt","value":"orphan assistant turn"},
+	    {"from":"human","value":"` + makeString(40) + `"},
+	    {"from":"gpt","value":"` + makeString(60) + `"}
+	  ]}
+	]`)
+	d, err := LoadJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: (400,800) ok; ("tiny"=1 token → filtered); (40,60) ok.
+	if len(d.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2: %+v", len(d.Entries), d.Entries)
+	}
+	if d.Entries[0].PromptTokens != 100 || d.Entries[0].OutputTokens != 200 {
+		t.Fatalf("entry 0 = %+v", d.Entries[0])
+	}
+	if _, err := LoadJSON([]byte(`not json`)); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+	if _, err := LoadJSON([]byte(`[]`)); err == nil {
+		t.Fatal("empty corpus should error")
+	}
+}
+
+func makeString(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = 'a'
+	}
+	return string(b)
+}

@@ -1,0 +1,273 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated subsystems in this repository (networks, filesystems,
+// schedulers, inference engines) advance on a single virtual clock owned by an
+// Engine. Events fire in (time, sequence) order, so two runs with the same
+// seed produce identical histories. Cooperative processes (Proc) layer a
+// synchronous programming style on top of the event loop with strict handoff:
+// at most one process or event handler executes at a time.
+//
+// The engine can run in two modes: Run drains events as fast as possible in
+// virtual time (used by tests and benchmark harnesses), while RunRealtime maps
+// virtual durations onto scaled wall-clock time so the simulated services can
+// be exposed over real sockets (used by cmd/sitesim and the examples).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Epoch is the virtual time at which every new Engine starts. The concrete
+// date is arbitrary; a fixed epoch keeps logs and golden files stable.
+var Epoch = time.Date(2025, 6, 2, 8, 0, 0, 0, time.UTC)
+
+// Timer is a handle to a scheduled event. It may be stopped before it fires.
+type Timer struct {
+	at      time.Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+// Stop cancels the timer. It is a no-op if the timer already fired.
+// It reports whether the call prevented the timer from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index == -1 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// When returns the virtual time at which the timer fires.
+func (t *Timer) When() time.Time { return t.at }
+
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}
+
+// Engine is a discrete-event simulator with a virtual clock.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	mu      sync.Mutex
+	now     time.Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	running bool
+	stopped bool
+
+	injectCh chan struct{} // wakes the realtime runner
+
+	// Trace, when non-nil, receives a line for every event executed.
+	// Intended for debugging; nil in normal operation.
+	Trace func(t time.Time, label string)
+}
+
+// NewEngine returns an engine positioned at Epoch with a deterministic
+// random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		now:      Epoch,
+		rng:      rand.New(rand.NewSource(seed)),
+		injectCh: make(chan struct{}, 1),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Since returns the virtual duration elapsed since t.
+func (e *Engine) Since(t time.Time) time.Duration { return e.Now().Sub(t) }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from event handlers and processes (the engine goroutine).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after d of virtual time. Negative durations are clamped
+// to zero. fn executes on the engine's event loop.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.scheduleLocked(e.now.Add(d), fn)
+}
+
+// At runs fn at virtual time t (clamped to now if t is in the past).
+func (e *Engine) At(t time.Time, fn func()) *Timer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t.Before(e.now) {
+		t = e.now
+	}
+	return e.scheduleLocked(t, fn)
+}
+
+func (e *Engine) scheduleLocked(t time.Time, fn func()) *Timer {
+	e.seq++
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, tm)
+	select {
+	case e.injectCh <- struct{}{}:
+	default:
+	}
+	return tm
+}
+
+// Inject schedules fn at the current virtual time from any goroutine.
+// It is the only safe way for code outside the engine loop (for example a
+// real HTTP handler in realtime mode) to interact with simulated state.
+func (e *Engine) Inject(fn func()) { e.Schedule(0, fn) }
+
+// Stop makes Run and RunRealtime return after the current event completes.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.mu.Unlock()
+	select {
+	case e.injectCh <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes and returns the next runnable event, skipping stopped timers.
+// It returns nil when the queue is empty.
+func (e *Engine) pop() *Timer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) > 0 {
+		tm := heap.Pop(&e.queue).(*Timer)
+		if tm.stopped {
+			continue
+		}
+		e.now = tm.at
+		return tm
+	}
+	return nil
+}
+
+// peekTime returns the time of the next pending event.
+func (e *Engine) peekTime() (time.Time, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) > 0 {
+		if e.queue[0].stopped {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return time.Time{}, false
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	tm := e.pop()
+	if tm == nil {
+		return false
+	}
+	if e.Trace != nil {
+		e.Trace(tm.at, fmt.Sprintf("event #%d", tm.seq))
+	}
+	tm.fn()
+	return true
+}
+
+// Run drains the event queue in virtual time. It returns when no events
+// remain or Stop was called.
+func (e *Engine) Run() {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		panic("sim: Engine.Run called re-entrantly")
+	}
+	e.running = true
+	e.stopped = false
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running = false
+		e.mu.Unlock()
+	}()
+	for {
+		e.mu.Lock()
+		stop := e.stopped
+		e.mu.Unlock()
+		if stop || !e.Step() {
+			return
+		}
+	}
+}
+
+// RunUntil drains events with fire times not after deadline, then advances
+// the clock to deadline.
+func (e *Engine) RunUntil(deadline time.Time) {
+	for {
+		t, ok := e.peekTime()
+		if !ok || t.After(deadline) {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+		e.mu.Lock()
+		stop := e.stopped
+		e.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+	e.mu.Lock()
+	if e.now.Before(deadline) {
+		e.now = deadline
+	}
+	e.mu.Unlock()
+}
+
+// RunFor drains events within d of the current virtual time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.Now().Add(d)) }
+
+// Pending reports how many events are queued (including stopped timers that
+// have not been collected yet). Intended for tests.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}

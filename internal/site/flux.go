@@ -1,0 +1,14 @@
+package site
+
+import (
+	"repro/internal/flux"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// fluxInstance re-exports the flux instance so Site fields read naturally.
+type fluxInstance = flux.Instance
+
+func newFluxInstance(eng *sim.Engine, name string, nodes []*hw.Node) *flux.Instance {
+	return flux.NewInstance(eng, name, nodes)
+}

@@ -1,0 +1,52 @@
+package vhttp
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/sim"
+)
+
+// StdHandler exposes a virtual Service over a real net/http server. The
+// engine must be running in realtime mode (Engine.RunRealtime); each real
+// request is injected into the simulation as a fresh process and the caller
+// blocks until the virtual handler completes.
+func StdHandler(eng *sim.Engine, svc Service, fromHost string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		vreq := &Request{
+			Method: r.Method,
+			URL:    "http://" + r.Host + r.URL.String(),
+			Header: map[string]string{},
+			Body:   body,
+			Host:   r.Host,
+			Path:   r.URL.Path,
+			Query:  r.URL.Query(),
+			From:   fromHost,
+		}
+		for k := range r.Header {
+			vreq.Header[k] = r.Header.Get(k)
+		}
+		respCh := make(chan *Response, 1)
+		eng.Inject(func() {
+			eng.Go("std-http", func(p *sim.Proc) {
+				respCh <- svc.Serve(p, vreq)
+			})
+		})
+		resp := <-respCh
+		if resp == nil {
+			resp = Text(500, "nil response")
+		}
+		for k, v := range resp.Header {
+			w.Header().Set(k, v)
+		}
+		w.WriteHeader(resp.Status)
+		if _, err := w.Write(resp.Body); err != nil {
+			return
+		}
+	})
+}

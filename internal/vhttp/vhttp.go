@@ -1,0 +1,279 @@
+// Package vhttp is a virtual HTTP substrate for the simulation.
+//
+// Services (the S3 server, vLLM's OpenAI API, the CaL NGINX proxy, the
+// Kubernetes ingress) register on host:port endpoints. Clients issue requests
+// from a named host; the request and response bodies are charged against the
+// netsim route between the two hosts, so large transfers (model downloads,
+// S3 syncs) take realistic virtual time while small API calls cost only
+// latency. Handlers run on the calling process, which serializes service work
+// onto the caller's timeline; true contention is modeled by the links and by
+// the simulated engines behind the services.
+//
+// Adapters expose the same Service values over real net/http sockets when the
+// engine runs in realtime mode (cmd/sitesim), so `curl` against the simulated
+// site works exactly as in the paper's Figure 7.
+package vhttp
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Request is a virtual HTTP request.
+type Request struct {
+	Method string
+	URL    string // absolute: http://host:port/path?query
+	Header map[string]string
+	Body   []byte // literal body for small payloads
+	Size   int64  // simulated body size; effective size is max(len(Body), Size)
+
+	// parsed fields, populated by Client.Do / adapters
+	Host  string
+	Path  string
+	Query url.Values
+
+	// From identifies the client host (set by Client.Do).
+	From string
+}
+
+// BodyBytes returns the effective body size used for bandwidth accounting.
+func (r *Request) BodyBytes() int64 {
+	if int64(len(r.Body)) > r.Size {
+		return int64(len(r.Body))
+	}
+	return r.Size
+}
+
+// Response is a virtual HTTP response.
+type Response struct {
+	Status int
+	Header map[string]string
+	Body   []byte
+	Size   int64
+}
+
+// BodyBytes returns the effective body size used for bandwidth accounting.
+func (r *Response) BodyBytes() int64 {
+	if int64(len(r.Body)) > r.Size {
+		return int64(len(r.Body))
+	}
+	return r.Size
+}
+
+// SetHeader sets a response header, allocating the map when needed.
+func (r *Response) SetHeader(k, v string) {
+	if r.Header == nil {
+		r.Header = map[string]string{}
+	}
+	r.Header[k] = v
+}
+
+// Text builds a plain-text response.
+func Text(status int, body string) *Response {
+	return &Response{Status: status, Body: []byte(body), Header: map[string]string{"Content-Type": "text/plain"}}
+}
+
+// JSON builds an application/json response from pre-encoded bytes.
+func JSON(status int, body []byte) *Response {
+	return &Response{Status: status, Body: body, Header: map[string]string{"Content-Type": "application/json"}}
+}
+
+// Service handles virtual requests. Serve runs on the caller's process and
+// may sleep, issue nested requests, or wait on signals.
+type Service interface {
+	Serve(p *sim.Proc, req *Request) *Response
+}
+
+// ServiceFunc adapts a function to the Service interface.
+type ServiceFunc func(p *sim.Proc, req *Request) *Response
+
+// Serve implements Service.
+func (f ServiceFunc) Serve(p *sim.Proc, req *Request) *Response { return f(p, req) }
+
+// endpoint is one listening socket.
+type endpoint struct {
+	svc Service
+	up  func() bool
+}
+
+// Net is the virtual network namespace: listeners, host aliases, and the
+// topology callback that yields the link route between two hosts.
+type Net struct {
+	fabric    *netsim.Fabric
+	endpoints map[string]*endpoint
+	aliases   map[string]string
+	// RouteFn returns the netsim links between client and server hosts.
+	// nil or empty results mean an un-metered (instant) path.
+	RouteFn func(from, to string) []*netsim.Link
+	// ReachFn, when non-nil, gates connectivity (firewalls, air gaps).
+	// It receives the client host and the *original* target hostname
+	// (before alias resolution), e.g. ("hops15", "huggingface.co").
+	ReachFn func(from, toHost string) bool
+	// BaseLatency is added to every request/response pair.
+	BaseLatency time.Duration
+	// MeterThreshold is the body size above which transfers are charged
+	// against the netsim route; smaller payloads cost only latency. This
+	// keeps per-request fluid-model overhead away from small API calls
+	// while model weights and image blobs still contend for bandwidth.
+	MeterThreshold int64
+}
+
+// NewNet creates an empty virtual network on the fabric.
+func NewNet(fabric *netsim.Fabric) *Net {
+	return &Net{
+		fabric:      fabric,
+		endpoints:   make(map[string]*endpoint),
+		aliases:     make(map[string]string),
+		BaseLatency: 200 * time.Microsecond,
+	}
+}
+
+// Fabric returns the underlying netsim fabric.
+func (n *Net) Fabric() *netsim.Fabric { return n.fabric }
+
+func key(host string, port int) string { return fmt.Sprintf("%s:%d", host, port) }
+
+// ListenOptions configure an endpoint.
+type ListenOptions struct {
+	// Up, when non-nil, gates reachability (node health, service readiness).
+	Up func() bool
+}
+
+// Listen registers svc at host:port. Re-listening on a bound port fails.
+func (n *Net) Listen(host string, port int, svc Service, opts ListenOptions) error {
+	k := key(host, port)
+	if _, bound := n.endpoints[k]; bound {
+		return fmt.Errorf("vhttp: address already in use: %s", k)
+	}
+	n.endpoints[k] = &endpoint{svc: svc, up: opts.Up}
+	return nil
+}
+
+// Unlisten removes the endpoint at host:port.
+func (n *Net) Unlisten(host string, port int) { delete(n.endpoints, key(host, port)) }
+
+// Alias maps a virtual hostname (an ingress URL host, a service DNS name) to
+// the real host that terminates it. Port numbers carry through unchanged.
+func (n *Net) Alias(name, host string) { n.aliases[name] = host }
+
+// RemoveAlias deletes a hostname mapping.
+func (n *Net) RemoveAlias(name string) { delete(n.aliases, name) }
+
+// Resolve follows alias chains to a concrete host.
+func (n *Net) Resolve(host string) string {
+	seen := 0
+	for {
+		next, ok := n.aliases[host]
+		if !ok || seen > 8 {
+			return host
+		}
+		host = next
+		seen++
+	}
+}
+
+// Client issues virtual requests from a named host.
+type Client struct {
+	Net  *Net
+	From string // client host name ("" = off-fabric, e.g. a user laptop)
+}
+
+// Errors mirroring familiar transport failures.
+type ConnError struct{ Addr, Reason string }
+
+func (e *ConnError) Error() string { return fmt.Sprintf("vhttp: %s: %s", e.Addr, e.Reason) }
+
+// Do performs a request. It parses req.URL, models the body transfers over
+// the route between hosts, and invokes the service handler on p.
+func (c *Client) Do(p *sim.Proc, req *Request) (*Response, error) {
+	u, err := url.Parse(req.URL)
+	if err != nil {
+		return nil, fmt.Errorf("vhttp: bad url %q: %v", req.URL, err)
+	}
+	host := u.Hostname()
+	port := 80
+	if ps := u.Port(); ps != "" {
+		fmt.Sscanf(ps, "%d", &port)
+	}
+	if c.Net.ReachFn != nil && !c.Net.ReachFn(c.From, host) {
+		return nil, &ConnError{Addr: host, Reason: "network unreachable (firewalled)"}
+	}
+	target := c.Net.Resolve(host)
+	ep := c.Net.endpoints[key(target, port)]
+	if ep == nil {
+		return nil, &ConnError{Addr: key(target, port), Reason: "connection refused"}
+	}
+	if ep.up != nil && !ep.up() {
+		return nil, &ConnError{Addr: key(target, port), Reason: "no route to host"}
+	}
+	req.Host = host
+	req.Path = u.Path
+	if req.Path == "" {
+		req.Path = "/"
+	}
+	req.Query = u.Query()
+	req.From = c.From
+	if req.Method == "" {
+		req.Method = "GET"
+	}
+
+	var route []*netsim.Link
+	if c.Net.RouteFn != nil {
+		route = c.Net.RouteFn(c.From, target)
+	}
+	p.Sleep(c.Net.BaseLatency)
+	if sz := req.BodyBytes(); sz > c.Net.MeterThreshold && len(route) > 0 {
+		c.Net.fabric.Transfer(p, float64(sz), route, netsim.StartOptions{})
+	}
+	resp := ep.svc.Serve(p, req)
+	if resp == nil {
+		resp = Text(500, "nil response")
+	}
+	if sz := resp.BodyBytes(); sz > c.Net.MeterThreshold && len(route) > 0 {
+		c.Net.fabric.Transfer(p, float64(sz), route, netsim.StartOptions{})
+	}
+	return resp, nil
+}
+
+// Get is a convenience wrapper for bodyless GETs.
+func (c *Client) Get(p *sim.Proc, url string) (*Response, error) {
+	return c.Do(p, &Request{Method: "GET", URL: url})
+}
+
+// Mux routes by longest matching path prefix.
+type Mux struct {
+	routes []muxRoute
+}
+
+type muxRoute struct {
+	prefix string
+	svc    Service
+}
+
+// Handle registers svc for paths beginning with prefix.
+func (m *Mux) Handle(prefix string, svc Service) {
+	m.routes = append(m.routes, muxRoute{prefix: prefix, svc: svc})
+}
+
+// HandleFunc registers a handler function for a path prefix.
+func (m *Mux) HandleFunc(prefix string, fn ServiceFunc) { m.Handle(prefix, fn) }
+
+// Serve implements Service by longest-prefix dispatch.
+func (m *Mux) Serve(p *sim.Proc, req *Request) *Response {
+	best := -1
+	bestLen := -1
+	for i, r := range m.routes {
+		if strings.HasPrefix(req.Path, r.prefix) && len(r.prefix) > bestLen {
+			best, bestLen = i, len(r.prefix)
+		}
+	}
+	if best == -1 {
+		return Text(404, "not found: "+req.Path)
+	}
+	return m.routes[best].svc.Serve(p, req)
+}

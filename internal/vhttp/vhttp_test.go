@@ -1,0 +1,198 @@
+package vhttp
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func newTestNet(t *testing.T) (*sim.Engine, *Net) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := NewNet(netsim.New(e))
+	return e, n
+}
+
+func echo() Service {
+	return ServiceFunc(func(p *sim.Proc, req *Request) *Response {
+		return Text(200, req.Method+" "+req.Path+" from="+req.From)
+	})
+}
+
+func TestBasicRequest(t *testing.T) {
+	e, n := newTestNet(t)
+	if err := n.Listen("server1", 8000, echo(), ListenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var body string
+	e.Go("client", func(p *sim.Proc) {
+		c := &Client{Net: n, From: "laptop"}
+		resp, err := c.Get(p, "http://server1:8000/v1/models")
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		body = string(resp.Body)
+	})
+	e.Run()
+	if body != "GET /v1/models from=laptop" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestConnectionRefused(t *testing.T) {
+	e, n := newTestNet(t)
+	var err error
+	e.Go("client", func(p *sim.Proc) {
+		c := &Client{Net: n}
+		_, err = c.Get(p, "http://nowhere:8000/")
+	})
+	e.Run()
+	ce, ok := err.(*ConnError)
+	if !ok || ce.Reason != "connection refused" {
+		t.Fatalf("err = %v, want connection refused", err)
+	}
+}
+
+func TestUpGate(t *testing.T) {
+	e, n := newTestNet(t)
+	healthy := true
+	n.Listen("server1", 80, echo(), ListenOptions{Up: func() bool { return healthy }})
+	var errs []error
+	e.Go("client", func(p *sim.Proc) {
+		c := &Client{Net: n}
+		_, err := c.Get(p, "http://server1/")
+		errs = append(errs, err)
+		healthy = false
+		_, err = c.Get(p, "http://server1/")
+		errs = append(errs, err)
+	})
+	e.Run()
+	if errs[0] != nil {
+		t.Fatalf("healthy request failed: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("unhealthy endpoint should be unreachable")
+	}
+}
+
+func TestAliasChainAndRemoval(t *testing.T) {
+	e, n := newTestNet(t)
+	n.Listen("node7", 8000, echo(), ListenOptions{})
+	n.Alias("llama.apps.example.gov", "ingress")
+	n.Alias("ingress", "node7")
+	var ok, okAfter bool
+	e.Go("client", func(p *sim.Proc) {
+		c := &Client{Net: n}
+		resp, err := c.Get(p, "http://llama.apps.example.gov:8000/x")
+		ok = err == nil && resp.Status == 200
+		n.RemoveAlias("llama.apps.example.gov")
+		_, err = c.Get(p, "http://llama.apps.example.gov:8000/x")
+		okAfter = err == nil
+	})
+	e.Run()
+	if !ok {
+		t.Fatal("aliased request failed")
+	}
+	if okAfter {
+		t.Fatal("request should fail after alias removal")
+	}
+}
+
+func TestBodyTransferTakesTime(t *testing.T) {
+	e, n := newTestNet(t)
+	wire := n.Fabric().AddLink("wire", 100, 0) // 100 B/s
+	n.RouteFn = func(from, to string) []*netsim.Link { return []*netsim.Link{wire} }
+	n.BaseLatency = 0
+	n.Listen("s3", 9000, ServiceFunc(func(p *sim.Proc, req *Request) *Response {
+		return &Response{Status: 200, Size: 500} // 500-byte response
+	}), ListenOptions{})
+	var elapsed time.Duration
+	e.Go("client", func(p *sim.Proc) {
+		c := &Client{Net: n, From: "node1"}
+		start := p.Now()
+		if _, err := c.Do(p, &Request{Method: "PUT", URL: "http://s3:9000/obj", Size: 1000}); err != nil {
+			t.Errorf("Do: %v", err)
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	e.Run()
+	// 1000 B up + 500 B down at 100 B/s = 15 s.
+	if got := elapsed.Seconds(); got < 14.9 || got > 15.2 {
+		t.Fatalf("transfer took %.2fs, want ~15s", got)
+	}
+}
+
+func TestMuxLongestPrefix(t *testing.T) {
+	e, n := newTestNet(t)
+	mux := &Mux{}
+	mux.HandleFunc("/", func(p *sim.Proc, r *Request) *Response { return Text(200, "root") })
+	mux.HandleFunc("/v1/", func(p *sim.Proc, r *Request) *Response { return Text(200, "v1") })
+	mux.HandleFunc("/v1/chat/", func(p *sim.Proc, r *Request) *Response { return Text(200, "chat") })
+	n.Listen("api", 80, mux, ListenOptions{})
+	want := map[string]string{
+		"http://api/":                    "root",
+		"http://api/health":              "root",
+		"http://api/v1/models":           "v1",
+		"http://api/v1/chat/completions": "chat",
+	}
+	e.Go("client", func(p *sim.Proc) {
+		c := &Client{Net: n}
+		for url, expect := range want {
+			resp, err := c.Get(p, url)
+			if err != nil || string(resp.Body) != expect {
+				t.Errorf("%s → %v/%q, want %q", url, err, resp.Body, expect)
+			}
+		}
+	})
+	e.Run()
+}
+
+func TestDoubleBindFails(t *testing.T) {
+	_, n := newTestNet(t)
+	if err := n.Listen("h", 80, echo(), ListenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Listen("h", 80, echo(), ListenOptions{}); err == nil {
+		t.Fatal("double bind should fail")
+	}
+	n.Unlisten("h", 80)
+	if err := n.Listen("h", 80, echo(), ListenOptions{}); err != nil {
+		t.Fatalf("rebind after Unlisten failed: %v", err)
+	}
+}
+
+func TestStdHandlerBridge(t *testing.T) {
+	e, n := newTestNet(t)
+	n.Listen("backend", 8000, echo(), ListenOptions{})
+	svc := ServiceFunc(func(p *sim.Proc, req *Request) *Response {
+		// Nested virtual call proves the handler runs inside the sim.
+		c := &Client{Net: n, From: "gateway"}
+		resp, err := c.Get(p, "http://backend:8000/inner")
+		if err != nil {
+			return Text(502, err.Error())
+		}
+		return Text(200, "outer->"+string(resp.Body))
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.RunRealtime(ctx, 1e9)
+
+	ts := httptest.NewServer(StdHandler(e, svc, "gateway"))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "outer->GET /inner from=gateway" {
+		t.Fatalf("body = %q", body)
+	}
+}

@@ -1,0 +1,251 @@
+package vllm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+)
+
+// OpenAI-compatible API types (the subset the case study exercises).
+
+// ChatMessage is one turn of a chat conversation.
+type ChatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// ChatRequest is the body of POST /v1/chat/completions (Fig 7).
+type ChatRequest struct {
+	Model       string        `json:"model"`
+	Messages    []ChatMessage `json:"messages"`
+	MaxTokens   int           `json:"max_tokens,omitempty"`
+	Temperature float64       `json:"temperature,omitempty"`
+}
+
+// ChatChoice is one completion alternative.
+type ChatChoice struct {
+	Index        int         `json:"index"`
+	Message      ChatMessage `json:"message"`
+	FinishReason string      `json:"finish_reason"`
+}
+
+// Usage reports token accounting.
+type Usage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+// ChatResponse is the completion result.
+type ChatResponse struct {
+	ID      string       `json:"id"`
+	Object  string       `json:"object"`
+	Model   string       `json:"model"`
+	Choices []ChatChoice `json:"choices"`
+	Usage   Usage        `json:"usage"`
+}
+
+// ErrorResponse mirrors the OpenAI error envelope.
+type ErrorResponse struct {
+	Error struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+// modelList is GET /v1/models.
+type modelList struct {
+	Object string      `json:"object"`
+	Data   []modelItem `json:"data"`
+}
+
+type modelItem struct {
+	ID      string `json:"id"`
+	Object  string `json:"object"`
+	OwnedBy string `json:"owned_by"`
+}
+
+// EstimateTokens approximates tokenization at four characters per token,
+// matching the coarse accounting real serving stacks use for sizing.
+func EstimateTokens(text string) int {
+	n := (len(text) + 3) / 4
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SynthesizeText produces placeholder completion text of about n tokens.
+func SynthesizeText(n int) string {
+	const words = "the model generated this simulated completion token stream for benchmarking purposes only "
+	var b strings.Builder
+	for b.Len() < n*4 {
+		b.WriteString(words)
+	}
+	return b.String()[:n*4]
+}
+
+// APIServer exposes an Engine over the OpenAI-compatible HTTP surface.
+type APIServer struct {
+	Engine     *Engine
+	ServedName string // --served-model-name
+	APIKey     string // optional bearer token
+	// DefaultMaxTokens bounds generation when the request omits max_tokens.
+	DefaultMaxTokens int
+}
+
+func jsonErr(status int, msg string) *vhttp.Response {
+	var er ErrorResponse
+	er.Error.Message = msg
+	er.Error.Type = "invalid_request_error"
+	body, _ := json.Marshal(er)
+	return vhttp.JSON(status, body)
+}
+
+// Serve implements vhttp.Service.
+func (a *APIServer) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+	switch {
+	case req.Path == "/health":
+		if crashed, err := a.Engine.Crashed(); crashed {
+			return vhttp.Text(500, "unhealthy: "+err.Error())
+		}
+		return vhttp.Text(200, "ok")
+
+	case req.Path == "/v1/models":
+		body, _ := json.Marshal(modelList{
+			Object: "list",
+			Data:   []modelItem{{ID: a.servedName(), Object: "model", OwnedBy: "vllm"}},
+		})
+		return vhttp.JSON(200, body)
+
+	case req.Path == "/metrics":
+		return vhttp.Text(200, a.renderMetrics())
+
+	case req.Path == "/v1/chat/completions" && req.Method == "POST":
+		return a.chat(p, req)
+
+	case req.Path == "/v1/completions" && req.Method == "POST":
+		return a.completions(p, req)
+	}
+	return jsonErr(404, "unknown endpoint "+req.Path)
+}
+
+func (a *APIServer) servedName() string {
+	if a.ServedName != "" {
+		return a.ServedName
+	}
+	return a.Engine.Config().Model.Name
+}
+
+func (a *APIServer) authorized(req *vhttp.Request) bool {
+	if a.APIKey == "" {
+		return true
+	}
+	return req.Header["Authorization"] == "Bearer "+a.APIKey
+}
+
+func (a *APIServer) chat(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+	if !a.authorized(req) {
+		return jsonErr(401, "invalid API key")
+	}
+	var cr ChatRequest
+	if err := json.Unmarshal(req.Body, &cr); err != nil {
+		return jsonErr(400, "bad request body: "+err.Error())
+	}
+	if cr.Model != "" && cr.Model != a.servedName() {
+		return jsonErr(404, fmt.Sprintf("model %q does not exist; serving %q", cr.Model, a.servedName()))
+	}
+	prompt := 0
+	for _, m := range cr.Messages {
+		prompt += EstimateTokens(m.Content) + 4 // +4 per-message template overhead
+	}
+	maxNew := cr.MaxTokens
+	if maxNew <= 0 {
+		maxNew = a.defaultMax()
+	}
+	r := a.Engine.Submit(prompt, maxNew)
+	p.Wait(r.Done())
+	if r.Err != nil {
+		return jsonErr(500, r.Err.Error())
+	}
+	resp := ChatResponse{
+		ID: "chatcmpl-" + r.ID, Object: "chat.completion", Model: a.servedName(),
+		Choices: []ChatChoice{{
+			Message:      ChatMessage{Role: "assistant", Content: SynthesizeText(r.Generated)},
+			FinishReason: "stop",
+		}},
+		Usage: Usage{PromptTokens: prompt, CompletionTokens: r.Generated, TotalTokens: prompt + r.Generated},
+	}
+	body, _ := json.Marshal(resp)
+	out := vhttp.JSON(200, body)
+	// Streaming clients observe TTFT directly; the simulation surfaces it as
+	// a response header so the benchmark can record the same metric.
+	out.SetHeader("X-Request-Ttft-Micros", fmt.Sprintf("%d", r.TTFT().Microseconds()))
+	return out
+}
+
+// completionRequest is the body of POST /v1/completions.
+type completionRequest struct {
+	Model     string `json:"model"`
+	Prompt    string `json:"prompt"`
+	MaxTokens int    `json:"max_tokens,omitempty"`
+}
+
+func (a *APIServer) completions(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+	if !a.authorized(req) {
+		return jsonErr(401, "invalid API key")
+	}
+	var cr completionRequest
+	if err := json.Unmarshal(req.Body, &cr); err != nil {
+		return jsonErr(400, "bad request body: "+err.Error())
+	}
+	prompt := EstimateTokens(cr.Prompt)
+	maxNew := cr.MaxTokens
+	if maxNew <= 0 {
+		maxNew = a.defaultMax()
+	}
+	r := a.Engine.Submit(prompt, maxNew)
+	p.Wait(r.Done())
+	if r.Err != nil {
+		return jsonErr(500, r.Err.Error())
+	}
+	body, _ := json.Marshal(map[string]any{
+		"id": "cmpl-" + r.ID, "object": "text_completion", "model": a.servedName(),
+		"choices": []map[string]any{{"index": 0, "text": SynthesizeText(r.Generated), "finish_reason": "stop"}},
+		"usage":   Usage{PromptTokens: prompt, CompletionTokens: r.Generated, TotalTokens: prompt + r.Generated},
+	})
+	return vhttp.JSON(200, body)
+}
+
+func (a *APIServer) defaultMax() int {
+	if a.DefaultMaxTokens > 0 {
+		return a.DefaultMaxTokens
+	}
+	return 256
+}
+
+// renderMetrics emits a Prometheus-flavored snapshot like vLLM's /metrics.
+func (a *APIServer) renderMetrics() string {
+	st := a.Engine.Stats()
+	waiting, running := a.Engine.QueueDepth()
+	var b strings.Builder
+	fmt.Fprintf(&b, "vllm:num_requests_running %d\n", running)
+	fmt.Fprintf(&b, "vllm:num_requests_waiting %d\n", waiting)
+	fmt.Fprintf(&b, "vllm:request_success_total %d\n", st.Completed)
+	fmt.Fprintf(&b, "vllm:request_failure_total %d\n", st.Failed)
+	fmt.Fprintf(&b, "vllm:generation_tokens_total %d\n", st.TokensOut)
+	fmt.Fprintf(&b, "vllm:num_preemptions_total %d\n", st.Preemptions)
+	fmt.Fprintf(&b, "vllm:gpu_cache_usage_perc %.4f\n",
+		float64(a.Engine.KV().UsedBlocks())/float64(max(1, a.Engine.KV().TotalBlocks())))
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

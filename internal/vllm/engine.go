@@ -1,0 +1,525 @@
+// Package vllm simulates the vLLM inference engine: a PagedAttention-style
+// block KV cache, a continuous-batching scheduler with chunked prefill and
+// preemption-by-recompute, tensor/pipeline parallel execution with a
+// calibrated step-time model, an OpenAI-compatible API service, startup cost
+// modeling (weight load + warmup), and fault injection for the multi-node
+// flakiness the paper reports.
+package vllm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/llm"
+	"repro/internal/sim"
+)
+
+// Config mirrors the vLLM serve flags that matter to capacity and speed.
+type Config struct {
+	Model *llm.ModelSpec
+	GPU   hw.GPUModel
+
+	TensorParallel   int // --tensor-parallel-size
+	PipelineParallel int // --pipeline-parallel-size (1 = single node)
+	GPUsPerNode      int // topology hint for the comm penalty; 0 = TP size
+
+	MaxModelLen      int     // --max-model-len; 0 = model native maximum
+	GPUMemUtil       float64 // --gpu-memory-utilization (default 0.9)
+	MaxNumSeqs       int     // --max-num-seqs (default 1024)
+	BlockSize        int     // tokens per KV block (default 16)
+	MaxBatchedTokens int     // per-step prefill token budget (default 8192)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.TensorParallel <= 0 {
+		out.TensorParallel = 1
+	}
+	if out.PipelineParallel <= 0 {
+		out.PipelineParallel = 1
+	}
+	if out.GPUsPerNode <= 0 {
+		out.GPUsPerNode = out.TensorParallel
+	}
+	if out.MaxModelLen <= 0 {
+		out.MaxModelLen = out.Model.MaxContextLen
+	}
+	if out.GPUMemUtil <= 0 {
+		out.GPUMemUtil = 0.9
+	}
+	if out.MaxNumSeqs <= 0 {
+		out.MaxNumSeqs = 1024
+	}
+	if out.BlockSize <= 0 {
+		out.BlockSize = 16
+	}
+	if out.MaxBatchedTokens <= 0 {
+		out.MaxBatchedTokens = 8192
+	}
+	return out
+}
+
+// NumGPUs is the world size.
+func (c *Config) NumGPUs() int {
+	cc := c.withDefaults()
+	return cc.TensorParallel * cc.PipelineParallel
+}
+
+// CapacityError describes a configuration the hardware cannot hold, with the
+// vLLM-style message users see.
+type CapacityError struct{ Msg string }
+
+func (e *CapacityError) Error() string { return e.Msg }
+
+// PlanCapacity validates cfg against GPU memory and returns the number of KV
+// blocks available. It reproduces vLLM's two startup gates: weights must fit
+// per GPU, and the KV cache must hold at least one max-model-len sequence
+// (why Scout's 10M default context needs --max-model-len, §3.2).
+func PlanCapacity(cfg Config) (blocks int, err error) {
+	c := cfg.withDefaults()
+	world := c.TensorParallel * c.PipelineParallel
+	weightsPerGPU := float64(c.Model.WeightBytes()) / float64(world)
+	budgetPerGPU := float64(c.GPU.MemBytes)*c.GPUMemUtil - float64(llm.RuntimeOverheadBytes)
+	if weightsPerGPU > budgetPerGPU {
+		return 0, &CapacityError{fmt.Sprintf(
+			"torch.OutOfMemoryError: CUDA out of memory: model weights need %.1f GiB/GPU but %.1f GiB usable on %s (world size %d)",
+			weightsPerGPU/float64(hw.GiB), budgetPerGPU/float64(hw.GiB), c.GPU.Name, world)}
+	}
+	kvBytes := (budgetPerGPU - weightsPerGPU) * float64(world)
+	tokens := int(kvBytes / float64(c.Model.KVBytesPerToken()))
+	blocks = tokens / c.BlockSize
+	needed := (c.MaxModelLen + c.BlockSize - 1) / c.BlockSize
+	if blocks < needed {
+		return 0, &CapacityError{fmt.Sprintf(
+			"ValueError: The model's max seq len (%d) is larger than the maximum number of tokens that can be stored in KV cache (%d). Try increasing gpu_memory_utilization or decreasing max_model_len",
+			c.MaxModelLen, blocks*c.BlockSize)}
+	}
+	return blocks, nil
+}
+
+// Request is one generation request moving through the engine.
+type Request struct {
+	ID     string
+	Prompt int // prompt tokens
+	MaxNew int // output token budget
+
+	Arrived    time.Time
+	FirstToken time.Time
+	Finished   time.Time
+	Generated  int
+	Err        error
+
+	done *sim.Signal
+}
+
+// Done fires when the request finishes (successfully or with Err set).
+func (r *Request) Done() *sim.Signal { return r.done }
+
+// TTFT is the time to first token (0 until produced).
+func (r *Request) TTFT() time.Duration {
+	if r.FirstToken.IsZero() {
+		return 0
+	}
+	return r.FirstToken.Sub(r.Arrived)
+}
+
+// Latency is the end-to-end duration (0 until finished).
+func (r *Request) Latency() time.Duration {
+	if r.Finished.IsZero() {
+		return 0
+	}
+	return r.Finished.Sub(r.Arrived)
+}
+
+type seqState int
+
+const (
+	seqWaiting seqState = iota
+	seqRunning
+	seqDone
+)
+
+type sequence struct {
+	req           *Request
+	id            string
+	prefillTarget int // tokens to (re)compute before decoding
+	prefillDone   int
+	state         seqState
+	preempted     int
+}
+
+// Stats aggregates engine counters.
+type Stats struct {
+	Steps        int
+	Completed    int
+	Failed       int
+	Preemptions  int
+	TokensOut    int64
+	PeakKVBlocks int
+	PeakRunning  int
+	LeakedBlocks int
+	BusyTime     time.Duration
+}
+
+// Faults injects the failure modes from §3.5 and §3.3.
+type Faults struct {
+	// CrashAfterCompleted crashes the engine once this many requests have
+	// finished (models the Fig 12 run-1 crash mid-sweep). 0 disables.
+	CrashAfterCompleted int
+	// CrashAfter crashes the engine this long after Start (models the
+	// scheduled-downtime termination of Fig 12 run 3). 0 disables.
+	CrashAfter time.Duration
+	// LeakBlocksPerStep permanently leaks KV blocks each step (the
+	// "memory leak bug" of §3.3); the engine eventually crashes OOM.
+	LeakBlocksPerStep int
+}
+
+// Engine is a running vLLM scheduler instance.
+type Engine struct {
+	sim    *sim.Engine
+	cfg    Config
+	perf   Params
+	kv     *KVCache
+	faults Faults
+
+	waiting []*sequence
+	running []*sequence
+	seqNum  int
+
+	loop     *sim.Proc
+	idleSig  *sim.Signal
+	crashed  bool
+	crashErr error
+	onCrash  []func(error)
+
+	stats Stats
+}
+
+// New validates capacity and builds an engine (not yet processing; call Run).
+func New(simEng *sim.Engine, cfg Config) (*Engine, error) {
+	c := cfg.withDefaults()
+	blocks, err := PlanCapacity(c)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		sim:  simEng,
+		cfg:  c,
+		perf: LookupParams(c.Model, c.GPU, c.TensorParallel, c.PipelineParallel, c.GPUsPerNode),
+		kv:   NewKVCache(blocks, c.BlockSize),
+	}
+	return e, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// KV exposes the block allocator (tests, metrics endpoints).
+func (e *Engine) KV() *KVCache { return e.kv }
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Perf returns the active step-time coefficients.
+func (e *Engine) Perf() Params { return e.perf }
+
+// SetFaults installs a fault plan; call before or after Run.
+func (e *Engine) SetFaults(f Faults) {
+	e.faults = f
+	if f.CrashAfter > 0 {
+		e.sim.Schedule(f.CrashAfter, func() {
+			e.Crash(errors.New("vllm: terminated: scheduled system downtime (scancel)"))
+		})
+	}
+}
+
+// OnCrash registers a callback invoked (once) when the engine dies.
+func (e *Engine) OnCrash(fn func(error)) { e.onCrash = append(e.onCrash, fn) }
+
+// Crashed reports whether the engine has died, with its error.
+func (e *Engine) Crashed() (bool, error) { return e.crashed, e.crashErr }
+
+// Run starts the scheduling loop on its own process.
+func (e *Engine) Run() {
+	if e.loop != nil {
+		return
+	}
+	e.loop = e.sim.Go("vllm-engine", func(p *sim.Proc) {
+		for !e.crashed {
+			if len(e.waiting) == 0 && len(e.running) == 0 {
+				e.idleSig = e.sim.NewSignal()
+				p.Wait(e.idleSig)
+				e.idleSig = nil
+				continue
+			}
+			e.step(p)
+		}
+	})
+}
+
+// ErrServerStopped marks a deliberate shutdown (clean container exit), as
+// opposed to a crash.
+var ErrServerStopped = errors.New("vllm: server stopped")
+
+// Stop terminates the loop and fails any in-flight requests.
+func (e *Engine) Stop() {
+	e.Crash(ErrServerStopped)
+}
+
+// Crash kills the engine: all queued and running requests fail.
+func (e *Engine) Crash(err error) {
+	if e.crashed {
+		return
+	}
+	e.crashed = true
+	e.crashErr = err
+	for _, s := range append(append([]*sequence{}, e.running...), e.waiting...) {
+		if s.state == seqDone {
+			continue // finished earlier in this same step; stays successful
+		}
+		s.req.Err = err
+		s.req.Finished = e.sim.Now()
+		s.state = seqDone
+		e.kv.Release(s.id)
+		e.stats.Failed++
+		s.req.done.Fire()
+	}
+	e.running = nil
+	e.waiting = nil
+	if e.idleSig != nil {
+		e.idleSig.Fire()
+	}
+	if e.loop != nil {
+		e.loop.Kill()
+	}
+	for _, fn := range e.onCrash {
+		fn(err)
+	}
+	e.onCrash = nil
+}
+
+// Submit enqueues a request. Must be called from the simulation loop.
+func (e *Engine) Submit(prompt, maxNew int) *Request {
+	e.seqNum++
+	req := &Request{
+		ID:      fmt.Sprintf("req-%d", e.seqNum),
+		Prompt:  prompt,
+		MaxNew:  maxNew,
+		Arrived: e.sim.Now(),
+		done:    e.sim.NewSignal(),
+	}
+	if e.crashed {
+		req.Err = fmt.Errorf("vllm: engine dead: %w", e.crashErr)
+		req.Finished = e.sim.Now()
+		req.done.Fire()
+		return req
+	}
+	if maxNew <= 0 {
+		req.MaxNew = 1
+	}
+	if prompt+req.MaxNew > e.cfg.MaxModelLen {
+		req.Err = fmt.Errorf("vllm: prompt+max_tokens (%d) exceeds max_model_len (%d)", prompt+req.MaxNew, e.cfg.MaxModelLen)
+		req.Finished = e.sim.Now()
+		req.done.Fire()
+		return req
+	}
+	s := &sequence{req: req, id: req.ID, prefillTarget: prompt}
+	e.waiting = append(e.waiting, s)
+	if e.idleSig != nil {
+		e.idleSig.Fire()
+	}
+	return req
+}
+
+// QueueDepth reports waiting and running sequence counts.
+func (e *Engine) QueueDepth() (waiting, running int) {
+	return len(e.waiting), len(e.running)
+}
+
+// step plans and executes one engine iteration.
+func (e *Engine) step(p *sim.Proc) {
+	// 1. Decode set: running sequences past prefill.
+	decode := 0
+	for _, s := range e.running {
+		if s.prefillDone >= s.prefillTarget {
+			decode++
+		}
+	}
+	budget := e.cfg.MaxBatchedTokens - decode
+	if budget < 0 {
+		budget = 0
+	}
+
+	// 2. Continue chunked prefill for running sequences.
+	prefillPlan := map[*sequence]int{}
+	prefillTokens := 0
+	for _, s := range e.running {
+		if rem := s.prefillTarget - s.prefillDone; rem > 0 && budget > 0 {
+			chunk := rem
+			if chunk > budget {
+				chunk = budget
+			}
+			prefillPlan[s] = chunk
+			budget -= chunk
+			prefillTokens += chunk
+		}
+	}
+
+	// 3. Admit from the waiting queue while budget, seq slots and KV blocks
+	// allow. Blocks for the full (re)compute target are reserved up front.
+	for len(e.waiting) > 0 && budget > 0 && len(e.running) < e.cfg.MaxNumSeqs {
+		s := e.waiting[0]
+		need := e.kv.BlocksForTokens(s.prefillTarget + 1)
+		if !e.kv.CanAllocate(need) {
+			break
+		}
+		if err := e.kv.Allocate(s.id, need); err != nil {
+			break
+		}
+		e.waiting = e.waiting[1:]
+		s.state = seqRunning
+		e.running = append(e.running, s)
+		chunk := s.prefillTarget - s.prefillDone
+		if chunk > budget {
+			chunk = budget
+		}
+		prefillPlan[s] = chunk
+		budget -= chunk
+		prefillTokens += chunk
+	}
+
+	// 4. Grow KV for decoding sequences, preempting the lowest-priority
+	// (most recently admitted) sequence when blocks run out.
+	for _, s := range e.running {
+		if s.state != seqRunning || s.prefillDone < s.prefillTarget {
+			continue
+		}
+		tokens := s.prefillTarget + (s.req.Generated) + 1
+		if _, err := e.kv.EnsureTokens(s.id, tokens); err != nil {
+			if !e.preemptFor(s) {
+				// Nothing left to evict: this request cannot proceed.
+				e.failSeq(s, fmt.Errorf("vllm: KV cache exhausted for %s", s.id))
+				continue
+			}
+			if _, err := e.kv.EnsureTokens(s.id, tokens); err != nil {
+				e.failSeq(s, fmt.Errorf("vllm: KV cache exhausted for %s", s.id))
+			}
+		}
+	}
+	e.compactRunning()
+
+	if len(e.running) == 0 && prefillTokens == 0 {
+		// All sequences failed/preempted with nothing runnable; avoid a
+		// zero-work spin by idling briefly.
+		p.Sleep(time.Millisecond)
+		return
+	}
+
+	// 5. Execute the step.
+	decode = 0
+	for _, s := range e.running {
+		if s.prefillDone >= s.prefillTarget && prefillPlan[s] == 0 {
+			decode++
+		}
+	}
+	dur := e.perf.StepTime(decode, prefillTokens)
+	if running := len(e.running); running > e.stats.PeakRunning {
+		e.stats.PeakRunning = running
+	}
+	p.Sleep(dur)
+	e.stats.Steps++
+	e.stats.BusyTime += dur
+	if e.kv.PeakUsed() > e.stats.PeakKVBlocks {
+		e.stats.PeakKVBlocks = e.kv.PeakUsed()
+	}
+
+	// 6. Apply results.
+	now := e.sim.Now()
+	var still []*sequence
+	for _, s := range e.running {
+		if s.state != seqRunning {
+			continue
+		}
+		if chunk, ok := prefillPlan[s]; ok && chunk > 0 {
+			s.prefillDone += chunk
+			if s.prefillDone >= s.prefillTarget && s.req.Generated == 0 {
+				// Prefill completion emits the first token.
+				s.req.Generated = 1
+				s.req.FirstToken = now
+				e.stats.TokensOut++
+			}
+		} else if s.prefillDone >= s.prefillTarget {
+			s.req.Generated++
+			e.stats.TokensOut++
+			if s.req.FirstToken.IsZero() {
+				s.req.FirstToken = now
+			}
+		}
+		if s.req.Generated >= s.req.MaxNew {
+			s.state = seqDone
+			s.req.Finished = now
+			e.kv.Release(s.id)
+			e.stats.Completed++
+			s.req.done.Fire()
+			if e.faults.CrashAfterCompleted > 0 && e.stats.Completed >= e.faults.CrashAfterCompleted {
+				e.Crash(errors.New("vllm: RayWorkerDied: pipeline stage worker lost (NCCL watchdog timeout)"))
+				return
+			}
+			continue
+		}
+		still = append(still, s)
+	}
+	e.running = still
+
+	// 7. Fault injection: slow KV leak.
+	if e.faults.LeakBlocksPerStep > 0 {
+		e.stats.LeakedBlocks += e.kv.Leak(e.faults.LeakBlocksPerStep)
+		if e.kv.TotalBlocks() < e.kv.BlocksForTokens(e.cfg.MaxModelLen)/4 {
+			e.Crash(errors.New("vllm: out of memory: KV cache leak exhausted GPU memory"))
+		}
+	}
+}
+
+// preemptFor evicts the most recently admitted running sequence other than
+// favored, returning it to the head of the waiting queue for recompute.
+func (e *Engine) preemptFor(favored *sequence) bool {
+	for i := len(e.running) - 1; i >= 0; i-- {
+		victim := e.running[i]
+		if victim == favored || victim.state != seqRunning {
+			continue
+		}
+		e.kv.Release(victim.id)
+		victim.state = seqWaiting
+		victim.preempted++
+		// Recompute: the prompt plus everything generated so far must be
+		// re-prefetched into KV.
+		victim.prefillTarget = victim.req.Prompt + victim.req.Generated
+		victim.prefillDone = 0
+		e.running = append(e.running[:i], e.running[i+1:]...)
+		e.waiting = append([]*sequence{victim}, e.waiting...)
+		e.stats.Preemptions++
+		return true
+	}
+	return false
+}
+
+func (e *Engine) failSeq(s *sequence, err error) {
+	s.state = seqDone
+	s.req.Err = err
+	s.req.Finished = e.sim.Now()
+	e.kv.Release(s.id)
+	e.stats.Failed++
+	s.req.done.Fire()
+}
+
+func (e *Engine) compactRunning() {
+	var out []*sequence
+	for _, s := range e.running {
+		if s.state == seqRunning {
+			out = append(out, s)
+		}
+	}
+	e.running = out
+}

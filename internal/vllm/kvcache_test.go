@@ -1,0 +1,128 @@
+package vllm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVBasicAllocateRelease(t *testing.T) {
+	kv := NewKVCache(100, 16)
+	if kv.FreeBlocks() != 100 || kv.TotalBlocks() != 100 {
+		t.Fatal("initial state wrong")
+	}
+	if err := kv.Allocate("a", 30); err != nil {
+		t.Fatal(err)
+	}
+	if kv.FreeBlocks() != 70 || kv.Holding("a") != 30 {
+		t.Fatalf("free=%d holding=%d", kv.FreeBlocks(), kv.Holding("a"))
+	}
+	if err := kv.Allocate("b", 80); err == nil {
+		t.Fatal("over-allocation must fail")
+	}
+	if kv.FreeBlocks() != 70 {
+		t.Fatal("failed allocation must not consume blocks")
+	}
+	if got := kv.Release("a"); got != 30 {
+		t.Fatalf("released %d, want 30", got)
+	}
+	if kv.FreeBlocks() != 100 {
+		t.Fatal("release did not return blocks")
+	}
+	if kv.Release("a") != 0 {
+		t.Fatal("double release should free nothing")
+	}
+}
+
+func TestBlocksForTokens(t *testing.T) {
+	kv := NewKVCache(10, 16)
+	cases := map[int]int{0: 0, 1: 1, 15: 1, 16: 1, 17: 2, 32: 2, 33: 3}
+	for tokens, want := range cases {
+		if got := kv.BlocksForTokens(tokens); got != want {
+			t.Errorf("BlocksForTokens(%d) = %d, want %d", tokens, got, want)
+		}
+	}
+}
+
+func TestEnsureTokensGrowsIncrementally(t *testing.T) {
+	kv := NewKVCache(10, 16)
+	if n, err := kv.EnsureTokens("s", 16); err != nil || n != 1 {
+		t.Fatalf("first ensure: %d %v", n, err)
+	}
+	if n, err := kv.EnsureTokens("s", 16); err != nil || n != 0 {
+		t.Fatalf("repeat ensure should be free: %d %v", n, err)
+	}
+	if n, err := kv.EnsureTokens("s", 17); err != nil || n != 1 {
+		t.Fatalf("boundary crossing: %d %v", n, err)
+	}
+	if kv.Holding("s") != 2 {
+		t.Fatalf("holding = %d", kv.Holding("s"))
+	}
+	if _, err := kv.EnsureTokens("s", 16*11); err == nil {
+		t.Fatal("growth past capacity must fail")
+	}
+}
+
+func TestLeak(t *testing.T) {
+	kv := NewKVCache(100, 16)
+	kv.Allocate("a", 50)
+	leaked := kv.Leak(30)
+	if leaked != 30 || kv.TotalBlocks() != 70 || kv.FreeBlocks() != 20 {
+		t.Fatalf("leak: %d total=%d free=%d", leaked, kv.TotalBlocks(), kv.FreeBlocks())
+	}
+	// Leak clamps at free.
+	if got := kv.Leak(1000); got != 20 {
+		t.Fatalf("clamped leak = %d, want 20", got)
+	}
+	kv.Release("a")
+	if kv.FreeBlocks() != 50 || kv.TotalBlocks() != 50 {
+		t.Fatalf("after release: free=%d total=%d", kv.FreeBlocks(), kv.TotalBlocks())
+	}
+}
+
+// TestKVInvariants drives random allocate/ensure/release/leak traffic and
+// checks conservation: free + Σheld == total at every step, never negative,
+// and failed operations change nothing.
+func TestKVInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := 1 + rng.Intn(500)
+		kv := NewKVCache(total, 16)
+		ids := []string{"a", "b", "c", "d", "e"}
+		for op := 0; op < 300; op++ {
+			id := ids[rng.Intn(len(ids))]
+			switch rng.Intn(4) {
+			case 0:
+				n := rng.Intn(total/2 + 1)
+				free := kv.FreeBlocks()
+				err := kv.Allocate(id, n)
+				if (err == nil) != (n <= free) {
+					t.Logf("seed %d: Allocate(%d) err=%v with free=%d", seed, n, err, free)
+					return false
+				}
+			case 1:
+				kv.EnsureTokens(id, rng.Intn(total*16))
+			case 2:
+				kv.Release(id)
+			case 3:
+				kv.Leak(rng.Intn(3))
+			}
+			held := 0
+			for _, i := range ids {
+				held += kv.Holding(i)
+			}
+			if kv.FreeBlocks()+held != kv.TotalBlocks() {
+				t.Logf("seed %d: conservation violated: free=%d held=%d total=%d",
+					seed, kv.FreeBlocks(), held, kv.TotalBlocks())
+				return false
+			}
+			if kv.FreeBlocks() < 0 || kv.TotalBlocks() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

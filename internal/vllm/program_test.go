@@ -1,0 +1,214 @@
+package vllm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cruntime"
+	"repro/internal/fsim"
+	"repro/internal/hw"
+	"repro/internal/llm"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+)
+
+// progFixture builds a minimal environment to run ServerProgram directly
+// with a hand-crafted ExecContext, isolating each §3.2 startup check.
+type progFixture struct {
+	eng    *sim.Engine
+	fabric *netsim.Fabric
+	net    *vhttp.Net
+	node   *hw.Node
+	amd    *hw.Node
+	lustre *fsim.FS
+}
+
+func newProgFixture(t *testing.T) *progFixture {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	fabric := netsim.New(eng)
+	net := vhttp.NewNet(fabric)
+	node := hw.NewNode(fabric, hw.NodeSpec{Name: "hops01", GPUModel: hw.H100SXM, GPUCount: 4})
+	amd := hw.NewNode(fabric, hw.NodeSpec{Name: "eldo01", GPUModel: hw.MI300A, GPUCount: 4})
+	lustre := fsim.New(fabric, fsim.Config{Name: "lustre", ReadBW: netsim.GBps(80), Networked: true})
+	f := &progFixture{eng: eng, fabric: fabric, net: net, node: node, amd: amd, lustre: lustre}
+	f.seed(llm.Llama318B)
+	return f
+}
+
+func (f *progFixture) seed(model *llm.ModelSpec) {
+	dir := "/models/" + model.Name
+	for _, file := range model.RepoFiles() {
+		if file.Name == "config.json" {
+			f.lustre.WriteContent(dir+"/"+file.Name, []byte(`{"_name_or_path": "`+model.Name+`"}`), time.Time{})
+			continue
+		}
+		f.lustre.WriteMeta(dir+"/"+file.Name, file.Size, time.Time{})
+	}
+}
+
+// baseCtx is a healthy Podman-like context; tests break one property each.
+func (f *progFixture) baseCtx() *cruntime.ExecContext {
+	return &cruntime.ExecContext{
+		Node: f.node,
+		GPUs: f.node.GPUs,
+		Env: map[string]string{
+			"HF_HUB_OFFLINE": "1",
+			"HF_HOME":        "/root/.cache/huggingface",
+			"HOME":           "/root",
+		},
+		User: "root", Home: "/root", HomeWritable: true, RootFSWritable: true,
+		WorkingDir: "/vllm-workspace/models",
+		Mounts: []cruntime.Mount{{
+			FS: f.lustre, HostPath: "/models", CtrPath: "/vllm-workspace/models",
+		}},
+		Entrypoint: []string{"vllm"},
+		Args: []string{"serve", llm.Llama318B.Name,
+			"--tensor_parallel_size=1", "--max-model-len=8192"},
+		GPUVisible: true, NetworkHost: true,
+		Hostname: "hops01", ImageArch: "cuda",
+		Net: f.net, Fabric: f.fabric,
+	}
+}
+
+// runProg executes the program until it returns or reaches readiness (in
+// which case it is stopped), returning the startup error.
+func (f *progFixture) runProg(t *testing.T, ctx *cruntime.ExecContext) error {
+	t.Helper()
+	sp := &ServerProgram{HubHost: "huggingface.co"}
+	var result error
+	finished := false
+	f.eng.Go("prog", func(p *sim.Proc) {
+		ctx.Proc = p
+		// Minimal container shim so SetReady/Logf work.
+		shim := &containerShim{eng: f.eng}
+		attachShim(ctx, shim)
+		result = sp.Run(ctx)
+		finished = true
+	})
+	for i := 0; i < 400 && !finished; i++ {
+		f.eng.RunFor(time.Minute)
+		if sp.Engine != nil {
+			if crashed, _ := sp.Engine.Crashed(); !crashed {
+				sp.Engine.Stop() // became ready; shut down cleanly
+			}
+		}
+	}
+	if !finished {
+		t.Fatal("program did not finish")
+	}
+	return result
+}
+
+func TestProgramStartupChecks(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(f *progFixture, ctx *cruntime.ExecContext)
+		wantErr string
+	}{
+		{
+			name:    "healthy context serves",
+			mutate:  func(f *progFixture, ctx *cruntime.ExecContext) {},
+			wantErr: "", // clean stop after readiness
+		},
+		{
+			name: "no GPUs visible",
+			mutate: func(f *progFixture, ctx *cruntime.ExecContext) {
+				ctx.GPUVisible = false
+			},
+			wantErr: "No CUDA GPUs",
+		},
+		{
+			name: "CUDA image on AMD node",
+			mutate: func(f *progFixture, ctx *cruntime.ExecContext) {
+				ctx.Node = f.amd
+				ctx.GPUs = f.amd.GPUs
+			},
+			wantErr: "cannot drive amd",
+		},
+		{
+			name: "host PYTHONPATH leak (default Apptainer)",
+			mutate: func(f *progFixture, ctx *cruntime.ExecContext) {
+				ctx.Env["PYTHONPATH"] = "/opt/site/python3.9/site-packages"
+			},
+			wantErr: "ImportError",
+		},
+		{
+			name: "online mode in the air gap",
+			mutate: func(f *progFixture, ctx *cruntime.ExecContext) {
+				delete(ctx.Env, "HF_HUB_OFFLINE")
+			},
+			wantErr: "couldn't connect",
+		},
+		{
+			name: "read-only cache directory",
+			mutate: func(f *progFixture, ctx *cruntime.ExecContext) {
+				ctx.RootFSWritable = false
+				ctx.HomeWritable = false
+			},
+			wantErr: "Read-only file system",
+		},
+		{
+			name: "model not mounted",
+			mutate: func(f *progFixture, ctx *cruntime.ExecContext) {
+				ctx.Mounts = nil
+			},
+			wantErr: "mount the model directory",
+		},
+		{
+			name: "too much parallelism for visible GPUs",
+			mutate: func(f *progFixture, ctx *cruntime.ExecContext) {
+				ctx.Args = []string{"serve", llm.Llama318B.Name,
+					"--tensor_parallel_size=8", "--max-model-len=8192"}
+			},
+			wantErr: "requires a Ray cluster",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newProgFixture(t)
+			ctx := f.baseCtx()
+			tc.mutate(f, ctx)
+			err := f.runProg(t, ctx)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestProgramIncompleteWeights(t *testing.T) {
+	f := newProgFixture(t)
+	// Truncate the staged weights: delete one shard.
+	dir := "/models/" + llm.Llama318B.Name
+	var victim string
+	for _, file := range f.lustre.List(dir) {
+		if strings.HasSuffix(file.Path, ".safetensors") {
+			victim = file.Path
+			break
+		}
+	}
+	f.lustre.Remove(victim)
+	err := f.runProg(t, f.baseCtx())
+	if err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("err = %v, want incomplete-download failure", err)
+	}
+}
+
+// containerShim satisfies the container linkage SetReady/Logf need without a
+// full runtime launch.
+type containerShim struct{ eng *sim.Engine }
+
+// attachShim wires a bare container into the context.
+func attachShim(ctx *cruntime.ExecContext, shim *containerShim) {
+	c := cruntime.NewDetachedContainer(shim.eng)
+	cruntime.BindContext(ctx, c)
+}

@@ -1,0 +1,396 @@
+package yamlite
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) any {
+	t.Helper()
+	v, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, src)
+	}
+	return v
+}
+
+func TestScalars(t *testing.T) {
+	v := mustParse(t, `
+str: hello world
+quoted: "v0.9.1"
+single: 'it''s quoted'
+num: 42
+hex: 0x10
+neg: -7
+fl: 3.14
+yes: true
+no: false
+nul: null
+tilde: ~
+empty:
+`)
+	m := v.(map[string]any)
+	want := map[string]any{
+		"str": "hello world", "quoted": "v0.9.1", "single": "it's quoted",
+		"num": int64(42), "hex": int64(16), "neg": int64(-7), "fl": 3.14,
+		"yes": true, "no": false, "nul": nil, "tilde": nil, "empty": nil,
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("got %#v\nwant %#v", m, want)
+	}
+}
+
+func TestNestedStructure(t *testing.T) {
+	v := mustParse(t, `
+image:
+  repository: "vllm/vllm-openai"
+  tag: "v0.9.1"
+resources:
+  limits:
+    nvidia.com/gpu: 4
+env:
+  - name: HOME
+    value: "/data"
+  - name: HF_HUB_DISABLE_TELEMETRY
+    value: "1"
+command: ["vllm", "serve", "/data/", "--port", "8000"]
+`)
+	if got := GetString(v, "image.repository", ""); got != "vllm/vllm-openai" {
+		t.Fatalf("image.repository = %q", got)
+	}
+	if got := GetInt(v, "resources.limits.nvidia\\.com/gpu", -1); got != -1 {
+		_ = got // dotted key with dots inside is not addressable via Get; direct check below
+	}
+	lim := Get(v, "resources.limits").(map[string]any)
+	if lim["nvidia.com/gpu"] != int64(4) {
+		t.Fatalf("gpu limit = %v", lim["nvidia.com/gpu"])
+	}
+	env := Get(v, "env").([]any)
+	if len(env) != 2 {
+		t.Fatalf("env len = %d", len(env))
+	}
+	e0 := env[0].(map[string]any)
+	if e0["name"] != "HOME" || e0["value"] != "/data" {
+		t.Fatalf("env[0] = %v", e0)
+	}
+	cmd := Get(v, "command").([]any)
+	if len(cmd) != 5 || cmd[0] != "vllm" || cmd[4] != "8000" {
+		t.Fatalf("command = %v", cmd)
+	}
+}
+
+func TestSequences(t *testing.T) {
+	v := mustParse(t, `
+plain:
+  - a
+  - b
+nested:
+  - - 1
+    - 2
+  - - 3
+maps:
+  - name: x
+    port: 80
+  - name: y
+    port: 443
+`)
+	plain := Get(v, "plain").([]any)
+	if !reflect.DeepEqual(plain, []any{"a", "b"}) {
+		t.Fatalf("plain = %v", plain)
+	}
+	nested := Get(v, "nested").([]any)
+	if !reflect.DeepEqual(nested[0], []any{int64(1), int64(2)}) {
+		t.Fatalf("nested[0] = %v", nested[0])
+	}
+	maps := Get(v, "maps").([]any)
+	m1 := maps[1].(map[string]any)
+	if m1["name"] != "y" || m1["port"] != int64(443) {
+		t.Fatalf("maps[1] = %v", m1)
+	}
+}
+
+func TestComments(t *testing.T) {
+	v := mustParse(t, `
+# -- vLLM Image configuration
+image: x # trailing comment
+url: "http://host:8000/#frag" # hash inside quotes survives
+`)
+	m := v.(map[string]any)
+	if m["image"] != "x" {
+		t.Fatalf("image = %v", m["image"])
+	}
+	if m["url"] != "http://host:8000/#frag" {
+		t.Fatalf("url = %v", m["url"])
+	}
+}
+
+func TestFlowCollections(t *testing.T) {
+	v := mustParse(t, `
+seq: [1, two, true, 3.5]
+map: {a: 1, b: "x", c: [1, 2]}
+empty_seq: []
+empty_map: {}
+`)
+	if !reflect.DeepEqual(Get(v, "seq"), []any{int64(1), "two", true, 3.5}) {
+		t.Fatalf("seq = %v", Get(v, "seq"))
+	}
+	m := Get(v, "map").(map[string]any)
+	if m["a"] != int64(1) || m["b"] != "x" {
+		t.Fatalf("map = %v", m)
+	}
+	if !reflect.DeepEqual(m["c"], []any{int64(1), int64(2)}) {
+		t.Fatalf("map.c = %v", m["c"])
+	}
+	if len(Get(v, "empty_seq").([]any)) != 0 {
+		t.Fatal("empty_seq")
+	}
+	if len(Get(v, "empty_map").(map[string]any)) != 0 {
+		t.Fatal("empty_map")
+	}
+}
+
+func TestLiteralBlock(t *testing.T) {
+	v := mustParse(t, `
+script: |
+  line one
+  line two
+after: 1
+`)
+	m := v.(map[string]any)
+	if m["script"] != "line one\nline two" {
+		t.Fatalf("script = %q", m["script"])
+	}
+	if m["after"] != int64(1) {
+		t.Fatalf("after = %v", m["after"])
+	}
+}
+
+func TestMultiDocument(t *testing.T) {
+	docs, err := ParseAll([]byte(`
+kind: Service
+---
+kind: Deployment
+---
+# only comments here
+
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("docs = %d, want 2", len(docs))
+	}
+	if Get(docs[1], "kind") != "Deployment" {
+		t.Fatalf("doc[1] = %v", docs[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("a:\n\tb: 1")); err == nil {
+		t.Fatal("tab indentation should error")
+	}
+	if _, err := Parse([]byte("x: [1, 2")); err == nil {
+		t.Fatal("unterminated flow seq should error")
+	}
+}
+
+func TestMarshalRoundTripFixed(t *testing.T) {
+	orig := map[string]any{
+		"name": "vllm",
+		"port": int64(8000),
+		"env": []any{
+			map[string]any{"name": "HF_HUB_OFFLINE", "value": "1"},
+		},
+		"nested": map[string]any{"a": []any{int64(1), int64(2)}, "b": true},
+		"weird":  "needs: quoting #really",
+		"numstr": "0123",
+		"boolst": "true",
+	}
+	out := Marshal(orig)
+	back, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(back, orig) {
+		t.Fatalf("round trip:\norig: %#v\nback: %#v\nyaml:\n%s", orig, back, out)
+	}
+}
+
+// randomTree builds a random YAML-representable tree.
+func randomTree(r *rand.Rand, depth int) any {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return int64(r.Intn(1000) - 500)
+		case 1:
+			return r.Float64()*100 - 50
+		case 2:
+			return r.Intn(2) == 0
+		case 3:
+			return nil
+		default:
+			letters := []rune("abcXYZ-_./ :#'\"1")
+			n := r.Intn(8) + 1
+			s := make([]rune, n)
+			for i := range s {
+				s[i] = letters[r.Intn(len(letters))]
+			}
+			return string(s)
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := r.Intn(4)
+		m := map[string]any{}
+		for i := 0; i < n; i++ {
+			m["k"+string(rune('a'+i))] = randomTree(r, depth-1)
+		}
+		return m
+	case 1:
+		n := r.Intn(4)
+		s := make([]any, 0, n)
+		for i := 0; i < n; i++ {
+			s = append(s, randomTree(r, depth-1))
+		}
+		if len(s) == 0 {
+			return []any{}
+		}
+		return s
+	default:
+		return randomTree(r, 0)
+	}
+}
+
+func TestMarshalParsePropertyRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := randomTree(r, 3)
+		data := Marshal(tree)
+		back, err := Parse(data)
+		if err != nil {
+			t.Logf("seed %d: parse error %v\nyaml:\n%s", seed, err, data)
+			return false
+		}
+		// nil trees marshal to "null" → parse to nil; normalize.
+		if tree == nil {
+			return back == nil
+		}
+		if !reflect.DeepEqual(back, tree) {
+			t.Logf("seed %d:\norig %#v\nback %#v\nyaml:\n%s", seed, tree, back, data)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type vllmValues struct {
+	Image struct {
+		Repository string   `yaml:"repository"`
+		Tag        string   `yaml:"tag"`
+		Command    []string `yaml:"command"`
+	} `yaml:"image"`
+	Env []struct {
+		Name  string `yaml:"name"`
+		Value string `yaml:"value"`
+	} `yaml:"env"`
+	Replicas int            `yaml:"replicas"`
+	Extra    map[string]any `yaml:"extra"`
+	Ratio    float64        `yaml:"ratio"`
+	Debug    bool           `yaml:"debug"`
+}
+
+func TestDecodeStruct(t *testing.T) {
+	src := `
+image:
+  repository: "vllm/vllm-openai"
+  tag: "v0.9.1"
+  command: ["vllm", "serve", "/data/"]
+env:
+  - name: HOME
+    value: "/data"
+  - name: PORT
+    value: "8000"
+replicas: 2
+ratio: 0.5
+debug: true
+extra:
+  anything: [1, 2]
+ignored_key: whatever
+`
+	var v vllmValues
+	if err := Unmarshal([]byte(src), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Image.Repository != "vllm/vllm-openai" || v.Image.Tag != "v0.9.1" {
+		t.Fatalf("image = %+v", v.Image)
+	}
+	if len(v.Image.Command) != 3 || v.Image.Command[0] != "vllm" {
+		t.Fatalf("command = %v", v.Image.Command)
+	}
+	if len(v.Env) != 2 || v.Env[1].Name != "PORT" || v.Env[1].Value != "8000" {
+		t.Fatalf("env = %+v", v.Env)
+	}
+	if v.Replicas != 2 || v.Ratio != 0.5 || !v.Debug {
+		t.Fatalf("scalars = %d %v %v", v.Replicas, v.Ratio, v.Debug)
+	}
+	if _, ok := v.Extra["anything"]; !ok {
+		t.Fatalf("extra = %v", v.Extra)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var s struct {
+		N int `yaml:"n"`
+	}
+	if err := Unmarshal([]byte("n: notanumber"), &s); err == nil {
+		t.Fatal("string into int should error")
+	}
+	if err := Decode(map[string]any{}, s); err == nil {
+		t.Fatal("non-pointer target should error")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	base := map[string]any{
+		"image": map[string]any{"repository": "vllm/vllm-openai", "tag": "v0.9.0"},
+		"port":  int64(8000),
+	}
+	over := map[string]any{
+		"image": map[string]any{"tag": "v0.9.1"},
+		"extra": true,
+	}
+	got := Merge(base, over).(map[string]any)
+	img := got["image"].(map[string]any)
+	if img["repository"] != "vllm/vllm-openai" || img["tag"] != "v0.9.1" {
+		t.Fatalf("merged image = %v", img)
+	}
+	if got["port"] != int64(8000) || got["extra"] != true {
+		t.Fatalf("merged = %v", got)
+	}
+	// base must not be mutated
+	if base["image"].(map[string]any)["tag"] != "v0.9.0" {
+		t.Fatal("Merge mutated base")
+	}
+}
+
+func TestGetHelpers(t *testing.T) {
+	v := mustParse(t, "a:\n  b:\n    - x\n    - name: deep\nflag: true\nnum: 7\n")
+	if GetString(v, "a.b.0", "") != "x" {
+		t.Fatalf("a.b.0 = %v", Get(v, "a.b.0"))
+	}
+	if GetString(v, "a.b.1.name", "") != "deep" {
+		t.Fatal("a.b.1.name")
+	}
+	if !GetBool(v, "flag", false) || GetInt(v, "num", 0) != 7 {
+		t.Fatal("scalar getters")
+	}
+	if Get(v, "a.missing.path") != nil || GetString(v, "nope", "def") != "def" {
+		t.Fatal("missing path defaults")
+	}
+}
