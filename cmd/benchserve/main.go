@@ -31,6 +31,8 @@ func main() {
 		model    = flag.String("model", llm.Scout.Name, "model name")
 		tp       = flag.Int("tp", 4, "tensor parallel size")
 		pp       = flag.Int("pp", 1, "pipeline parallel size")
+		replicas = flag.Int("replicas", 1, "engine instances behind the gateway (>1 = replica set)")
+		policy   = flag.String("route-policy", "round-robin", "gateway routing: round-robin, least-loaded")
 		maxLen   = flag.Int("max-model-len", 65536, "context limit")
 		prompts  = flag.Int("num-prompts", 1000, "requests per point")
 		concs    = flag.String("concurrencies", "", "comma list (default 1..1024 powers of 2)")
@@ -88,13 +90,19 @@ func main() {
 		dp, err := d.Deploy(p, core.VLLMPackage(), pf, core.DeployConfig{
 			Model: m, TensorParallel: *tp, PipelineParallel: *pp,
 			MaxModelLen: *maxLen, Offline: true,
+			Replicas: *replicas, RoutePolicy: *policy,
 		})
 		if err != nil {
 			failure = err
 			return
 		}
 		defer dp.Stop()
-		fmt.Printf("# serving %s on %s at %s\n", m.Short, pf.Name, dp.BaseURL)
+		if gw := dp.Gateway(); gw != nil {
+			fmt.Printf("# serving %s on %s: %d replicas behind %s (%s routing)\n",
+				m.Short, pf.Name, len(dp.Replicas()), dp.BaseURL, gw.Policy)
+		} else {
+			fmt.Printf("# serving %s on %s at %s\n", m.Short, pf.Name, dp.BaseURL)
+		}
 		ds := sharegpt.Synthesize(*seed, 4000)
 		target := &bench.HTTPTarget{
 			Client:  &vhttp.Client{Net: s.Net, From: site.LoginHops},
@@ -102,11 +110,21 @@ func main() {
 		}
 		results := bench.Sweep(p, target, bench.Config{
 			Name: *platform, Dataset: ds, NumPrompts: *prompts, Seed: *seed,
+			ContinueOnError: dp.Gateway() != nil,
 		}, points)
 		for _, r := range results {
 			fmt.Println(r)
 		}
-		series := bench.ToSeries(fmt.Sprintf("%s %s TP%d", pf.Name, m.Short, *tp), results)
+		if gw := dp.Gateway(); gw != nil {
+			st := gw.Stats()
+			fmt.Printf("# gateway: %d requests, %d retries, %d rejected, %d errors; %d/%d replicas healthy\n",
+				st.Requests, st.Retries, st.Rejected, st.Errors, gw.HealthyBackends(), len(gw.Backends()))
+		}
+		label := fmt.Sprintf("%s %s TP%d", pf.Name, m.Short, *tp)
+		if *replicas > 1 {
+			label = fmt.Sprintf("%s x%d (%s)", label, *replicas, *policy)
+		}
+		series := bench.ToSeries(label, results)
 		fmt.Println(metrics.DatFile("output token throughput vs max concurrency", []metrics.Series{series}))
 	})
 	for i := 0; i < 100000 && !done; i++ {

@@ -91,19 +91,21 @@ func platformByName(name string) (core.Platform, error) {
 	return core.Platform{}, fmt.Errorf("unknown platform %q", name)
 }
 
-func deployFlags(fs *flag.FlagSet) (platform, model *string, tp, pp, maxLen *int, persistent *bool) {
+func deployFlags(fs *flag.FlagSet) (platform, model *string, tp, pp, maxLen *int, persistent *bool, replicas *int, policy *string) {
 	platform = fs.String("platform", "hops", "target platform (hops, eldorado, goodall, cee)")
 	model = fs.String("model", llm.Scout.Name, "model name")
 	tp = fs.Int("tp", 4, "tensor parallel size")
 	pp = fs.Int("pp", 1, "pipeline parallel size (>1 = multi-node via Ray)")
 	maxLen = fs.Int("max-model-len", 65536, "context length limit")
 	persistent = fs.Bool("persistent", false, "Compute-as-Login persistent service (HPC)")
+	replicas = fs.Int("replicas", 1, "engine instances behind one endpoint (>1 = replica set + gateway)")
+	policy = fs.String("route-policy", "round-robin", "replica-set routing: round-robin, least-loaded")
 	return
 }
 
 func runPlan(args []string) {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
-	platform, model, tp, pp, maxLen, persistent := deployFlags(fs)
+	platform, model, tp, pp, maxLen, persistent, replicas, policy := deployFlags(fs)
 	fs.Parse(args)
 	pf, err := platformByName(*platform)
 	fatalIf(err)
@@ -114,6 +116,7 @@ func runPlan(args []string) {
 	plan, err := d.Plan(core.VLLMPackage(), pf, core.DeployConfig{
 		Model: m, TensorParallel: *tp, PipelineParallel: *pp,
 		MaxModelLen: *maxLen, Offline: true, Persistent: *persistent,
+		Replicas: *replicas, RoutePolicy: *policy,
 	})
 	fatalIf(err)
 	fmt.Printf("# platform: %s   runtime: %s   image: %s\n", plan.Platform.Name, plan.Runtime, plan.Image)
@@ -125,7 +128,7 @@ func runPlan(args []string) {
 
 func runDeploy(args []string) {
 	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
-	platform, model, tp, pp, maxLen, persistent := deployFlags(fs)
+	platform, model, tp, pp, maxLen, persistent, replicas, policy := deployFlags(fs)
 	query := fs.String("query", "", "send one chat completion after deploying")
 	fs.Parse(args)
 	pf, err := platformByName(*platform)
@@ -158,6 +161,7 @@ func runDeploy(args []string) {
 		dp, err := d.Deploy(p, core.VLLMPackage(), pf, core.DeployConfig{
 			Model: m, TensorParallel: *tp, PipelineParallel: *pp,
 			MaxModelLen: *maxLen, Offline: true, Persistent: *persistent,
+			Replicas: *replicas, RoutePolicy: *policy,
 		})
 		if err != nil {
 			failure = err
@@ -165,8 +169,14 @@ func runDeploy(args []string) {
 		}
 		fmt.Printf("deployed %s on %s in %s (simulated)\n", m.Short, pf.Name, p.Now().Sub(start).Round(time.Second))
 		fmt.Printf("  endpoint: %s\n", dp.BaseURL)
-		if dp.ExternalURL != "" {
+		if dp.ExternalURL != "" && dp.ExternalURL != dp.BaseURL {
 			fmt.Printf("  external: %s\n", dp.ExternalURL)
+		}
+		if gw := dp.Gateway(); gw != nil {
+			fmt.Printf("  replicas: %d (%s routing)\n", len(dp.Replicas()), gw.Policy)
+			for _, r := range dp.Replicas() {
+				fmt.Printf("    - %s\n", r.BaseURL)
+			}
 		}
 		if *query != "" {
 			client := &vhttp.Client{Net: s.Net, From: site.LoginHops}

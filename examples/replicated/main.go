@@ -1,0 +1,90 @@
+// Replicated: the replica-set serving path — four engine instances on
+// distinct Hops nodes behind one load-balancing gateway endpoint, a
+// benchmark driving the virtual endpoint, and a replica killed mid-run to
+// show the control plane absorbing the failure (health checks take the dead
+// replica out of rotation; in-flight requests retry on a healthy one).
+//
+//	go run ./examples/replicated
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/sharegpt"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/vhttp"
+)
+
+func main() {
+	s := site.New(site.Options{Small: true, Seed: 11})
+	d := core.NewDeployer(s)
+	model := llm.Llama318B
+
+	var failure error
+	done := false
+	s.Eng.Go("replicated", func(p *sim.Proc) {
+		defer func() { done = true }()
+		if failure = core.SeedModel(p, s.HopsLustre, model); failure != nil {
+			return
+		}
+
+		fmt.Println("deploying 4 replicas of", model.Short, "behind one gateway endpoint...")
+		start := p.Now()
+		dp, err := d.Deploy(p, core.VLLMPackage(), core.PlatformHops, core.DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 4, RoutePolicy: "least-loaded",
+		})
+		if err != nil {
+			failure = err
+			return
+		}
+		defer dp.Stop()
+		fmt.Printf("ready in %s simulated\n  endpoint: %s\n", p.Now().Sub(start).Round(time.Second), dp.BaseURL)
+		for _, r := range dp.Replicas() {
+			fmt.Printf("  replica:  %s\n", r.BaseURL)
+		}
+
+		// Kill replica 1 thirty seconds into the benchmark: its in-flight
+		// requests fail over to the remaining replicas, and the next health
+		// probe takes it out of rotation.
+		victim := dp.Replicas()[1]
+		p.Engine().Schedule(30*time.Second, func() {
+			fmt.Printf("\n>>> killing replica %s mid-benchmark\n\n", victim.BaseURL)
+			victim.Engine().Crash(fmt.Errorf("node power loss (simulated)"))
+		})
+
+		res := bench.Run(p, &bench.HTTPTarget{
+			Client:  &vhttp.Client{Net: s.Net, From: site.LoginHops},
+			BaseURL: dp.BaseURL,
+		}, bench.Config{
+			Name: "replicated", Dataset: sharegpt.Synthesize(1, 2000),
+			NumPrompts: 600, MaxConcurrency: 64, Seed: 1,
+			ContinueOnError: true,
+		})
+		fmt.Println(res)
+
+		gw := dp.Gateway()
+		st := gw.Stats()
+		fmt.Printf("gateway: %d requests, %d retried onto another replica, %d failed outright\n",
+			st.Requests, st.Retries, st.Errors)
+		fmt.Printf("replicas healthy after the kill: %d of %d\n", gw.HealthyBackends(), len(gw.Backends()))
+		if res.Completed == 0 || gw.HealthyBackends() != 3 {
+			failure = fmt.Errorf("gateway did not absorb the replica loss (completed=%d healthy=%d)",
+				res.Completed, gw.HealthyBackends())
+			return
+		}
+		fmt.Println("\nthe sweep finished despite the dead replica — no restart, no user-visible outage.")
+	})
+	for i := 0; i < 20000 && !done; i++ {
+		s.Eng.RunFor(time.Minute)
+	}
+	if failure != nil {
+		log.Fatal(failure)
+	}
+}

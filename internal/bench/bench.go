@@ -47,7 +47,7 @@ type HTTPTarget struct {
 
 // Do implements Target.
 func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, error) {
-	content := vllm.SynthesizeText(maxInt(prompt-4, 1))
+	content := vllm.SynthesizeText(max(prompt-4, 1))
 	body, _ := json.Marshal(vllm.ChatRequest{
 		Model:     t.Model,
 		Messages:  []vllm.ChatMessage{{Role: "user", Content: content}},
@@ -86,13 +86,6 @@ func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, er
 	return cr.Usage.CompletionTokens, ttft, nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Config parameterizes one benchmark run.
 type Config struct {
 	Name           string
@@ -100,6 +93,11 @@ type Config struct {
 	NumPrompts     int // default 1000
 	MaxConcurrency int // the swept variable
 	Seed           int64
+	// ContinueOnError keeps the run going when individual requests fail,
+	// counting them instead of aborting. Used when benchmarking through the
+	// replica gateway, where a replica crash surfaces as sporadic request
+	// errors the gateway absorbs rather than a dead endpoint.
+	ContinueOnError bool
 }
 
 // Result mirrors benchmark_serving.py's summary block.
@@ -192,6 +190,10 @@ func Run(p *sim.Proc, target Target, cfg Config) *Result {
 				gen, ttft, err := target.Do(wp, e.PromptTokens, e.OutputTokens)
 				if err != nil {
 					res.Failed++
+					if cfg.ContinueOnError {
+						end = wp.Now()
+						continue
+					}
 					if !aborted {
 						aborted = true
 						res.Crashed = true

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -181,6 +182,45 @@ func TestSweepStopsOnCrash(t *testing.T) {
 	}
 	if !strings.Contains(last.String(), "RUN ABORTED") {
 		t.Fatal("summary missing abort line")
+	}
+}
+
+// flakyTarget fails every nth request, like a gateway shedding load or a
+// replica dying under a request that then exhausts its retry.
+type flakyTarget struct {
+	inner Target
+	n     int
+	count int
+}
+
+func (f *flakyTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, error) {
+	f.count++
+	if f.count%f.n == 0 {
+		return 0, 0, fmt.Errorf("http 503: all replicas past waiting-queue threshold")
+	}
+	return f.inner.Do(p, prompt, maxNew)
+}
+
+func TestRunContinueOnErrorCountsFailures(t *testing.T) {
+	se := sim.NewEngine(1)
+	e := hopsEngine(t, se)
+	ds := sharegpt.Synthesize(7, 1000)
+	var res *Result
+	se.Go("bench", func(p *sim.Proc) {
+		res = Run(p, &flakyTarget{inner: &EngineTarget{Engine: e}, n: 10}, Config{
+			Name: "flaky", Dataset: ds, NumPrompts: 100, MaxConcurrency: 8, Seed: 3,
+			ContinueOnError: true,
+		})
+	})
+	se.Run()
+	if res.Crashed {
+		t.Fatalf("run aborted despite ContinueOnError: %s", res.CrashMsg)
+	}
+	if res.Failed != 10 || res.Completed != 90 {
+		t.Fatalf("completed=%d failed=%d, want 90/10", res.Completed, res.Failed)
+	}
+	if res.OutputThroughput <= 0 {
+		t.Fatal("no throughput measured")
 	}
 }
 

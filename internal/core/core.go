@@ -150,8 +150,19 @@ type DeployConfig struct {
 	// Persistent requests Compute-as-Login provisioning on HPC platforms
 	// (survives job time limits); on Kubernetes it is the default behaviour.
 	Persistent bool
-	// Replicas only applies to Kubernetes deployments.
+	// Replicas launches N engine instances behind one endpoint. On
+	// Kubernetes it scales the chart's Deployment; on HPC platforms it
+	// launches N single-instance deployments on distinct nodes fronted by
+	// a load-balancing ingress.Gateway.
 	Replicas int
+	// RoutePolicy selects the gateway's balancing policy for replica sets:
+	// "round-robin" (default) or "least-loaded". On Kubernetes the cluster
+	// Service round-robins across pods regardless of this setting.
+	RoutePolicy string
+	// GatewayMaxWaiting enables queue-aware admission control on replica
+	// sets: the gateway sheds load with 503 once every replica's waiting
+	// queue is past this depth. 0 disables.
+	GatewayMaxWaiting int
 	// IngressHost exposes the service externally on Kubernetes.
 	IngressHost string
 }

@@ -298,6 +298,138 @@ type nodeDownErr struct{}
 
 func (*nodeDownErr) Error() string { return "NCCL watchdog timeout" }
 
+func TestReplicaSetDeploymentAndGatewayFailover(t *testing.T) {
+	// The replica-set serving path: three engine instances on distinct Hops
+	// nodes behind one gateway endpoint. A request whose first-choice
+	// replica is crashed mid-flight succeeds via retry on a healthy one.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.HopsLustre, model); err != nil {
+			t.Fatal(err)
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 3, RoutePolicy: "round-robin",
+		})
+		if err != nil {
+			t.Fatalf("Deploy: %v", err)
+		}
+		defer dp.Stop()
+		reps := dp.Replicas()
+		if len(reps) != 3 {
+			t.Fatalf("replicas = %d, want 3", len(reps))
+		}
+		hosts := map[string]bool{}
+		for _, r := range reps {
+			if !r.Healthy(p) {
+				t.Fatalf("replica %s not healthy", r.BaseURL)
+			}
+			hosts[r.BaseURL] = true
+		}
+		if len(hosts) != 3 {
+			t.Fatalf("replicas share nodes: %v", hosts)
+		}
+		if dp.Gateway() == nil || dp.BaseURL != dp.Gateway().Endpoint() {
+			t.Fatalf("BaseURL %q should be the gateway endpoint", dp.BaseURL)
+		}
+		if !dp.Healthy(p) {
+			t.Fatal("replica set not healthy through the gateway")
+		}
+
+		// Crash the round-robin first choice while our request is in flight:
+		// the engine fails the request with 500, the gateway retries it on a
+		// different replica, and the client sees 200.
+		victim := reps[0].Engine()
+		p.Engine().Schedule(2*time.Second, func() {
+			victim.Crash(errNodeDown)
+		})
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		body, _ := json.Marshal(vllm.ChatRequest{
+			Messages:  []vllm.ChatMessage{{Role: "user", Content: "long enough to outlive the crash"}},
+			MaxTokens: 512,
+		})
+		resp, err := client.Do(p, &vhttp.Request{
+			Method: "POST", URL: dp.BaseURL + "/v1/chat/completions", Body: body,
+		})
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("chat through gateway after crash: %v %d %s", err, resp.Status, resp.Body)
+		}
+		if st := dp.Gateway().Stats(); st.Retries != 1 {
+			t.Fatalf("gateway retries = %d, want 1 (request re-routed off the crashed replica)", st.Retries)
+		}
+
+		// The health loop takes the dead replica out of rotation; the set
+		// stays healthy, and per-replica Healthy reflects the split.
+		p.Sleep(time.Minute)
+		if dp.Gateway().HealthyBackends() != 2 {
+			t.Fatalf("healthy backends = %d, want 2", dp.Gateway().HealthyBackends())
+		}
+		if reps[0].Healthy(p) {
+			t.Fatal("crashed replica still reports healthy")
+		}
+		if !dp.Healthy(p) || !reps[1].Healthy(p) || !reps[2].Healthy(p) {
+			t.Fatal("surviving replicas should keep the set healthy")
+		}
+		if dp.Engine() == nil {
+			t.Fatal("Engine() should resolve to a live replica")
+		}
+		if crashed, _ := dp.Engine().Crashed(); crashed {
+			t.Fatal("Engine() returned the crashed replica")
+		}
+
+		// Per-replica Stop: stopping one replica leaves the others serving.
+		reps[1].Stop()
+		p.Sleep(time.Minute)
+		if dp.Gateway().HealthyBackends() != 1 {
+			t.Fatalf("healthy backends after per-replica stop = %d, want 1", dp.Gateway().HealthyBackends())
+		}
+		if resp, err := client.Get(p, dp.BaseURL+"/v1/models"); err != nil || resp.Status != 200 {
+			t.Fatalf("last replica should still serve: %v %v", err, resp)
+		}
+	})
+}
+
+func TestReplicaSetRejectsPersistent(t *testing.T) {
+	s, d := newSite(t)
+	run(t, s, func(p *sim.Proc) {
+		_, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: llm.Llama318B, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 2, Persistent: true,
+		})
+		if err == nil || !strings.Contains(err.Error(), "exclusive") {
+			t.Fatalf("err = %v", err)
+		}
+		_, err = d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: llm.Llama318B, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 2, RoutePolicy: "fastest",
+		})
+		if err == nil || !strings.Contains(err.Error(), "unknown route policy") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestReplicaSetPlanNote(t *testing.T) {
+	_, d := newSite(t)
+	plan, err := d.Plan(VLLMPackage(), PlatformHops, DeployConfig{
+		Model: llm.Llama318B, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+		Replicas: 4, RoutePolicy: "least-loaded",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range plan.Notes {
+		if strings.Contains(n, "replica set: 4 instances") && strings.Contains(n, "least-loaded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("plan notes missing replica-set rendering: %v", plan.Notes)
+	}
+}
+
 func TestSSHTunnelAccessPath(t *testing.T) {
 	// §3.3's single-user path: the user tunnels through the login node to
 	// the compute node running their service.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/flux"
 	"repro/internal/helm"
 	"repro/internal/hw"
+	"repro/internal/ingress"
 	"repro/internal/k8s"
 	"repro/internal/ray"
 	"repro/internal/sim"
@@ -38,6 +39,17 @@ func (d *Deployer) Deploy(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg D
 	if cfg.Port == 0 {
 		cfg.Port = pkg.Needs.Port
 	}
+	if cfg.Replicas > 1 {
+		// Validate the policy on every platform kind; on Kubernetes the
+		// cluster Service round-robins regardless, but a typo'd policy
+		// should not deploy silently anywhere.
+		if _, err := ingress.ParsePolicy(cfg.RoutePolicy); err != nil {
+			return nil, err
+		}
+		if pf.Kind != "k8s" {
+			return d.deployReplicaSet(p, pkg, pf, cfg)
+		}
+	}
 	switch pf.Kind {
 	case "slurm":
 		return d.deploySlurm(p, pkg, pf, cfg)
@@ -47,6 +59,103 @@ func (d *Deployer) Deploy(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg D
 		return d.deployK8s(p, pkg, pf, cfg)
 	}
 	return nil, fmt.Errorf("core: unknown platform kind %q", pf.Kind)
+}
+
+// deployReplicaSet launches cfg.Replicas independent single-instance
+// deployments (each reusing the full per-instance plan/startup/fault path)
+// and fronts them with a load-balancing gateway: one virtual endpoint that
+// health-checks replicas, spreads requests, and retries a failed request on
+// a different replica — the control-plane shape Chat AI and OpenTela put in
+// front of scheduler-backed instances.
+func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*Deployment, error) {
+	if cfg.Persistent {
+		return nil, fmt.Errorf("core: Persistent (Compute-as-Login) and Replicas>1 are exclusive; the replica gateway already provides the stable endpoint")
+	}
+	policy, err := ingress.ParsePolicy(cfg.RoutePolicy)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Replicas
+	single := cfg
+	single.Replicas = 1
+
+	// Oversubscription would leave the surplus replicas queued behind the
+	// running ones' 48h time limits; fail fast instead.
+	perReplica := single.nodes(d.gpusPerNode(pf))
+	var total int
+	switch pf.Name {
+	case "hops":
+		total = len(d.Site.HopsNodes)
+	case "eldorado":
+		total = len(d.Site.EldoradoNodes)
+	}
+	if total > 0 && perReplica*n > total {
+		return nil, fmt.Errorf("core: replica set needs %d nodes (%d replicas × %d nodes each) but %s has %d",
+			perReplica*n, n, perReplica, pf.Name, total)
+	}
+
+	// Launch replicas concurrently: weight load dominates startup, and the
+	// scheduler hands each 1-instance job a distinct node set.
+	futs := make([]*sim.Future[*Deployment], n)
+	for i := range futs {
+		fut := sim.NewFuture[*Deployment](p.Engine())
+		futs[i] = fut
+		p.Engine().Go(fmt.Sprintf("deploy-%s-r%d", pkg.Name, i), func(rp *sim.Proc) {
+			dp, err := d.Deploy(rp, pkg, pf, single)
+			fut.Resolve(dp, err)
+		})
+	}
+	var replicas []*Deployment
+	var firstErr error
+	for _, fut := range futs {
+		dp, err := sim.Await(p, fut)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if dp != nil {
+			replicas = append(replicas, dp)
+		}
+	}
+	if firstErr != nil {
+		for _, r := range replicas {
+			r.Stop()
+		}
+		return nil, fmt.Errorf("core: replica set %s: %w", pkg.Name, firstErr)
+	}
+
+	gw := &ingress.Gateway{
+		Net:        d.Site.Net,
+		Host:       site.ServiceHost(pf.Name),
+		Port:       cfg.Port,
+		Policy:     policy,
+		MaxWaiting: cfg.GatewayMaxWaiting,
+	}
+	for i, r := range replicas {
+		host, port, err := vhttp.SplitHostPort(r.BaseURL)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		gw.AddBackend(fmt.Sprintf("%s-%d", pkg.Name, i), host, port)
+	}
+	if firstErr == nil {
+		firstErr = gw.Start(p.Engine())
+	}
+	if firstErr != nil {
+		for _, r := range replicas {
+			r.Stop()
+		}
+		return nil, fmt.Errorf("core: replica set %s: gateway: %w", pkg.Name, firstErr)
+	}
+	return &Deployment{
+		Name:        pkg.Name,
+		Platform:    pf,
+		BaseURL:     gw.Endpoint(),
+		ExternalURL: gw.Endpoint(),
+		dep:         d,
+		gateway:     gw,
+		replicas:    replicas,
+	}, nil
 }
 
 // waitReady waits for a container to report ready or exit.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fsim"
 	"repro/internal/helm"
 	"repro/internal/hw"
+	"repro/internal/ingress"
 	"repro/internal/k8s"
 	"repro/internal/ray"
 	"repro/internal/sim"
@@ -107,6 +108,13 @@ func (d *Deployer) Plan(pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*
 	if cfg.Port == 0 {
 		cfg.Port = pkg.Needs.Port
 	}
+	if cfg.Replicas > 1 {
+		// Mirror Deploy: an invalid policy must not render a plan that
+		// deploy would then refuse, on any platform kind.
+		if _, err := ingress.ParsePolicy(cfg.RoutePolicy); err != nil {
+			return nil, err
+		}
+	}
 	switch pf.Kind {
 	case "slurm", "flux":
 		fs := d.platformFS(pf)
@@ -126,6 +134,18 @@ func (d *Deployer) Plan(pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*
 		}
 		if cfg.Persistent {
 			plan.Notes = append(plan.Notes, "persistent: requires a Compute-as-Login node reservation (operator action) routed via "+site.CaLGateway)
+		}
+		if cfg.Replicas > 1 {
+			if cfg.Persistent {
+				return nil, fmt.Errorf("core: Persistent (Compute-as-Login) and Replicas>1 are exclusive; the replica gateway already provides the stable endpoint")
+			}
+			policy, err := ingress.ParsePolicy(cfg.RoutePolicy)
+			if err != nil {
+				return nil, err
+			}
+			plan.Notes = append(plan.Notes, fmt.Sprintf(
+				"replica set: %d instances on distinct nodes behind http://%s:%d (%s routing, health-checked, 1-retry failover)",
+				cfg.Replicas, site.ServiceHost(pf.Name), cfg.Port, policy))
 		}
 	case "k8s":
 		values := d.helmValues(pkg, image, cfg)
@@ -239,11 +259,41 @@ type Deployment struct {
 	calPort    int
 	dep        *Deployer
 	stopped    bool
+
+	// Replica-set deployments: the child instances and the load-balancing
+	// gateway fronting them (BaseURL points at the gateway endpoint).
+	gateway  *ingress.Gateway
+	replicas []*Deployment
 }
 
+// Replicas enumerates the deployment's instances: the child deployments of
+// a replica set, or the deployment itself for the single-instance shape.
+// Each replica supports per-replica Healthy, Stop, and Engine.
+func (dp *Deployment) Replicas() []*Deployment {
+	if len(dp.replicas) > 0 {
+		return append([]*Deployment(nil), dp.replicas...)
+	}
+	return []*Deployment{dp}
+}
+
+// Gateway returns the replica set's load balancer (nil for single-instance
+// deployments, where BaseURL reaches the engine directly).
+func (dp *Deployment) Gateway() *ingress.Gateway { return dp.gateway }
+
 // Engine exposes the serving engine (metrics, fault injection). For
-// Kubernetes deployments it resolves through the first ready pod.
+// Kubernetes deployments it resolves through the first ready pod; for
+// replica sets, through the first replica whose engine is still alive.
 func (dp *Deployment) Engine() *vllm.Engine {
+	if len(dp.replicas) > 0 {
+		for _, r := range dp.replicas {
+			if e := r.Engine(); e != nil {
+				if crashed, _ := e.Crashed(); !crashed {
+					return e
+				}
+			}
+		}
+		return nil
+	}
 	if dp.server != nil {
 		return dp.server.Engine
 	}
@@ -289,12 +339,19 @@ func d2client(dp *Deployment) *vhttpClient {
 	return &vhttpClient{Net: dp.dep.Site.Net, From: site.LoginHops}
 }
 
-// Stop tears the deployment down: containers, jobs, releases, CaL routes.
+// Stop tears the deployment down: containers, jobs, releases, CaL routes,
+// and — for replica sets — the gateway plus every replica.
 func (dp *Deployment) Stop() {
 	if dp.stopped {
 		return
 	}
 	dp.stopped = true
+	if dp.gateway != nil {
+		dp.gateway.Stop()
+	}
+	for _, r := range dp.replicas {
+		r.Stop()
+	}
 	if dp.server != nil && dp.server.Engine != nil {
 		dp.server.Engine.Stop()
 	}

@@ -1,0 +1,338 @@
+package ingress
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+)
+
+// Policy selects how the gateway spreads requests across replicas.
+type Policy string
+
+const (
+	// PolicyRoundRobin cycles through healthy replicas in order.
+	PolicyRoundRobin Policy = "round-robin"
+	// PolicyLeastLoaded routes to the replica with the smallest load score:
+	// gateway-tracked in-flight requests plus the waiting/running queue
+	// depths last scraped from the replica's /metrics endpoint.
+	PolicyLeastLoaded Policy = "least-loaded"
+)
+
+// ParsePolicy resolves a policy name ("" defaults to round-robin).
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case "", PolicyRoundRobin:
+		return PolicyRoundRobin, nil
+	case PolicyLeastLoaded:
+		return PolicyLeastLoaded, nil
+	}
+	return "", fmt.Errorf("ingress: unknown route policy %q (want %q or %q)", s, PolicyRoundRobin, PolicyLeastLoaded)
+}
+
+// Backend is one replica endpoint behind a Gateway.
+type Backend struct {
+	Name string
+	Host string
+	Port int
+
+	healthy  bool
+	inflight int // requests the gateway currently has outstanding here
+	waiting  int // vllm:num_requests_waiting at the last scrape
+	running  int // vllm:num_requests_running at the last scrape
+	// scrapeInflight records inflight at the last scrape: requests the
+	// gateway already had outstanding then are part of the scraped queue
+	// depths, so admission must not count them twice.
+	scrapeInflight int
+	requests       int
+	failures       int
+}
+
+// URL is the backend's base URL.
+func (b *Backend) URL() string { return fmt.Sprintf("http://%s:%d", b.Host, b.Port) }
+
+// Healthy reports the backend's state as of the last probe or forward.
+func (b *Backend) Healthy() bool { return b.healthy }
+
+// Requests returns how many requests the gateway has sent this backend.
+func (b *Backend) Requests() int { return b.requests }
+
+// QueueDepth returns the waiting/running depths from the last /metrics scrape.
+func (b *Backend) QueueDepth() (waiting, running int) { return b.waiting, b.running }
+
+// load is the least-loaded routing score.
+func (b *Backend) load() int { return b.inflight + b.waiting + b.running }
+
+// GatewayStats counts gateway-level outcomes.
+type GatewayStats struct {
+	Requests int // forwarded client requests (excludes health/status)
+	Retries  int // second attempts after a first-choice replica failed
+	Rejected int // 503s from queue-aware admission control
+	Errors   int // requests that failed on every attempted replica
+}
+
+// Gateway is the load-balancing front door for a replica set: one virtual
+// endpoint that routes across healthy replicas, health-checks them, retries
+// a failed request once on a different replica, and sheds load when every
+// replica's waiting queue is past a threshold. It generalizes the CaL
+// proxy's static one-route-per-user shape into the control plane the
+// related work (OpenTela, Chat AI) runs in front of transient instances.
+type Gateway struct {
+	Net  *vhttp.Net
+	Host string // virtual endpoint host (e.g. "hops-gw.example.gov")
+	Port int
+	// Policy defaults to round-robin.
+	Policy Policy
+	// HealthInterval between health/metrics probe rounds (default 15s).
+	HealthInterval time.Duration
+	// MaxWaiting is the queue-aware admission threshold: when every healthy
+	// replica's scraped waiting depth exceeds it, new requests get 503 with
+	// a Retry-After instead of piling onto saturated engines. 0 disables.
+	MaxWaiting int
+
+	backends []*Backend
+	rr       int
+	stats    GatewayStats
+	started  bool
+	stopped  bool
+}
+
+// AddBackend registers a replica endpoint. Backends start healthy; the
+// probe loop and forwarding errors keep the state current.
+func (g *Gateway) AddBackend(name, host string, port int) *Backend {
+	b := &Backend{Name: name, Host: host, Port: port, healthy: true}
+	g.backends = append(g.backends, b)
+	return b
+}
+
+// Backends lists registered backends.
+func (g *Gateway) Backends() []*Backend { return append([]*Backend(nil), g.backends...) }
+
+// Stats returns a snapshot of gateway counters.
+func (g *Gateway) Stats() GatewayStats { return g.stats }
+
+// Endpoint is the virtual base URL clients target.
+func (g *Gateway) Endpoint() string { return fmt.Sprintf("http://%s:%d", g.Host, g.Port) }
+
+// HealthyBackends counts replicas currently considered routable.
+func (g *Gateway) HealthyBackends() int {
+	n := 0
+	for _, b := range g.backends {
+		if b.healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Start binds the virtual endpoint and launches the health-check loop.
+func (g *Gateway) Start(eng *sim.Engine) error {
+	if g.started {
+		return fmt.Errorf("ingress: gateway %s already started", g.Endpoint())
+	}
+	if g.Policy == "" {
+		g.Policy = PolicyRoundRobin
+	}
+	if g.HealthInterval <= 0 {
+		g.HealthInterval = 15 * time.Second
+	}
+	if err := g.Net.Listen(g.Host, g.Port, g, vhttp.ListenOptions{Up: func() bool { return !g.stopped }}); err != nil {
+		return err
+	}
+	g.started = true
+	eng.Go("gateway-"+g.Host, func(p *sim.Proc) {
+		for !g.stopped {
+			for _, b := range g.backends {
+				if g.stopped {
+					return
+				}
+				g.probe(p, b)
+			}
+			p.Sleep(g.HealthInterval)
+		}
+	})
+	return nil
+}
+
+// Stop unbinds the endpoint and ends the probe loop at its next wakeup.
+func (g *Gateway) Stop() {
+	if !g.started || g.stopped {
+		return
+	}
+	g.stopped = true
+	g.Net.Unlisten(g.Host, g.Port)
+}
+
+// probe refreshes one backend's health and queue depth.
+func (g *Gateway) probe(p *sim.Proc, b *Backend) {
+	client := &vhttp.Client{Net: g.Net, From: g.Host}
+	resp, err := client.Get(p, b.URL()+"/health")
+	b.healthy = err == nil && resp.Status == 200
+	if !b.healthy {
+		return
+	}
+	if mresp, err := client.Get(p, b.URL()+"/metrics"); err == nil && mresp.Status == 200 {
+		text := string(mresp.Body)
+		if v, ok := vllm.ParseMetric(text, "vllm:num_requests_waiting"); ok {
+			b.waiting = int(v)
+		}
+		if v, ok := vllm.ParseMetric(text, "vllm:num_requests_running"); ok {
+			b.running = int(v)
+		}
+		b.scrapeInflight = b.inflight
+	}
+}
+
+// pick chooses the next backend per policy, skipping unhealthy ones and the
+// excluded (just-failed) one. Returns nil when nothing is routable.
+func (g *Gateway) pick(exclude *Backend) *Backend {
+	switch g.Policy {
+	case PolicyLeastLoaded:
+		var best *Backend
+		for _, b := range g.backends {
+			if !b.healthy || b == exclude {
+				continue
+			}
+			if best == nil || b.load() < best.load() {
+				best = b
+			}
+		}
+		return best
+	default: // round-robin
+		for range g.backends {
+			b := g.backends[g.rr%len(g.backends)]
+			g.rr++
+			if b.healthy && b != exclude {
+				return b
+			}
+		}
+		return nil
+	}
+}
+
+// saturated reports whether every healthy replica is past the admission
+// threshold. The estimate is the last scraped waiting depth plus requests
+// the gateway forwarded since that scrape (inflight growth), so bursts
+// between probes still trip the breaker without double-counting requests
+// that were already in the replica's queues when it was scraped.
+func (g *Gateway) saturated() bool {
+	if g.MaxWaiting <= 0 {
+		return false
+	}
+	any := false
+	for _, b := range g.backends {
+		if !b.healthy {
+			continue
+		}
+		any = true
+		if b.waiting+b.inflight-b.scrapeInflight <= g.MaxWaiting {
+			return false
+		}
+	}
+	return any
+}
+
+// forward sends the request to one backend, tracking in-flight load.
+func (g *Gateway) forward(p *sim.Proc, b *Backend, req *vhttp.Request) (*vhttp.Response, error) {
+	client := &vhttp.Client{Net: g.Net, From: g.Host}
+	inner := proxyRequest(req, b.URL())
+	b.inflight++
+	b.requests++
+	resp, err := client.Do(p, inner)
+	b.inflight--
+	return resp, err
+}
+
+// Serve implements vhttp.Service: the virtual endpoint's request path.
+func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+	switch req.Path {
+	case "/health":
+		// The gateway answers for the replica set: up while any replica is.
+		if g.HealthyBackends() > 0 {
+			return vhttp.Text(200, "ok")
+		}
+		return vhttp.Text(503, "unhealthy: no healthy replicas")
+	case "/gateway/status":
+		return g.status()
+	}
+
+	g.stats.Requests++
+	if g.saturated() {
+		g.stats.Rejected++
+		resp := vhttp.Text(503, "503 Service Unavailable (gateway): all replicas past waiting-queue threshold")
+		resp.SetHeader("Retry-After", "30")
+		return resp
+	}
+	b := g.pick(nil)
+	if b == nil {
+		g.stats.Errors++
+		return vhttp.Text(502, "502 Bad Gateway (gateway): no healthy replicas")
+	}
+	resp, err := g.forward(p, b, req)
+	if err == nil && resp.Status < 500 {
+		return resp
+	}
+	// First choice failed: a transport error means the replica endpoint is
+	// gone (engine crashed, container exited) — take it out of rotation
+	// until a probe revives it. A 5xx with a live endpoint (request failed
+	// mid-flight on a dying engine) is retried without marking, since the
+	// next probe decides. Either way: one retry on a different replica.
+	b.failures++
+	if err != nil {
+		b.healthy = false
+	}
+	b2 := g.pick(b)
+	if b2 == nil {
+		g.stats.Errors++
+		if err != nil {
+			return vhttp.Text(502, "502 Bad Gateway (gateway): replica "+b.Name+" unreachable: "+err.Error())
+		}
+		return resp
+	}
+	g.stats.Retries++
+	resp2, err2 := g.forward(p, b2, req)
+	if err2 != nil {
+		b2.failures++
+		b2.healthy = false
+		g.stats.Errors++
+		return vhttp.Text(502, "502 Bad Gateway (gateway): retry on "+b2.Name+" failed: "+err2.Error())
+	}
+	if resp2.Status >= 500 {
+		b2.failures++
+		g.stats.Errors++
+	}
+	return resp2
+}
+
+// status renders the control-plane view of the replica set.
+func (g *Gateway) status() *vhttp.Response {
+	type backendStatus struct {
+		Name     string `json:"name"`
+		URL      string `json:"url"`
+		Healthy  bool   `json:"healthy"`
+		Inflight int    `json:"inflight"`
+		Waiting  int    `json:"waiting"`
+		Running  int    `json:"running"`
+		Requests int    `json:"requests"`
+		Failures int    `json:"failures"`
+	}
+	out := struct {
+		Policy   Policy          `json:"policy"`
+		Stats    GatewayStats    `json:"stats"`
+		Backends []backendStatus `json:"backends"`
+	}{Policy: g.Policy, Stats: g.stats}
+	for _, b := range g.backends {
+		out.Backends = append(out.Backends, backendStatus{
+			Name: b.Name, URL: b.URL(), Healthy: b.healthy,
+			Inflight: b.inflight, Waiting: b.waiting, Running: b.running,
+			Requests: b.requests, Failures: b.failures,
+		})
+	}
+	body, _ := json.Marshal(out)
+	return vhttp.JSON(200, body)
+}
+
+var _ vhttp.Service = (*Gateway)(nil)

@@ -1,0 +1,237 @@
+package ingress
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+)
+
+// replica is a controllable fake backend: health, queue depth, per-request
+// latency, and a forced-failure mode for mid-request crash scenarios.
+type replica struct {
+	name    string
+	up      bool
+	waiting int
+	latency time.Duration
+	// failNext makes the next forwarded request return 500 (the engine
+	// failing an in-flight request as it dies).
+	failNext bool
+	hits     int
+}
+
+func (r *replica) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+	switch req.Path {
+	case "/health":
+		if r.up {
+			return vhttp.Text(200, "ok")
+		}
+		return vhttp.Text(500, "unhealthy")
+	case "/metrics":
+		return vhttp.Text(200, fmt.Sprintf(
+			"vllm:num_requests_waiting %d\nvllm:num_requests_running 0\n", r.waiting))
+	}
+	if r.latency > 0 {
+		p.Sleep(r.latency)
+	}
+	if r.failNext {
+		r.failNext = false
+		return vhttp.Text(500, `{"error":{"message":"vllm: engine dead"}}`)
+	}
+	r.hits++
+	return vhttp.Text(200, r.name)
+}
+
+func newGateway(t *testing.T, policy Policy, reps ...*replica) (*sim.Engine, *vhttp.Net, *Gateway) {
+	t.Helper()
+	eng, net := newNet(t)
+	gw := &Gateway{Net: net, Host: "gw", Port: 8000, Policy: policy, HealthInterval: 10 * time.Second}
+	for i, r := range reps {
+		host := fmt.Sprintf("node%d", i)
+		if err := net.Listen(host, 8000, r, vhttp.ListenOptions{Up: func() bool { return r.up }}); err != nil {
+			t.Fatal(err)
+		}
+		gw.AddBackend(r.name, host, 8000)
+	}
+	if err := gw.Start(eng); err != nil {
+		t.Fatal(err)
+	}
+	return eng, net, gw
+}
+
+func TestGatewayRoundRobinSpreadsRequests(t *testing.T) {
+	a := &replica{name: "a", up: true}
+	b := &replica{name: "b", up: true}
+	c := &replica{name: "c", up: true}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a, b, c)
+	for i := 0; i < 9; i++ {
+		status, _ := get(eng, net, "user", "http://gw:8000/v1/models")
+		if status != 200 {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+	}
+	if a.hits != 3 || b.hits != 3 || c.hits != 3 {
+		t.Fatalf("distribution = %d/%d/%d, want 3/3/3", a.hits, b.hits, c.hits)
+	}
+	if st := gw.Stats(); st.Requests != 9 || st.Retries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGatewayLeastLoadedPrefersShortestQueue(t *testing.T) {
+	a := &replica{name: "a", up: true, waiting: 50}
+	b := &replica{name: "b", up: true, waiting: 2}
+	eng, net, _ := newGateway(t, PolicyLeastLoaded, a, b)
+	eng.RunFor(time.Second) // first probe round scrapes queue depths
+	for i := 0; i < 6; i++ {
+		if _, body := get(eng, net, "user", "http://gw:8000/v1/models"); body != "b" {
+			t.Fatalf("request %d routed to %q, want the short-queue replica", i, body)
+		}
+	}
+	if a.hits != 0 || b.hits != 6 {
+		t.Fatalf("distribution = %d/%d, want 0/6", a.hits, b.hits)
+	}
+}
+
+func TestGatewayRetriesOnCrashedReplica(t *testing.T) {
+	// The acceptance scenario: the first-choice replica dies mid-request
+	// (its in-flight requests surface 500); the gateway retries once on a
+	// different replica and the client sees 200.
+	a := &replica{name: "a", up: true, failNext: true}
+	b := &replica{name: "b", up: true}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a, b)
+	status, body := get(eng, net, "user", "http://gw:8000/v1/chat/completions")
+	if status != 200 || body != "b" {
+		t.Fatalf("status=%d body=%q, want 200 from the healthy replica", status, body)
+	}
+	if st := gw.Stats(); st.Retries != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want exactly one retry", st)
+	}
+}
+
+func TestGatewayRetriesWhenReplicaUnreachable(t *testing.T) {
+	// A fully dead endpoint (engine gone, listener Up=false) is a transport
+	// error: the gateway retries AND takes the replica out of rotation.
+	a := &replica{name: "a", up: true}
+	b := &replica{name: "b", up: true}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a, b)
+	eng.RunFor(time.Second) // probe round 1 sees both replicas healthy
+	a.up = false            // dies between probes: the gateway finds out the hard way
+	for i := 0; i < 4; i++ {
+		status, body := get(eng, net, "user", "http://gw:8000/v1/models")
+		if status != 200 || body != "b" {
+			t.Fatalf("request %d: status=%d body=%q", i, status, body)
+		}
+	}
+	// Only the first request pays the retry; after the mark, picks skip a.
+	if st := gw.Stats(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1 (replica marked down after first failure)", st.Retries)
+	}
+	if gw.HealthyBackends() != 1 {
+		t.Fatalf("healthy = %d, want 1", gw.HealthyBackends())
+	}
+}
+
+func TestGatewayHealthCheckRevivesReplica(t *testing.T) {
+	a := &replica{name: "a", up: true}
+	b := &replica{name: "b", up: true}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a, b)
+	a.up = false
+	get(eng, net, "user", "http://gw:8000/v1/models") // marks a down via retry
+	if gw.HealthyBackends() != 1 {
+		t.Fatalf("healthy = %d, want 1", gw.HealthyBackends())
+	}
+	// The replica comes back (cron restart, redeploy); the probe revives it.
+	a.up = true
+	eng.RunFor(30 * time.Second)
+	if gw.HealthyBackends() != 2 {
+		t.Fatalf("healthy after revival probe = %d, want 2", gw.HealthyBackends())
+	}
+	a.hits, b.hits = 0, 0
+	for i := 0; i < 4; i++ {
+		get(eng, net, "user", "http://gw:8000/v1/models")
+	}
+	if a.hits == 0 {
+		t.Fatal("revived replica receives no traffic")
+	}
+}
+
+func TestGatewayAdmissionControl503(t *testing.T) {
+	a := &replica{name: "a", up: true, waiting: 40}
+	b := &replica{name: "b", up: true, waiting: 60}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a, b)
+	gw.MaxWaiting = 32
+	eng.RunFor(time.Second) // scrape the saturated queue depths
+	status, body := get(eng, net, "user", "http://gw:8000/v1/chat/completions")
+	if status != 503 || !strings.Contains(body, "waiting-queue") {
+		t.Fatalf("status=%d body=%q, want 503 shed", status, body)
+	}
+	if st := gw.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	// One replica draining below threshold re-admits traffic.
+	a.waiting = 4
+	eng.RunFor(30 * time.Second)
+	if status, _ := get(eng, net, "user", "http://gw:8000/v1/chat/completions"); status != 200 {
+		t.Fatalf("post-drain status = %d, want 200", status)
+	}
+}
+
+func TestGatewayHealthAndStatusEndpoints(t *testing.T) {
+	a := &replica{name: "a", up: true}
+	b := &replica{name: "b", up: true}
+	eng, net, gw := newGateway(t, PolicyLeastLoaded, a, b)
+	if status, body := get(eng, net, "user", "http://gw:8000/health"); status != 200 || body != "ok" {
+		t.Fatalf("gateway health = %d %q", status, body)
+	}
+	_, body := get(eng, net, "user", "http://gw:8000/gateway/status")
+	for _, want := range []string{`"policy":"least-loaded"`, `"name":"a"`, `"name":"b"`, `"healthy":true`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("status missing %q:\n%s", want, body)
+		}
+	}
+	// All replicas down: the virtual endpoint reports unhealthy and
+	// forwards fail with 502.
+	a.up, b.up = false, false
+	eng.RunFor(30 * time.Second)
+	if status, _ := get(eng, net, "user", "http://gw:8000/health"); status != 503 {
+		t.Fatalf("health with no replicas = %d, want 503", status)
+	}
+	if status, body := get(eng, net, "user", "http://gw:8000/v1/models"); status != 502 || !strings.Contains(body, "no healthy replicas") {
+		t.Fatalf("forward with no replicas = %d %q", status, body)
+	}
+	gw.Stop()
+	if status, _ := get(eng, net, "user", "http://gw:8000/health"); status != -1 {
+		t.Fatal("stopped gateway still listening")
+	}
+}
+
+func TestGatewayPreservesQueryString(t *testing.T) {
+	eng, net := newNet(t)
+	net.Listen("node0", 8000, vhttp.ServiceFunc(func(p *sim.Proc, r *vhttp.Request) *vhttp.Response {
+		return vhttp.Text(200, "q="+r.Query.Get("q"))
+	}), vhttp.ListenOptions{})
+	gw := &Gateway{Net: net, Host: "gw", Port: 8000}
+	gw.AddBackend("a", "node0", 8000)
+	if err := gw.Start(eng); err != nil {
+		t.Fatal(err)
+	}
+	if _, body := get(eng, net, "user", "http://gw:8000/v1/models?q=llama"); body != "q=llama" {
+		t.Fatalf("query dropped in forwarding: %q", body)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := ParsePolicy(""); err != nil || p != PolicyRoundRobin {
+		t.Fatalf("default policy = %v %v", p, err)
+	}
+	if p, err := ParsePolicy("least-loaded"); err != nil || p != PolicyLeastLoaded {
+		t.Fatalf("least-loaded = %v %v", p, err)
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}

@@ -17,6 +17,23 @@ import (
 	"repro/internal/vhttp"
 )
 
+// proxyRequest clones req for forwarding to a new target base URL,
+// preserving method, headers, body, and the query string. Shared by every
+// proxy in this package (SSH tunnel, CaL, gateway) so they cannot diverge.
+func proxyRequest(req *vhttp.Request, base string) *vhttp.Request {
+	u := base + req.Path
+	if q := req.Query.Encode(); q != "" {
+		u += "?" + q
+	}
+	return &vhttp.Request{
+		Method: req.Method,
+		URL:    u,
+		Header: req.Header,
+		Body:   req.Body,
+		Size:   req.Size,
+	}
+}
+
 // SSHTunnel forwards a local port on the user's system to a compute-node
 // port via a login node: `ssh -L 8000:compute-node:8000 -N -f login-node`.
 type SSHTunnel struct {
@@ -35,13 +52,7 @@ func (t *SSHTunnel) Open() error {
 	fwd := vhttp.ServiceFunc(func(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		// Two hops: user → login node → compute node.
 		client := &vhttp.Client{Net: t.Net, From: t.LoginHost}
-		inner := &vhttp.Request{
-			Method: req.Method,
-			URL:    fmt.Sprintf("http://%s:%d%s", t.TargetHost, t.TargetPort, req.Path),
-			Header: req.Header,
-			Body:   req.Body,
-			Size:   req.Size,
-		}
+		inner := proxyRequest(req, fmt.Sprintf("http://%s:%d", t.TargetHost, t.TargetPort))
 		resp, err := client.Do(p, inner)
 		if err != nil {
 			return vhttp.Text(502, "channel 2: open failed: connect failed: "+err.Error())
@@ -100,13 +111,7 @@ func (c *CaL) AddRoute(r Route) error {
 	rr := r
 	proxy := vhttp.ServiceFunc(func(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		client := &vhttp.Client{Net: c.Net, From: c.GatewayHost}
-		inner := &vhttp.Request{
-			Method: req.Method,
-			URL:    fmt.Sprintf("http://%s:%d%s", rr.TargetHost, rr.TargetPort, req.Path),
-			Header: req.Header,
-			Body:   req.Body,
-			Size:   req.Size,
-		}
+		inner := proxyRequest(req, fmt.Sprintf("http://%s:%d", rr.TargetHost, rr.TargetPort))
 		resp, err := client.Do(p, inner)
 		if err != nil {
 			// NGINX behaviour when the upstream is down.

@@ -1,6 +1,7 @@
 package ingress
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -154,5 +155,56 @@ func TestCronRestarterRecoversService(t *testing.T) {
 	eng.RunUntil(sim.Epoch.Add(2 * time.Hour))
 	if cr.Restarts != 1 {
 		t.Fatal("restarter kept acting after Stop")
+	}
+}
+
+func TestCronRestarterDefaultInterval(t *testing.T) {
+	eng, net := newNet(t)
+	up := false // service down from the start
+	backend(net, "hops15", 8000, "scout", &up)
+	cr := &CronRestarter{
+		Net: net, From: "hops-login1",
+		HealthURL: "http://hops15:8000/health",
+		Redeploy:  func(p *sim.Proc) error { up = true; return nil },
+	}
+	cr.Start(eng)
+	// The zero interval defaults to 5 minutes: nothing happens before the
+	// first poll, recovery right after it.
+	eng.RunUntil(sim.Epoch.Add(4 * time.Minute))
+	if up {
+		t.Fatal("redeployed before the first 5-minute poll")
+	}
+	eng.RunUntil(sim.Epoch.Add(6 * time.Minute))
+	if !up || cr.Restarts != 1 {
+		t.Fatalf("up=%v restarts=%d after first default-interval poll", up, cr.Restarts)
+	}
+}
+
+func TestCronRestarterRetriesFailedRedeploy(t *testing.T) {
+	eng, net := newNet(t)
+	up := false
+	backend(net, "hops15", 8000, "scout", &up)
+	attempts := 0
+	cr := &CronRestarter{
+		Net: net, From: "hops-login1",
+		HealthURL: "http://hops15:8000/health",
+		Interval:  5 * time.Minute,
+		Redeploy: func(p *sim.Proc) error {
+			attempts++
+			if attempts < 3 {
+				return fmt.Errorf("sbatch: allocation failed") // queue full
+			}
+			up = true
+			return nil
+		},
+	}
+	cr.Start(eng)
+	eng.RunUntil(sim.Epoch.Add(time.Hour))
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (retry every poll until it sticks)", attempts)
+	}
+	// Failed redeploys must not count as restarts.
+	if !up || cr.Restarts != 1 {
+		t.Fatalf("up=%v restarts=%d, want recovered with exactly 1 counted restart", up, cr.Restarts)
 	}
 }

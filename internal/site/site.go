@@ -301,6 +301,17 @@ func (s *Site) S3Client(from string) *objstore.Client {
 // NodeByName resolves any node on the site.
 func (s *Site) NodeByName(name string) *hw.Node { return s.hostNodes[name] }
 
+// ServiceHost returns the externally reachable gateway host fronting a
+// platform's services. Hops reuses the Compute-as-Login service node; the
+// other platforms get an equivalent per-platform gateway host. Replica-set
+// deployments bind their load-balancing virtual endpoint here.
+func ServiceHost(platform string) string {
+	if platform == "hops" {
+		return CaLGateway
+	}
+	return platform + "-gw.example.gov"
+}
+
 // ProvisionCaL reserves a Hops node as a Compute-as-Login node and routes an
 // external gateway port to it (the operator action of §3.3).
 func (s *Site) ProvisionCaL(nodeName string, extPort, svcPort int) (*hw.Node, error) {

@@ -177,6 +177,25 @@ func (n *Net) Resolve(host string) string {
 	}
 }
 
+// SplitHostPort parses an absolute base URL ("http://hops03:8000") into its
+// virtual host and port (default 80). Used when one service's endpoint (a
+// deployment's BaseURL) becomes another's backend (a gateway replica).
+func SplitHostPort(rawurl string) (host string, port int, err error) {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return "", 0, fmt.Errorf("vhttp: bad url %q: %v", rawurl, err)
+	}
+	host = u.Hostname()
+	if host == "" {
+		return "", 0, fmt.Errorf("vhttp: url %q has no host", rawurl)
+	}
+	port = 80
+	if ps := u.Port(); ps != "" {
+		fmt.Sscanf(ps, "%d", &port)
+	}
+	return host, port, nil
+}
+
 // Client issues virtual requests from a named host.
 type Client struct {
 	Net  *Net
@@ -195,10 +214,9 @@ func (c *Client) Do(p *sim.Proc, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vhttp: bad url %q: %v", req.URL, err)
 	}
-	host := u.Hostname()
-	port := 80
-	if ps := u.Port(); ps != "" {
-		fmt.Sscanf(ps, "%d", &port)
+	host, port, err := SplitHostPort(req.URL)
+	if err != nil {
+		return nil, err
 	}
 	if c.Net.ReachFn != nil && !c.Net.ReachFn(c.From, host) {
 		return nil, &ConnError{Addr: host, Reason: "network unreachable (firewalled)"}

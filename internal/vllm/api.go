@@ -243,9 +243,23 @@ func (a *APIServer) renderMetrics() string {
 	return b.String()
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+// ParseMetric extracts one gauge from a Prometheus-flavored text exposition
+// (the /metrics surface above). Consumers like the ingress gateway use it to
+// read per-replica queue depth without coupling to the engine in-process.
+func ParseMetric(text, name string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, name)
+		if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+			continue // a longer metric name sharing the prefix
+		}
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(rest), "%g", &v); err == nil {
+			return v, true
+		}
 	}
-	return b
+	return 0, false
 }
