@@ -15,8 +15,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/ingress"
 	"repro/internal/llm"
 	"repro/internal/metrics"
 	"repro/internal/sharegpt"
@@ -33,12 +35,30 @@ func main() {
 		pp       = flag.Int("pp", 1, "pipeline parallel size")
 		replicas = flag.Int("replicas", 1, "engine instances behind the gateway (>1 = replica set)")
 		policy   = flag.String("route-policy", "round-robin", "gateway routing: round-robin, least-loaded")
+		elastic  = flag.Bool("autoscale", false, "autoscale the replica set from gateway load (HPC platforms)")
+		minReps  = flag.Int("min-replicas", 0, "autoscale floor (0 = scale to zero when idle)")
+		maxReps  = flag.Int("max-replicas", 4, "autoscale ceiling")
 		maxLen   = flag.Int("max-model-len", 65536, "context limit")
 		prompts  = flag.Int("num-prompts", 1000, "requests per point")
 		concs    = flag.String("concurrencies", "", "comma list (default 1..1024 powers of 2)")
 		seed     = flag.Int64("seed", 0, "dataset sampling seed")
 	)
 	flag.Parse()
+
+	// Reject bad inputs here rather than deep inside deploy.
+	if *replicas < 1 {
+		fatal(fmt.Errorf("-replicas must be at least 1 (got %d)", *replicas))
+	}
+	if _, err := ingress.ParsePolicy(*policy); err != nil {
+		fatal(err)
+	}
+	var pol *autoscale.Policy
+	if *elastic {
+		pol = &autoscale.Policy{MinReplicas: *minReps, MaxReplicas: *maxReps}
+		if err := pol.Validate(); err != nil {
+			fatal(err)
+		}
+	}
 
 	var points []int
 	if *concs == "" {
@@ -90,7 +110,7 @@ func main() {
 		dp, err := d.Deploy(p, core.VLLMPackage(), pf, core.DeployConfig{
 			Model: m, TensorParallel: *tp, PipelineParallel: *pp,
 			MaxModelLen: *maxLen, Offline: true,
-			Replicas: *replicas, RoutePolicy: *policy,
+			Replicas: *replicas, RoutePolicy: *policy, Autoscale: pol,
 		})
 		if err != nil {
 			failure = err
@@ -119,6 +139,11 @@ func main() {
 			st := gw.Stats()
 			fmt.Printf("# gateway: %d requests, %d retries, %d rejected, %d errors; %d/%d replicas healthy\n",
 				st.Requests, st.Retries, st.Rejected, st.Errors, gw.HealthyBackends(), len(gw.Backends()))
+			if as := dp.Autoscaler(); as != nil {
+				ast := as.Status()
+				fmt.Printf("# autoscaler: %d replicas (target %d), %d scale-ups, %d scale-downs, %d cold-start holds\n",
+					ast.Current, ast.Target, ast.ScaleUps, ast.ScaleDowns, st.Held)
+			}
 		}
 		label := fmt.Sprintf("%s %s TP%d", pf.Name, m.Short, *tp)
 		if *replicas > 1 {

@@ -22,8 +22,10 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/ingress"
 	"repro/internal/llm"
 	"repro/internal/sim"
 	"repro/internal/site"
@@ -91,33 +93,79 @@ func platformByName(name string) (core.Platform, error) {
 	return core.Platform{}, fmt.Errorf("unknown platform %q", name)
 }
 
-func deployFlags(fs *flag.FlagSet) (platform, model *string, tp, pp, maxLen *int, persistent *bool, replicas *int, policy *string) {
-	platform = fs.String("platform", "hops", "target platform (hops, eldorado, goodall, cee)")
-	model = fs.String("model", llm.Scout.Name, "model name")
-	tp = fs.Int("tp", 4, "tensor parallel size")
-	pp = fs.Int("pp", 1, "pipeline parallel size (>1 = multi-node via Ray)")
-	maxLen = fs.Int("max-model-len", 65536, "context length limit")
-	persistent = fs.Bool("persistent", false, "Compute-as-Login persistent service (HPC)")
-	replicas = fs.Int("replicas", 1, "engine instances behind one endpoint (>1 = replica set + gateway)")
-	policy = fs.String("route-policy", "round-robin", "replica-set routing: round-robin, least-loaded")
-	return
+// deployOpts collects the flags shared by plan and deploy.
+type deployOpts struct {
+	platform, model  *string
+	tp, pp, maxLen   *int
+	persistent       *bool
+	replicas         *int
+	policy           *string
+	elastic          *bool
+	minReps, maxReps *int
+	targetQueue      *int
+}
+
+func deployFlags(fs *flag.FlagSet) *deployOpts {
+	o := &deployOpts{}
+	o.platform = fs.String("platform", "hops", "target platform (hops, eldorado, goodall, cee)")
+	o.model = fs.String("model", llm.Scout.Name, "model name")
+	o.tp = fs.Int("tp", 4, "tensor parallel size")
+	o.pp = fs.Int("pp", 1, "pipeline parallel size (>1 = multi-node via Ray)")
+	o.maxLen = fs.Int("max-model-len", 65536, "context length limit")
+	o.persistent = fs.Bool("persistent", false, "Compute-as-Login persistent service (HPC)")
+	o.replicas = fs.Int("replicas", 1, "engine instances behind one endpoint (>1 = replica set + gateway)")
+	o.policy = fs.String("route-policy", "round-robin", "replica-set routing: round-robin, least-loaded")
+	o.elastic = fs.Bool("autoscale", false, "elastically resize the replica set from gateway load (HPC)")
+	o.minReps = fs.Int("min-replicas", 0, "autoscale floor (0 = scale to zero when idle)")
+	o.maxReps = fs.Int("max-replicas", 4, "autoscale ceiling")
+	o.targetQueue = fs.Int("target-queue-depth", 0, "autoscale per-replica queue target (0 = default)")
+	return o
+}
+
+// validate rejects bad inputs at flag-parse time, before any deployment
+// machinery runs. Returns the parsed autoscale policy (nil when disabled).
+func (o *deployOpts) validate() (*autoscale.Policy, error) {
+	if *o.replicas < 1 {
+		return nil, fmt.Errorf("-replicas must be at least 1 (got %d)", *o.replicas)
+	}
+	if _, err := ingress.ParsePolicy(*o.policy); err != nil {
+		return nil, err
+	}
+	if !*o.elastic {
+		return nil, nil
+	}
+	pol := &autoscale.Policy{
+		MinReplicas:      *o.minReps,
+		MaxReplicas:      *o.maxReps,
+		TargetQueueDepth: *o.targetQueue,
+	}
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
+
+func (o *deployOpts) config(m *llm.ModelSpec, pol *autoscale.Policy) core.DeployConfig {
+	return core.DeployConfig{
+		Model: m, TensorParallel: *o.tp, PipelineParallel: *o.pp,
+		MaxModelLen: *o.maxLen, Offline: true, Persistent: *o.persistent,
+		Replicas: *o.replicas, RoutePolicy: *o.policy, Autoscale: pol,
+	}
 }
 
 func runPlan(args []string) {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
-	platform, model, tp, pp, maxLen, persistent, replicas, policy := deployFlags(fs)
+	opts := deployFlags(fs)
 	fs.Parse(args)
-	pf, err := platformByName(*platform)
+	pol, err := opts.validate()
 	fatalIf(err)
-	m, err := llm.ByName(*model)
+	pf, err := platformByName(*opts.platform)
+	fatalIf(err)
+	m, err := llm.ByName(*opts.model)
 	fatalIf(err)
 	s := site.New(site.Options{Small: true, Seed: 1})
 	d := core.NewDeployer(s)
-	plan, err := d.Plan(core.VLLMPackage(), pf, core.DeployConfig{
-		Model: m, TensorParallel: *tp, PipelineParallel: *pp,
-		MaxModelLen: *maxLen, Offline: true, Persistent: *persistent,
-		Replicas: *replicas, RoutePolicy: *policy,
-	})
+	plan, err := d.Plan(core.VLLMPackage(), pf, opts.config(m, pol))
 	fatalIf(err)
 	fmt.Printf("# platform: %s   runtime: %s   image: %s\n", plan.Platform.Name, plan.Runtime, plan.Image)
 	fmt.Println(plan.Artifact)
@@ -128,12 +176,14 @@ func runPlan(args []string) {
 
 func runDeploy(args []string) {
 	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
-	platform, model, tp, pp, maxLen, persistent, replicas, policy := deployFlags(fs)
+	opts := deployFlags(fs)
 	query := fs.String("query", "", "send one chat completion after deploying")
 	fs.Parse(args)
-	pf, err := platformByName(*platform)
+	pol, err := opts.validate()
 	fatalIf(err)
-	m, err := llm.ByName(*model)
+	pf, err := platformByName(*opts.platform)
+	fatalIf(err)
+	m, err := llm.ByName(*opts.model)
 	fatalIf(err)
 
 	s := site.New(site.Options{Small: true, Seed: 1})
@@ -158,11 +208,7 @@ func runDeploy(args []string) {
 			return
 		}
 		start := p.Now()
-		dp, err := d.Deploy(p, core.VLLMPackage(), pf, core.DeployConfig{
-			Model: m, TensorParallel: *tp, PipelineParallel: *pp,
-			MaxModelLen: *maxLen, Offline: true, Persistent: *persistent,
-			Replicas: *replicas, RoutePolicy: *policy,
-		})
+		dp, err := d.Deploy(p, core.VLLMPackage(), pf, opts.config(m, pol))
 		if err != nil {
 			failure = err
 			return
@@ -176,6 +222,11 @@ func runDeploy(args []string) {
 			fmt.Printf("  replicas: %d (%s routing)\n", len(dp.Replicas()), gw.Policy)
 			for _, r := range dp.Replicas() {
 				fmt.Printf("    - %s\n", r.BaseURL)
+			}
+			if pol != nil {
+				resolved := pol.WithDefaults()
+				fmt.Printf("  autoscale: %d–%d replicas, target queue %d/replica, scale-to-zero after %s idle\n",
+					resolved.MinReplicas, resolved.MaxReplicas, resolved.TargetQueueDepth, resolved.ScaleToZeroAfter)
 			}
 		}
 		if *query != "" {

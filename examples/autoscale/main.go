@@ -1,0 +1,175 @@
+// Autoscale: the elastic serving path — a replica set that tracks a
+// compressed diurnal workload between zero and four instances. An open-loop
+// generator drives the gateway through a night → morning ramp → midday peak
+// → evening → night profile; the autoscaler grows the set as queues deepen,
+// drains surplus replicas as demand falls, releases everything at night
+// (scale-to-zero), and cold-starts from zero when the first morning request
+// arrives — which waits at the gateway instead of failing. The acceptance
+// bar: replica count tracks load with zero user-visible failed requests
+// across every scale-up, drain, and cold-start event.
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/sim"
+	"repro/internal/site"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+)
+
+// phase is one segment of the compressed diurnal profile.
+type phase struct {
+	name string
+	dur  time.Duration
+	rps  float64 // mean open-loop arrival rate
+}
+
+func main() {
+	s := site.New(site.Options{Small: true, Seed: 7})
+	d := core.NewDeployer(s)
+	model := llm.Llama318B
+
+	var failure error
+	done := false
+	s.Eng.Go("autoscale-demo", func(p *sim.Proc) {
+		defer func() { done = true }()
+		if failure = core.SeedModel(p, s.HopsLustre, model); failure != nil {
+			return
+		}
+
+		fmt.Println("deploying an elastic replica set (0–4 replicas) of", model.Short, "...")
+		dp, err := d.Deploy(p, core.VLLMPackage(), core.PlatformHops, core.DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 1, RoutePolicy: "least-loaded",
+			Autoscale: &autoscale.Policy{
+				MinReplicas: 0, MaxReplicas: 4, TargetQueueDepth: 6,
+				Interval: 15 * time.Second, ScaleUpCooldown: time.Minute,
+				ScaleDownCooldown: 3 * time.Minute, ScaleToZeroAfter: 8 * time.Minute,
+			},
+		})
+		if err != nil {
+			failure = err
+			return
+		}
+		defer dp.Stop()
+		fmt.Printf("endpoint: %s (stable across every scale event)\n\n", dp.BaseURL)
+
+		phases := []phase{
+			{"night", 25 * time.Minute, 0},
+			{"morning ramp", 30 * time.Minute, 0.6},
+			{"midday peak", 40 * time.Minute, 2.5},
+			{"evening", 30 * time.Minute, 0.4},
+			{"night again", 30 * time.Minute, 0},
+		}
+
+		// Sampler: record the replica count over time and announce changes.
+		start := p.Now()
+		maxReplicas := 0
+		sawZero := false
+		p.Engine().Go("sampler", func(sp *sim.Proc) {
+			last := -1
+			for !done {
+				n := dp.CurrentReplicas()
+				if n != last {
+					st := dp.Autoscaler().Status()
+					fmt.Printf("[%6s] replicas %d → %d  (%s)\n",
+						sp.Now().Sub(start).Round(time.Second), last, n, st.Reason)
+					last = n
+				}
+				if n > maxReplicas {
+					maxReplicas = n
+				}
+				if n == 0 {
+					sawZero = true
+				}
+				sp.Sleep(30 * time.Second)
+			}
+		})
+
+		// Open-loop diurnal generator: requests arrive at the phase's rate
+		// regardless of how fast they complete — the workload shape an HPC
+		// center actually sees from an interactive chat service.
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		body, _ := json.Marshal(vllm.ChatRequest{
+			Messages:  []vllm.ChatMessage{{Role: "user", Content: "What is on the lunch menu today?"}},
+			MaxTokens: 128,
+		})
+		var sent, completed, failed int
+		inflight := s.Eng.NewGroup()
+		rng := s.Eng.Rand()
+		for _, ph := range phases {
+			fmt.Printf("--- %s (%s at %.1f req/s) ---\n", ph.name, ph.dur, ph.rps)
+			end := p.Now().Add(ph.dur)
+			if ph.rps == 0 {
+				p.Sleep(ph.dur)
+				continue
+			}
+			for p.Now().Before(end) {
+				gap := time.Duration(rng.ExpFloat64() / ph.rps * float64(time.Second))
+				p.Sleep(gap)
+				if !p.Now().Before(end) {
+					break
+				}
+				sent++
+				id := sent
+				inflight.Add(1)
+				p.Engine().Go(fmt.Sprintf("user-%d", id), func(rp *sim.Proc) {
+					defer inflight.Finish()
+					resp, err := client.Do(rp, &vhttp.Request{
+						Method: "POST", URL: dp.BaseURL + "/v1/chat/completions",
+						Header: map[string]string{"Content-Type": "application/json"},
+						Body:   body,
+					})
+					if err != nil || resp.Status != 200 {
+						failed++
+					} else {
+						completed++
+					}
+				})
+			}
+		}
+		inflight.WaitAll(p)
+		// Let the tail of the day drain to zero before the verdict.
+		for i := 0; i < 60 && dp.CurrentReplicas() > 0; i++ {
+			p.Sleep(30 * time.Second)
+		}
+
+		st := dp.Gateway().Stats()
+		ast := dp.Autoscaler().Status()
+		fmt.Printf("\nday complete in %s simulated\n", p.Now().Sub(start).Round(time.Minute))
+		fmt.Printf("  requests: %d sent, %d completed, %d failed\n", sent, completed, failed)
+		fmt.Printf("  gateway:  %d retries, %d rejected, %d errors, %d cold-start holds\n",
+			st.Retries, st.Rejected, st.Errors, st.Held)
+		fmt.Printf("  scaling:  peak %d replicas, %d scale-ups, %d scale-downs, now %d\n",
+			maxReplicas, ast.ScaleUps, ast.ScaleDowns, dp.CurrentReplicas())
+
+		switch {
+		case failed > 0 || st.Errors > 0:
+			failure = fmt.Errorf("user-visible failures: %d failed requests, %d gateway errors", failed, st.Errors)
+		case maxReplicas < 2:
+			failure = fmt.Errorf("replica count never tracked the peak (max %d)", maxReplicas)
+		case !sawZero || dp.CurrentReplicas() != 0:
+			failure = fmt.Errorf("set never scaled to zero (now %d)", dp.CurrentReplicas())
+		case st.Held == 0:
+			failure = fmt.Errorf("no request was ever cold-start queued at the gateway")
+		default:
+			fmt.Println("\nreplica count tracked the diurnal load — zero failed requests across",
+				"every scale-up, drain, and cold-start event.")
+		}
+	})
+	for i := 0; i < 20000 && !done; i++ {
+		s.Eng.RunFor(time.Minute)
+	}
+	if failure != nil {
+		log.Fatal(failure)
+	}
+}

@@ -1,0 +1,326 @@
+// Package autoscale is the elastic replica controller: a control loop
+// (running as a sim.Proc) that watches a replica set's gateway load signals
+// — requests held at the gateway, per-replica queue depths scraped from
+// vLLM's /metrics, and EWMA-smoothed request rate and p95 latency — and
+// resizes the deployment between MinReplicas and MaxReplicas, including
+// scale-to-zero with cold-start queuing at the gateway.
+//
+// The shape follows the related work: Chat AI (Doosthosseini et al.) spawns
+// and retires Slurm-backed LLM services with demand, and the CSCS Cray EX
+// experience paper makes the same case for elastic ML services on
+// batch-scheduled machines. An HPC center cannot hold N GPU nodes forever
+// for a diurnal chat workload; this controller gives the fixed-size replica
+// sets of internal/core their missing elasticity.
+package autoscale
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ingress"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Policy is the user-facing autoscaling contract (DeployConfig.Autoscale).
+// Zero-valued knobs take the documented defaults.
+type Policy struct {
+	// MinReplicas is the floor the set never shrinks below. 0 enables
+	// scale-to-zero: after ScaleToZeroAfter of idleness the last replica is
+	// drained and released, and the gateway queues cold-start requests.
+	MinReplicas int
+	// MaxReplicas is the ceiling (required, >= max(MinReplicas, 1)).
+	MaxReplicas int
+	// TargetQueueDepth is the per-replica demand (gateway in-flight plus
+	// scraped waiting/running) the controller sizes the set for (default 8).
+	TargetQueueDepth int
+	// ScaleUpThreshold is the per-replica load above which the set grows
+	// (default: TargetQueueDepth).
+	ScaleUpThreshold float64
+	// ScaleDownThreshold is the per-replica load below which the set
+	// shrinks toward the load's demand (default: TargetQueueDepth/4).
+	ScaleDownThreshold float64
+	// ScaleUpCooldown is the minimum spacing between scale-ups (default 1m).
+	// Cold starts from zero replicas bypass it: a request is waiting.
+	ScaleUpCooldown time.Duration
+	// ScaleDownCooldown is the minimum spacing between scale-downs
+	// (default 5m) — scale up fast, scale down slowly.
+	ScaleDownCooldown time.Duration
+	// ScaleToZeroAfter is how long the set must be completely idle (no
+	// load, no held requests, no new arrivals) before dropping to
+	// MinReplicas (default 15m). Only reaches zero when MinReplicas is 0.
+	ScaleToZeroAfter time.Duration
+	// Interval is the control-loop tick (default 30s).
+	Interval time.Duration
+	// RateHalflife is the EWMA halflife smoothing the request-rate and
+	// p95-latency signals (default 1m).
+	RateHalflife time.Duration
+}
+
+// WithDefaults returns the policy with zero-valued knobs resolved.
+func (pol Policy) WithDefaults() Policy {
+	out := pol
+	if out.TargetQueueDepth <= 0 {
+		out.TargetQueueDepth = 8
+	}
+	if out.ScaleUpThreshold <= 0 {
+		out.ScaleUpThreshold = float64(out.TargetQueueDepth)
+	}
+	if out.ScaleDownThreshold <= 0 {
+		out.ScaleDownThreshold = float64(out.TargetQueueDepth) / 4
+	}
+	if out.ScaleUpCooldown <= 0 {
+		out.ScaleUpCooldown = time.Minute
+	}
+	if out.ScaleDownCooldown <= 0 {
+		out.ScaleDownCooldown = 5 * time.Minute
+	}
+	if out.ScaleToZeroAfter <= 0 {
+		out.ScaleToZeroAfter = 15 * time.Minute
+	}
+	if out.Interval <= 0 {
+		out.Interval = 30 * time.Second
+	}
+	if out.RateHalflife <= 0 {
+		out.RateHalflife = time.Minute
+	}
+	return out
+}
+
+// Validate rejects inconsistent policies (after defaults are applied).
+func (pol Policy) Validate() error {
+	p := pol.WithDefaults()
+	if p.MinReplicas < 0 {
+		return fmt.Errorf("autoscale: MinReplicas must be >= 0 (got %d)", p.MinReplicas)
+	}
+	if p.MaxReplicas < 1 {
+		return fmt.Errorf("autoscale: MaxReplicas must be >= 1 (got %d)", p.MaxReplicas)
+	}
+	if p.MaxReplicas < p.MinReplicas {
+		return fmt.Errorf("autoscale: MaxReplicas (%d) must be >= MinReplicas (%d)", p.MaxReplicas, p.MinReplicas)
+	}
+	if p.ScaleDownThreshold >= p.ScaleUpThreshold {
+		return fmt.Errorf("autoscale: ScaleDownThreshold (%g) must be below ScaleUpThreshold (%g)",
+			p.ScaleDownThreshold, p.ScaleUpThreshold)
+	}
+	return nil
+}
+
+// Scaler is the deployment surface the controller drives. Implemented by
+// core.Deployment for replica sets; tests substitute fakes.
+type Scaler interface {
+	// CurrentReplicas reports the live instance count.
+	CurrentReplicas() int
+	// ScaleTo resizes the set to n instances, blocking until new replicas
+	// are ready (registered with the gateway) or surplus ones are drained
+	// and released. Runs on the controller's process.
+	ScaleTo(p *sim.Proc, n int) error
+}
+
+// Status is the controller's observable state, rendered into the gateway's
+// /gateway/status JSON.
+type Status struct {
+	Current    int     `json:"current"`
+	Target     int     `json:"target"`
+	Load       int     `json:"load"`
+	Holding    int     `json:"holding"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	P95Millis  float64 `json:"p95_ms"`
+	Reason     string  `json:"reason"`
+	Scaling    bool    `json:"scaling"`
+	ScaleUps   int     `json:"scale_ups"`
+	ScaleDowns int     `json:"scale_downs"`
+	LastError  string  `json:"last_error,omitempty"`
+}
+
+// Autoscaler watches a Gateway and resizes a Scaler per a Policy.
+type Autoscaler struct {
+	Gateway *ingress.Gateway
+	Scaler  Scaler
+	Policy  Policy
+
+	pol          Policy // resolved
+	status       Status
+	rate         metrics.EWMA
+	p95          metrics.EWMA
+	prevRequests int // gateway request counter at the previous tick
+	idleSince    time.Time
+	lastUp       time.Time
+	lastDown     time.Time
+	started      bool
+	stopped      bool
+}
+
+// Start validates the policy and launches the control loop.
+func (a *Autoscaler) Start(eng *sim.Engine) error {
+	if a.started {
+		return fmt.Errorf("autoscale: controller already started")
+	}
+	if a.Gateway == nil || a.Scaler == nil {
+		return fmt.Errorf("autoscale: Gateway and Scaler are required")
+	}
+	if err := a.Policy.Validate(); err != nil {
+		return err
+	}
+	a.pol = a.Policy.WithDefaults()
+	a.rate.Halflife = a.pol.RateHalflife
+	a.p95.Halflife = a.pol.RateHalflife
+	a.prevRequests = a.Gateway.Stats().Requests
+	a.started = true
+	eng.Go("autoscale-"+a.Gateway.Host, func(p *sim.Proc) {
+		for !a.stopped {
+			p.Sleep(a.pol.Interval)
+			if a.stopped {
+				return
+			}
+			a.tick(p)
+		}
+	})
+	return nil
+}
+
+// Stop ends the control loop at its next wakeup.
+func (a *Autoscaler) Stop() { a.stopped = true }
+
+// Status returns a snapshot of the controller's last decision.
+func (a *Autoscaler) Status() Status { return a.status }
+
+// tick runs one control-loop pass: sample signals, decide, apply.
+func (a *Autoscaler) tick(p *sim.Proc) {
+	now := p.Now()
+	cur := a.Scaler.CurrentReplicas()
+	load := a.Gateway.Load()
+	holding := a.Gateway.Holding()
+	rate := a.rate.Observe(now, a.Gateway.RequestRate(now))
+	p95 := a.p95.Observe(now, float64(a.Gateway.LatencyQuantile(now, 0.95))/float64(time.Millisecond))
+	// Idleness is judged on exact arrival counts, not the smoothed rate: an
+	// EWMA of a windowed rate takes many halflives to decay below any
+	// threshold, which would push scale-to-zero far past ScaleToZeroAfter.
+	reqs := a.Gateway.Stats().Requests
+	newArrivals := reqs - a.prevRequests
+	a.prevRequests = reqs
+
+	target, reason := a.desired(now, cur, load, holding, newArrivals)
+	a.status.Current, a.status.Target = cur, target
+	a.status.Load, a.status.Holding = load, holding
+	a.status.RatePerSec, a.status.P95Millis = rate, p95
+	a.status.Reason = reason
+	if target == cur {
+		return
+	}
+	a.status.Scaling = true
+	err := a.Scaler.ScaleTo(p, target)
+	a.status.Scaling = false
+	if err != nil {
+		a.status.LastError = err.Error()
+	} else {
+		a.status.LastError = ""
+	}
+	// Record the direction actually applied, not the one requested: a
+	// partially successful scale-up (some replicas came up, one launch
+	// failed) must still start the cooldown and post-scale-up
+	// stabilization window, or the fresh replicas — whose queues look
+	// empty until scraped — would be drained right back down.
+	after := a.Scaler.CurrentReplicas()
+	if after > cur {
+		a.lastUp = p.Now()
+		a.status.ScaleUps++
+	} else if after < cur {
+		a.lastDown = p.Now()
+		a.status.ScaleDowns++
+	}
+	a.status.Current = after
+}
+
+// desired computes the next replica target from the sampled signals.
+func (a *Autoscaler) desired(now time.Time, cur, load, holding, newArrivals int) (int, string) {
+	pol := a.pol
+
+	idle := load == 0 && holding == 0 && newArrivals == 0
+	if idle {
+		if a.idleSince.IsZero() {
+			a.idleSince = now
+		}
+	} else {
+		a.idleSince = time.Time{}
+	}
+
+	// Cold start: demand against zero replicas. Held requests are waiting on
+	// this decision, so the scale-up cooldown does not apply.
+	if cur == 0 {
+		if holding > 0 || !idle {
+			demand := load
+			if demand < 1 {
+				demand = 1
+			}
+			return a.clamp(ceilDiv(demand, pol.TargetQueueDepth), 1), "cold start: demand with zero replicas"
+		}
+		return 0, "idle at zero"
+	}
+
+	per := float64(load) / float64(cur)
+
+	if per > pol.ScaleUpThreshold && cur < pol.MaxReplicas {
+		if !a.lastUp.IsZero() && now.Sub(a.lastUp) < pol.ScaleUpCooldown {
+			return cur, "scale-up in cooldown"
+		}
+		n := ceilDiv(load, pol.TargetQueueDepth)
+		if n <= cur {
+			n = cur + 1
+		}
+		return a.clamp(n, cur), fmt.Sprintf("per-replica load %.1f above threshold %.1f", per, pol.ScaleUpThreshold)
+	}
+
+	// Scale-to-zero (or to the floor) after sustained idleness.
+	if idle && now.Sub(a.idleSince) >= pol.ScaleToZeroAfter && cur > pol.MinReplicas {
+		return pol.MinReplicas, fmt.Sprintf("idle for %s", now.Sub(a.idleSince).Round(time.Second))
+	}
+
+	// Gradual scale-down toward the load's demand: one replica at a time,
+	// only after the set has been stable since the last scale event (a
+	// fresh replica's queues look empty until scraped, so reacting to them
+	// immediately would flap). Never to zero on this path — zero is
+	// reserved for the idle timeout above.
+	floor := pol.MinReplicas
+	if floor < 1 {
+		floor = 1
+	}
+	if per < pol.ScaleDownThreshold && cur > floor {
+		if !a.lastDown.IsZero() && now.Sub(a.lastDown) < pol.ScaleDownCooldown {
+			return cur, "scale-down in cooldown"
+		}
+		if !a.lastUp.IsZero() && now.Sub(a.lastUp) < pol.ScaleDownCooldown {
+			return cur, "stabilizing after scale-up"
+		}
+		n := cur - 1
+		if want := ceilDiv(load, pol.TargetQueueDepth); n < want {
+			n = want
+		}
+		if n < floor {
+			n = floor
+		}
+		if n >= cur {
+			return cur, "steady"
+		}
+		return n, fmt.Sprintf("per-replica load %.1f below threshold %.1f", per, pol.ScaleDownThreshold)
+	}
+	return cur, "steady"
+}
+
+// clamp bounds n into [max(lo, MinReplicas... as applicable), MaxReplicas].
+func (a *Autoscaler) clamp(n, lo int) int {
+	if n < lo {
+		n = lo
+	}
+	if n > a.pol.MaxReplicas {
+		n = a.pol.MaxReplicas
+	}
+	return n
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/autoscale"
 	"repro/internal/cruntime"
 	"repro/internal/fsim"
 	"repro/internal/hw"
@@ -163,6 +164,12 @@ type DeployConfig struct {
 	// sets: the gateway sheds load with 503 once every replica's waiting
 	// queue is past this depth. 0 disables.
 	GatewayMaxWaiting int
+	// Autoscale, when non-nil, runs an elastic control loop that resizes
+	// the replica set between the policy's MinReplicas and MaxReplicas from
+	// gateway load signals, including scale-to-zero with cold-start queuing
+	// at the gateway. HPC platforms only; on Kubernetes use the cluster's
+	// HPA. Replicas is the initial size (clamped into the policy's range).
+	Autoscale *autoscale.Policy
 	// IngressHost exposes the service externally on Kubernetes.
 	IngressHost string
 }

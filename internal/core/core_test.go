@@ -2,11 +2,14 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cruntime"
+	"repro/internal/flux"
 	"repro/internal/ingress"
 	"repro/internal/llm"
 	"repro/internal/sim"
@@ -521,6 +524,252 @@ func TestCaLPersistentOutlivesJobLimit(t *testing.T) {
 		resp, err := client.Get(p, cal.ExternalURL+"/health")
 		if err != nil || resp.Status != 200 {
 			t.Fatalf("CaL gateway: %v %d", err, resp.Status)
+		}
+	})
+}
+
+func TestReplicaSetDeploymentOnFlux(t *testing.T) {
+	// The replica-set path on the Flux platform (El Dorado): three Apptainer
+	// instances on distinct nodes, each a separate Flux allocation, behind
+	// one gateway endpoint; Stop releases the allocations via `flux cancel`.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.EldoradoLustre, model); err != nil {
+			t.Fatal(err)
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformEldorado, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 3, RoutePolicy: "least-loaded",
+		})
+		if err != nil {
+			t.Fatalf("Deploy: %v", err)
+		}
+		reps := dp.Replicas()
+		if len(reps) != 3 {
+			t.Fatalf("replicas = %d, want 3", len(reps))
+		}
+		hosts := map[string]bool{}
+		for _, r := range reps {
+			if !r.Healthy(p) {
+				t.Fatalf("replica %s not healthy", r.BaseURL)
+			}
+			if r.fluxJob == nil || r.fluxJob.State != flux.StateRun {
+				t.Fatalf("replica %s should hold a running Flux allocation", r.BaseURL)
+			}
+			hosts[r.BaseURL] = true
+		}
+		if len(hosts) != 3 {
+			t.Fatalf("replicas share nodes: %v", hosts)
+		}
+		gw := dp.Gateway()
+		if gw == nil || dp.BaseURL != gw.Endpoint() {
+			t.Fatalf("BaseURL %q should be the gateway endpoint", dp.BaseURL)
+		}
+		if len(gw.Backends()) != 3 || gw.HealthyBackends() != 3 {
+			t.Fatalf("gateway wiring: %d backends, %d healthy", len(gw.Backends()), gw.HealthyBackends())
+		}
+		// A chat completion flows through the virtual endpoint.
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		body, _ := json.Marshal(vllm.ChatRequest{
+			Messages: []vllm.ChatMessage{{Role: "user", Content: "hello"}}, MaxTokens: 16,
+		})
+		resp, err := client.Do(p, &vhttp.Request{
+			Method: "POST", URL: dp.BaseURL + "/v1/chat/completions", Body: body,
+		})
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("chat through flux gateway: %v %d", err, resp.Status)
+		}
+		// Teardown cancels the Flux allocations, freeing the nodes.
+		dp.Stop()
+		p.Sleep(time.Minute)
+		for _, r := range reps {
+			if r.fluxJob.State == flux.StateRun || r.fluxJob.State == flux.StateSched {
+				t.Fatalf("flux job %s still %s after Stop", r.fluxJob.ID, r.fluxJob.State)
+			}
+		}
+	})
+}
+
+func TestAutoscaleElasticReplicaSet(t *testing.T) {
+	// The elastic serving path end to end: sustained load grows the set,
+	// idleness drains it to zero (scale-to-zero), and a request against
+	// zero replicas is held at the gateway through the cold start — with no
+	// user-visible failures across any scale event.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.HopsLustre, model); err != nil {
+			t.Fatal(err)
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 1, RoutePolicy: "least-loaded",
+			Autoscale: &autoscale.Policy{
+				MinReplicas: 0, MaxReplicas: 3, TargetQueueDepth: 6,
+				Interval: 15 * time.Second, ScaleUpCooldown: 30 * time.Second,
+				ScaleDownCooldown: 2 * time.Minute, ScaleToZeroAfter: 5 * time.Minute,
+			},
+		})
+		if err != nil {
+			t.Fatalf("Deploy: %v", err)
+		}
+		defer dp.Stop()
+		if dp.Autoscaler() == nil || dp.CurrentReplicas() != 1 {
+			t.Fatalf("autoscaled deploy: autoscaler=%v replicas=%d", dp.Autoscaler(), dp.CurrentReplicas())
+		}
+
+		// Sustained closed-loop load from 24 workers.
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		stop := false
+		var failures int
+		for w := 0; w < 24; w++ {
+			p.Engine().Go(fmt.Sprintf("load-%d", w), func(wp *sim.Proc) {
+				body, _ := json.Marshal(vllm.ChatRequest{
+					Messages: []vllm.ChatMessage{{Role: "user", Content: "sustained load"}}, MaxTokens: 256,
+				})
+				for !stop {
+					resp, err := client.Do(wp, &vhttp.Request{
+						Method: "POST", URL: dp.BaseURL + "/v1/chat/completions", Body: body,
+					})
+					if err != nil || resp.Status != 200 {
+						failures++
+					}
+				}
+			})
+		}
+		for i := 0; i < 240 && dp.CurrentReplicas() < 2; i++ {
+			p.Sleep(15 * time.Second)
+		}
+		if dp.CurrentReplicas() < 2 {
+			t.Fatalf("set never scaled up under load: %d replicas, status %+v",
+				dp.CurrentReplicas(), dp.Autoscaler().Status())
+		}
+		stop = true
+
+		// Idle out: the set must drain all the way to zero.
+		for i := 0; i < 240 && dp.CurrentReplicas() > 0; i++ {
+			p.Sleep(30 * time.Second)
+		}
+		if dp.CurrentReplicas() != 0 {
+			t.Fatalf("set never scaled to zero: %d replicas, status %+v",
+				dp.CurrentReplicas(), dp.Autoscaler().Status())
+		}
+
+		// Cold start: one request against zero replicas queues at the
+		// gateway and completes once the controller brings a replica back.
+		body, _ := json.Marshal(vllm.ChatRequest{
+			Messages: []vllm.ChatMessage{{Role: "user", Content: "wake up"}}, MaxTokens: 16,
+		})
+		resp, err := client.Do(p, &vhttp.Request{
+			Method: "POST", URL: dp.BaseURL + "/v1/chat/completions", Body: body,
+		})
+		if err != nil || resp.Status != 200 {
+			t.Fatalf("cold-start request: %v %d", err, resp.Status)
+		}
+		if dp.CurrentReplicas() < 1 {
+			t.Fatalf("replicas after cold start = %d", dp.CurrentReplicas())
+		}
+		st := dp.Gateway().Stats()
+		if st.Held == 0 {
+			t.Fatal("cold-start request was never held at the gateway")
+		}
+		if failures > 0 || st.Errors > 0 {
+			t.Fatalf("user-visible failures across scale events: workers=%d gateway errors=%d", failures, st.Errors)
+		}
+		ast := dp.Autoscaler().Status()
+		if ast.ScaleUps < 2 || ast.ScaleDowns < 1 {
+			t.Fatalf("autoscaler status = %+v, want >=2 scale-ups (load + cold start) and >=1 scale-down", ast)
+		}
+	})
+}
+
+func TestScaleToManual(t *testing.T) {
+	// ScaleTo/AddReplica/RemoveReplica as a user-facing API, no autoscaler.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.HopsLustre, model); err != nil {
+			t.Fatal(err)
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 2, RoutePolicy: "round-robin",
+		})
+		if err != nil {
+			t.Fatalf("Deploy: %v", err)
+		}
+		defer dp.Stop()
+		if err := dp.ScaleTo(p, 4); err != nil {
+			t.Fatalf("ScaleTo(4): %v", err)
+		}
+		if dp.CurrentReplicas() != 4 || dp.Gateway().HealthyBackends() != 4 {
+			t.Fatalf("after ScaleTo(4): %d replicas, %d healthy backends",
+				dp.CurrentReplicas(), dp.Gateway().HealthyBackends())
+		}
+		hosts := map[string]bool{}
+		for _, r := range dp.Replicas() {
+			hosts[r.BaseURL] = true
+			if r.job == nil {
+				t.Fatalf("replica %s missing its Slurm job handle", r.BaseURL)
+			}
+		}
+		if len(hosts) != 4 {
+			t.Fatalf("replicas share nodes: %v", hosts)
+		}
+		if err := dp.ScaleTo(p, 1); err != nil {
+			t.Fatalf("ScaleTo(1): %v", err)
+		}
+		if dp.CurrentReplicas() != 1 || dp.Gateway().HealthyBackends() != 1 {
+			t.Fatalf("after ScaleTo(1): %d replicas, %d healthy backends",
+				dp.CurrentReplicas(), dp.Gateway().HealthyBackends())
+		}
+		// Scaled-down jobs are cancelled, freeing their nodes.
+		p.Sleep(time.Minute)
+		if got := len(s.Hops.Running()); got != 1 {
+			t.Fatalf("running slurm jobs after scale-down = %d, want 1", got)
+		}
+		// The survivor still serves through the gateway.
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		if resp, err := client.Get(p, dp.BaseURL+"/v1/models"); err != nil || resp.Status != 200 {
+			t.Fatalf("serve after scale-down: %v %v", err, resp)
+		}
+		// Single-instance deployments cannot scale.
+		single, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer single.Stop()
+		if err := single.ScaleTo(p, 2); err == nil || !strings.Contains(err.Error(), "not a replica-set") {
+			t.Fatalf("ScaleTo on single instance: %v", err)
+		}
+	})
+}
+
+func TestScaleToRejectsOversubscription(t *testing.T) {
+	// Live growth honours the same fail-fast capacity check as the initial
+	// deploy: the small site has 8 hops nodes.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.HopsLustre, model); err != nil {
+			t.Fatal(err)
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 2, RoutePolicy: "round-robin",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dp.Stop()
+		if err := dp.ScaleTo(p, 50); err == nil || !strings.Contains(err.Error(), "replica set needs") {
+			t.Fatalf("oversubscribed ScaleTo: %v", err)
+		}
+		if dp.CurrentReplicas() != 2 {
+			t.Fatalf("failed ScaleTo changed the set: %d replicas", dp.CurrentReplicas())
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cruntime"
 	"repro/internal/flux"
 	"repro/internal/helm"
@@ -39,12 +40,20 @@ func (d *Deployer) Deploy(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg D
 	if cfg.Port == 0 {
 		cfg.Port = pkg.Needs.Port
 	}
-	if cfg.Replicas > 1 {
+	if cfg.Replicas > 1 || cfg.Autoscale != nil {
 		// Validate the policy on every platform kind; on Kubernetes the
 		// cluster Service round-robins regardless, but a typo'd policy
 		// should not deploy silently anywhere.
 		if _, err := ingress.ParsePolicy(cfg.RoutePolicy); err != nil {
 			return nil, err
+		}
+		if cfg.Autoscale != nil {
+			if err := cfg.Autoscale.Validate(); err != nil {
+				return nil, err
+			}
+			if pf.Kind == "k8s" {
+				return nil, fmt.Errorf("core: Autoscale is not supported on Kubernetes platforms (use the cluster's HPA)")
+			}
 		}
 		if pf.Kind != "k8s" {
 			return d.deployReplicaSet(p, pkg, pf, cfg)
@@ -61,12 +70,15 @@ func (d *Deployer) Deploy(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg D
 	return nil, fmt.Errorf("core: unknown platform kind %q", pf.Kind)
 }
 
-// deployReplicaSet launches cfg.Replicas independent single-instance
-// deployments (each reusing the full per-instance plan/startup/fault path)
-// and fronts them with a load-balancing gateway: one virtual endpoint that
-// health-checks replicas, spreads requests, and retries a failed request on
-// a different replica — the control-plane shape Chat AI and OpenTela put in
-// front of scheduler-backed instances.
+// deployReplicaSet launches the initial replicas as independent
+// single-instance deployments (each reusing the full per-instance
+// plan/startup/fault path) and fronts them with a load-balancing gateway:
+// one virtual endpoint that health-checks replicas, spreads requests, and
+// retries a failed request on a different replica — the control-plane shape
+// Chat AI and OpenTela put in front of scheduler-backed instances. With an
+// Autoscale policy the set is elastic: an autoscale.Autoscaler control loop
+// resizes it through Deployment.ScaleTo, and the gateway queues cold-start
+// requests whenever the set is scaled to zero.
 func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*Deployment, error) {
 	if cfg.Persistent {
 		return nil, fmt.Errorf("core: Persistent (Compute-as-Login) and Replicas>1 are exclusive; the replica gateway already provides the stable endpoint")
@@ -76,11 +88,83 @@ func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platf
 		return nil, err
 	}
 	n := cfg.Replicas
+	if n < 1 {
+		n = 1
+	}
+	var pol *autoscale.Policy
+	if cfg.Autoscale != nil {
+		// Deploy validated the policy already; only resolve defaults here.
+		resolved := cfg.Autoscale.WithDefaults()
+		// The initial size must sit inside the elastic range; scale-to-zero
+		// only happens after the idle timeout, so start with at least one.
+		if n > resolved.MaxReplicas {
+			n = resolved.MaxReplicas
+		}
+		if n < resolved.MinReplicas {
+			n = resolved.MinReplicas
+		}
+		if n < 1 {
+			n = 1
+		}
+		pol = &resolved
+	}
 	single := cfg
 	single.Replicas = 1
+	single.Autoscale = nil
 
 	// Oversubscription would leave the surplus replicas queued behind the
-	// running ones' 48h time limits; fail fast instead.
+	// running ones' 48h time limits; fail fast instead. Elastic sets are
+	// checked at their ceiling so a scale-up cannot strand pending jobs.
+	capN := n
+	if pol != nil && pol.MaxReplicas > capN {
+		capN = pol.MaxReplicas
+	}
+	if err := d.checkReplicaCapacity(pf, single, capN); err != nil {
+		return nil, err
+	}
+
+	gw := &ingress.Gateway{
+		Net:           d.Site.Net,
+		Host:          site.ServiceHost(pf.Name),
+		Port:          cfg.Port,
+		Policy:        policy,
+		MaxWaiting:    cfg.GatewayMaxWaiting,
+		HoldColdStart: pol != nil,
+	}
+	dp := &Deployment{
+		Name:     pkg.Name,
+		Platform: pf,
+		dep:      d,
+		gateway:  gw,
+		pkg:      pkg,
+		rcfg:     single,
+	}
+	if err := gw.Start(p.Engine()); err != nil {
+		return nil, fmt.Errorf("core: replica set %s: gateway: %w", pkg.Name, err)
+	}
+	if err := dp.addReplicas(p, n); err != nil {
+		dp.Stop()
+		return nil, fmt.Errorf("core: replica set %s: %w", pkg.Name, err)
+	}
+	dp.BaseURL = gw.Endpoint()
+	dp.ExternalURL = gw.Endpoint()
+	if pol != nil {
+		as := &autoscale.Autoscaler{Gateway: gw, Scaler: dp, Policy: *pol}
+		if err := as.Start(p.Engine()); err != nil {
+			dp.Stop()
+			return nil, fmt.Errorf("core: replica set %s: %w", pkg.Name, err)
+		}
+		gw.AutoscaleStatus = func() any { return as.Status() }
+		dp.autoscaler = as
+	}
+	return dp, nil
+}
+
+// checkReplicaCapacity fails fast when a replica set of size n cannot fit
+// on the platform: oversubscribed jobs would otherwise pend behind the
+// running replicas' 48h time limits. Shared by the initial deploy (checked
+// at the autoscale ceiling) and live ScaleTo/AddReplica growth.
+func (d *Deployer) checkReplicaCapacity(pf Platform, single DeployConfig, n int) error {
 	perReplica := single.nodes(d.gpusPerNode(pf))
 	var total int
 	switch pf.Name {
@@ -90,72 +174,10 @@ func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platf
 		total = len(d.Site.EldoradoNodes)
 	}
 	if total > 0 && perReplica*n > total {
-		return nil, fmt.Errorf("core: replica set needs %d nodes (%d replicas × %d nodes each) but %s has %d",
+		return fmt.Errorf("core: replica set needs %d nodes (%d replicas × %d nodes each) but %s has %d",
 			perReplica*n, n, perReplica, pf.Name, total)
 	}
-
-	// Launch replicas concurrently: weight load dominates startup, and the
-	// scheduler hands each 1-instance job a distinct node set.
-	futs := make([]*sim.Future[*Deployment], n)
-	for i := range futs {
-		fut := sim.NewFuture[*Deployment](p.Engine())
-		futs[i] = fut
-		p.Engine().Go(fmt.Sprintf("deploy-%s-r%d", pkg.Name, i), func(rp *sim.Proc) {
-			dp, err := d.Deploy(rp, pkg, pf, single)
-			fut.Resolve(dp, err)
-		})
-	}
-	var replicas []*Deployment
-	var firstErr error
-	for _, fut := range futs {
-		dp, err := sim.Await(p, fut)
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if dp != nil {
-			replicas = append(replicas, dp)
-		}
-	}
-	if firstErr != nil {
-		for _, r := range replicas {
-			r.Stop()
-		}
-		return nil, fmt.Errorf("core: replica set %s: %w", pkg.Name, firstErr)
-	}
-
-	gw := &ingress.Gateway{
-		Net:        d.Site.Net,
-		Host:       site.ServiceHost(pf.Name),
-		Port:       cfg.Port,
-		Policy:     policy,
-		MaxWaiting: cfg.GatewayMaxWaiting,
-	}
-	for i, r := range replicas {
-		host, port, err := vhttp.SplitHostPort(r.BaseURL)
-		if err != nil {
-			firstErr = err
-			break
-		}
-		gw.AddBackend(fmt.Sprintf("%s-%d", pkg.Name, i), host, port)
-	}
-	if firstErr == nil {
-		firstErr = gw.Start(p.Engine())
-	}
-	if firstErr != nil {
-		for _, r := range replicas {
-			r.Stop()
-		}
-		return nil, fmt.Errorf("core: replica set %s: gateway: %w", pkg.Name, firstErr)
-	}
-	return &Deployment{
-		Name:        pkg.Name,
-		Platform:    pf,
-		BaseURL:     gw.Endpoint(),
-		ExternalURL: gw.Endpoint(),
-		dep:         d,
-		gateway:     gw,
-		replicas:    replicas,
-	}, nil
+	return nil
 }
 
 // waitReady waits for a container to report ready or exit.
@@ -349,7 +371,7 @@ func (d *Deployer) deployFlux(p *sim.Proc, pkg *ContainerPackage, pf Platform, c
 	nodesNeeded := cfg.nodes(d.gpusPerNode(pf))
 
 	started := sim.NewFuture[*Deployment](p.Engine())
-	_, err = d.Site.Eldorado.Submit(flux.Jobspec{
+	job, err := d.Site.Eldorado.Submit(flux.Jobspec{
 		Name:     "vllm-" + cfg.Model.Short,
 		NumNodes: nodesNeeded,
 		Duration: 48 * time.Hour,
@@ -367,7 +389,14 @@ func (d *Deployer) deployFlux(p *sim.Proc, pkg *ContainerPackage, pf Platform, c
 	if err != nil {
 		return nil, err
 	}
-	return sim.Await(p, started)
+	dp2, derr := sim.Await(p, started)
+	if derr != nil {
+		return nil, derr
+	}
+	// Keep the allocation handle: Stop (and elastic scale-down) releases the
+	// nodes through `flux cancel`, mirroring the Slurm path's scancel.
+	dp2.fluxJob = job
+	return dp2, nil
 }
 
 // deployK8s installs the bundled Helm chart and waits for readiness.

@@ -3,8 +3,11 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cruntime"
+	"repro/internal/flux"
 	"repro/internal/fsim"
 	"repro/internal/helm"
 	"repro/internal/hw"
@@ -14,6 +17,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/site"
 	"repro/internal/slurm"
+	"repro/internal/vhttp"
 	"repro/internal/vllm"
 )
 
@@ -147,7 +151,19 @@ func (d *Deployer) Plan(pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*
 				"replica set: %d instances on distinct nodes behind http://%s:%d (%s routing, health-checked, 1-retry failover)",
 				cfg.Replicas, site.ServiceHost(pf.Name), cfg.Port, policy))
 		}
+		if cfg.Autoscale != nil {
+			if err := cfg.Autoscale.Validate(); err != nil {
+				return nil, err
+			}
+			pol := cfg.Autoscale.WithDefaults()
+			plan.Notes = append(plan.Notes, fmt.Sprintf(
+				"autoscale: elastic %d–%d replicas, target queue %d/replica, scale-to-zero after %s idle (cold-start requests queue at the gateway)",
+				pol.MinReplicas, pol.MaxReplicas, pol.TargetQueueDepth, pol.ScaleToZeroAfter))
+		}
 	case "k8s":
+		if cfg.Autoscale != nil {
+			return nil, fmt.Errorf("core: Autoscale is not supported on Kubernetes platforms (use the cluster's HPA)")
+		}
 		values := d.helmValues(pkg, image, cfg)
 		plan.Artifact = renderValuesYAML(values)
 		plan.Notes = append(plan.Notes, "helm install "+pkg.Name+" ./charts/vllm -f values.yaml")
@@ -253,6 +269,7 @@ type Deployment struct {
 	server     *vllm.ServerProgram
 	containers []*cruntime.Container
 	job        *slurm.Job
+	fluxJob    *flux.Job
 	release    *helm.Release
 	cluster    *k8s.Cluster
 	ray        *ray.Cluster
@@ -261,16 +278,25 @@ type Deployment struct {
 	stopped    bool
 
 	// Replica-set deployments: the child instances and the load-balancing
-	// gateway fronting them (BaseURL points at the gateway endpoint).
-	gateway  *ingress.Gateway
-	replicas []*Deployment
+	// gateway fronting them (BaseURL points at the gateway endpoint). The
+	// pkg/rcfg pair is the recipe for launching one more replica, so the
+	// set can be resized live; nextReplicaID keeps backend names unique
+	// across scale events. Children record their gateway backendName.
+	gateway       *ingress.Gateway
+	replicas      []*Deployment
+	autoscaler    *autoscale.Autoscaler
+	pkg           *ContainerPackage
+	rcfg          DeployConfig
+	nextReplicaID int
+	backendName   string
 }
 
 // Replicas enumerates the deployment's instances: the child deployments of
-// a replica set, or the deployment itself for the single-instance shape.
-// Each replica supports per-replica Healthy, Stop, and Engine.
+// a replica set (possibly empty when scaled to zero), or the deployment
+// itself for the single-instance shape. Each replica supports per-replica
+// Healthy, Stop, and Engine.
 func (dp *Deployment) Replicas() []*Deployment {
-	if len(dp.replicas) > 0 {
+	if dp.gateway != nil {
 		return append([]*Deployment(nil), dp.replicas...)
 	}
 	return []*Deployment{dp}
@@ -279,6 +305,124 @@ func (dp *Deployment) Replicas() []*Deployment {
 // Gateway returns the replica set's load balancer (nil for single-instance
 // deployments, where BaseURL reaches the engine directly).
 func (dp *Deployment) Gateway() *ingress.Gateway { return dp.gateway }
+
+// Autoscaler returns the elastic controller of an autoscaled replica set
+// (nil otherwise).
+func (dp *Deployment) Autoscaler() *autoscale.Autoscaler { return dp.autoscaler }
+
+// CurrentReplicas implements autoscale.Scaler: the live instance count.
+func (dp *Deployment) CurrentReplicas() int { return len(dp.replicas) }
+
+// ScaleTo elastically resizes a replica-set deployment to n instances:
+// growth launches fresh single-instance deployments concurrently (each a
+// new scheduler job on a distinct node set) and registers them with the
+// gateway as they turn ready; shrinkage gracefully drains the newest
+// replicas through the gateway before cancelling their jobs. n == 0 is
+// scale-to-zero: the gateway endpoint stays up and (with an Autoscale
+// policy) queues requests until the next scale-up. Implements
+// autoscale.Scaler; callers must serialize ScaleTo invocations (the
+// autoscaler's control loop does).
+func (dp *Deployment) ScaleTo(p *sim.Proc, n int) error {
+	if dp.gateway == nil {
+		return fmt.Errorf("core: %s is not a replica-set deployment", dp.Name)
+	}
+	if dp.stopped {
+		return fmt.Errorf("core: deployment %s is stopped", dp.Name)
+	}
+	if n < 0 {
+		n = 0
+	}
+	if k := n - len(dp.replicas); k > 0 {
+		return dp.addReplicas(p, k)
+	}
+	for len(dp.replicas) > n {
+		if err := dp.RemoveReplica(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddReplica grows the replica set by one instance.
+func (dp *Deployment) AddReplica(p *sim.Proc) error {
+	if dp.gateway == nil {
+		return fmt.Errorf("core: %s is not a replica-set deployment", dp.Name)
+	}
+	return dp.addReplicas(p, 1)
+}
+
+// addReplicas launches k single-instance deployments concurrently (weight
+// load dominates startup; the scheduler hands each 1-instance job a
+// distinct node set) and registers each with the gateway once ready —
+// which also releases any requests held for a cold start. Partial success
+// keeps the replicas that did come up and reports the first error.
+func (dp *Deployment) addReplicas(p *sim.Proc, k int) error {
+	d := dp.dep
+	if err := d.checkReplicaCapacity(dp.Platform, dp.rcfg, len(dp.replicas)+k); err != nil {
+		return err
+	}
+	type launch struct {
+		name string
+		fut  *sim.Future[*Deployment]
+	}
+	launches := make([]launch, 0, k)
+	for i := 0; i < k; i++ {
+		name := fmt.Sprintf("%s-%d", dp.Name, dp.nextReplicaID)
+		dp.nextReplicaID++
+		fut := sim.NewFuture[*Deployment](p.Engine())
+		launches = append(launches, launch{name: name, fut: fut})
+		p.Engine().Go("deploy-"+name, func(rp *sim.Proc) {
+			r, err := d.Deploy(rp, dp.pkg, dp.Platform, dp.rcfg)
+			fut.Resolve(r, err)
+		})
+	}
+	var firstErr error
+	for _, l := range launches {
+		r, err := sim.Await(p, l.fut)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if dp.stopped {
+			r.Stop()
+			continue
+		}
+		host, port, err := vhttp.SplitHostPort(r.BaseURL)
+		if err != nil {
+			r.Stop()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		r.backendName = l.name
+		dp.replicas = append(dp.replicas, r)
+		dp.gateway.AddBackend(l.name, host, port)
+	}
+	return firstErr
+}
+
+// RemoveReplica shrinks the replica set by one instance, newest first: the
+// gateway stops routing to it immediately, in-flight requests drain
+// (bounded), and only then is the instance stopped and its scheduler job
+// cancelled — so a scale-down is invisible to clients.
+func (dp *Deployment) RemoveReplica(p *sim.Proc) error {
+	if dp.gateway == nil {
+		return fmt.Errorf("core: %s is not a replica-set deployment", dp.Name)
+	}
+	if len(dp.replicas) == 0 {
+		return fmt.Errorf("core: %s has no replicas to remove", dp.Name)
+	}
+	victim := dp.replicas[len(dp.replicas)-1]
+	dp.replicas = dp.replicas[:len(dp.replicas)-1]
+	if sig := dp.gateway.RemoveBackend(victim.backendName); sig != nil {
+		p.WaitTimeout(sig, 10*time.Minute)
+	}
+	victim.Stop()
+	return nil
+}
 
 // Engine exposes the serving engine (metrics, fault injection). For
 // Kubernetes deployments it resolves through the first ready pod; for
@@ -346,6 +490,9 @@ func (dp *Deployment) Stop() {
 		return
 	}
 	dp.stopped = true
+	if dp.autoscaler != nil {
+		dp.autoscaler.Stop()
+	}
 	if dp.gateway != nil {
 		dp.gateway.Stop()
 	}
@@ -360,6 +507,9 @@ func (dp *Deployment) Stop() {
 	}
 	if dp.job != nil {
 		dp.dep.Site.Hops.Cancel(dp.job)
+	}
+	if dp.fluxJob != nil {
+		dp.dep.Site.Eldorado.Cancel(dp.fluxJob)
 	}
 	if dp.release != nil && dp.cluster != nil {
 		helm.Uninstall(dp.cluster, dp.release)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/vhttp"
 	"repro/internal/vllm"
@@ -40,6 +41,8 @@ type Backend struct {
 	Port int
 
 	healthy  bool
+	draining bool // drain requested: no new requests, detach when idle
+	drained  *sim.Signal
 	inflight int // requests the gateway currently has outstanding here
 	waiting  int // vllm:num_requests_waiting at the last scrape
 	running  int // vllm:num_requests_running at the last scrape
@@ -57,6 +60,9 @@ func (b *Backend) URL() string { return fmt.Sprintf("http://%s:%d", b.Host, b.Po
 // Healthy reports the backend's state as of the last probe or forward.
 func (b *Backend) Healthy() bool { return b.healthy }
 
+// Draining reports whether the backend is being gracefully removed.
+func (b *Backend) Draining() bool { return b.draining }
+
 // Requests returns how many requests the gateway has sent this backend.
 func (b *Backend) Requests() int { return b.requests }
 
@@ -66,12 +72,27 @@ func (b *Backend) QueueDepth() (waiting, running int) { return b.waiting, b.runn
 // load is the least-loaded routing score.
 func (b *Backend) load() int { return b.inflight + b.waiting + b.running }
 
+// queueEstimate is the backend's current demand: the scraped queue depths
+// plus requests forwarded since that scrape (inflight growth), without
+// double-counting requests that were already queued when scraped.
+func (b *Backend) queueEstimate() int {
+	est := b.waiting + b.running + b.inflight - b.scrapeInflight
+	if est < 0 {
+		est = 0
+	}
+	return est
+}
+
+// routable reports whether the backend may receive new requests.
+func (b *Backend) routable() bool { return b.healthy && !b.draining }
+
 // GatewayStats counts gateway-level outcomes.
 type GatewayStats struct {
 	Requests int // forwarded client requests (excludes health/status)
 	Retries  int // second attempts after a first-choice replica failed
 	Rejected int // 503s from queue-aware admission control
 	Errors   int // requests that failed on every attempted replica
+	Held     int // requests queued at the gateway waiting for a replica (cold start)
 }
 
 // Gateway is the load-balancing front door for a replica set: one virtual
@@ -80,6 +101,12 @@ type GatewayStats struct {
 // replica's waiting queue is past a threshold. It generalizes the CaL
 // proxy's static one-route-per-user shape into the control plane the
 // related work (OpenTela, Chat AI) runs in front of transient instances.
+//
+// Backends may be registered and removed while the gateway serves: the
+// autoscaler grows the set with AddBackend and shrinks it with
+// RemoveBackend's graceful drain. With HoldColdStart set, requests that
+// arrive while no replica is routable (scale-to-zero) are queued at the
+// gateway and released when the first replica turns healthy.
 type Gateway struct {
 	Net  *vhttp.Net
 	Host string // virtual endpoint host (e.g. "hops-gw.example.gov")
@@ -92,27 +119,93 @@ type Gateway struct {
 	// replica's scraped waiting depth exceeds it, new requests get 503 with
 	// a Retry-After instead of piling onto saturated engines. 0 disables.
 	MaxWaiting int
+	// HoldColdStart queues requests when no replica is routable instead of
+	// failing them with 502 — the scale-to-zero cold-start path. Held
+	// requests release as soon as a backend is added or revived.
+	HoldColdStart bool
+	// ColdStartWait bounds how long a held request waits for a replica
+	// before giving up with 503 (default 30 minutes — a replica cold start
+	// is dominated by weight loading).
+	ColdStartWait time.Duration
+	// AutoscaleStatus, when non-nil, is rendered into /gateway/status under
+	// "autoscale" so operators can observe the controller's current target.
+	AutoscaleStatus func() any
 
+	eng      *sim.Engine
 	backends []*Backend
 	rr       int
 	stats    GatewayStats
+	holding  int         // requests currently held waiting for a replica
+	wakeup   *sim.Signal // fires when a backend becomes routable
 	started  bool
 	stopped  bool
+
+	arrivals  metrics.Rolling // client request arrival times
+	latencies metrics.Rolling // completed request latencies (ms)
 }
 
 // AddBackend registers a replica endpoint. Backends start healthy; the
-// probe loop and forwarding errors keep the state current.
+// probe loop and forwarding errors keep the state current. Registration is
+// safe while the gateway serves: requests held for a cold start release
+// onto the new backend immediately.
 func (g *Gateway) AddBackend(name, host string, port int) *Backend {
 	b := &Backend{Name: name, Host: host, Port: port, healthy: true}
 	g.backends = append(g.backends, b)
+	g.wakeHeld()
 	return b
 }
 
-// Backends lists registered backends.
+// RemoveBackend starts a graceful drain of the named backend: it stops
+// receiving new requests immediately, and once its in-flight requests
+// finish it detaches from the gateway. The returned signal fires at detach
+// (immediately if the backend is idle); nil if the name is unknown.
+func (g *Gateway) RemoveBackend(name string) *sim.Signal {
+	for _, b := range g.backends {
+		if b.Name != name {
+			continue
+		}
+		if b.drained == nil {
+			b.drained = g.eng.NewSignal()
+		}
+		b.draining = true
+		if b.inflight == 0 {
+			g.detach(b)
+		}
+		return b.drained
+	}
+	return nil
+}
+
+// detach removes a drained backend from the set and fires its signal.
+func (g *Gateway) detach(b *Backend) {
+	for i, x := range g.backends {
+		if x == b {
+			g.backends = append(g.backends[:i], g.backends[i+1:]...)
+			break
+		}
+	}
+	if b.drained != nil {
+		b.drained.Fire()
+	}
+}
+
+// wakeHeld releases requests parked waiting for a routable backend.
+func (g *Gateway) wakeHeld() {
+	if g.wakeup != nil {
+		g.wakeup.Fire()
+		g.wakeup = nil
+	}
+}
+
+// Backends lists registered backends (draining ones included until detach).
 func (g *Gateway) Backends() []*Backend { return append([]*Backend(nil), g.backends...) }
 
 // Stats returns a snapshot of gateway counters.
 func (g *Gateway) Stats() GatewayStats { return g.stats }
+
+// Holding reports how many requests are currently queued at the gateway
+// waiting for a replica (cold start).
+func (g *Gateway) Holding() int { return g.holding }
 
 // Endpoint is the virtual base URL clients target.
 func (g *Gateway) Endpoint() string { return fmt.Sprintf("http://%s:%d", g.Host, g.Port) }
@@ -121,11 +214,36 @@ func (g *Gateway) Endpoint() string { return fmt.Sprintf("http://%s:%d", g.Host,
 func (g *Gateway) HealthyBackends() int {
 	n := 0
 	for _, b := range g.backends {
-		if b.healthy {
+		if b.routable() {
 			n++
 		}
 	}
 	return n
+}
+
+// Load totals the demand the control plane can see: requests held at the
+// gateway plus each routable replica's estimated queue depth (scrape-
+// corrected, so bursts between probes are counted once). The autoscaler's
+// primary signal.
+func (g *Gateway) Load() int {
+	total := g.holding
+	for _, b := range g.backends {
+		if !b.routable() {
+			continue
+		}
+		total += b.queueEstimate()
+	}
+	return total
+}
+
+// RequestRate returns client request arrivals per second over the trailing
+// rolling window (5 minutes).
+func (g *Gateway) RequestRate(now time.Time) float64 { return g.arrivals.PerSecond(now) }
+
+// LatencyQuantile returns the q-quantile of completed request latencies
+// over the trailing rolling window.
+func (g *Gateway) LatencyQuantile(now time.Time, q float64) time.Duration {
+	return time.Duration(g.latencies.Quantile(now, q) * float64(time.Millisecond))
 }
 
 // Start binds the virtual endpoint and launches the health-check loop.
@@ -139,15 +257,25 @@ func (g *Gateway) Start(eng *sim.Engine) error {
 	if g.HealthInterval <= 0 {
 		g.HealthInterval = 15 * time.Second
 	}
+	if g.ColdStartWait <= 0 {
+		g.ColdStartWait = 30 * time.Minute
+	}
 	if err := g.Net.Listen(g.Host, g.Port, g, vhttp.ListenOptions{Up: func() bool { return !g.stopped }}); err != nil {
 		return err
 	}
+	g.eng = eng
 	g.started = true
 	eng.Go("gateway-"+g.Host, func(p *sim.Proc) {
 		for !g.stopped {
-			for _, b := range g.backends {
+			// Snapshot the set: a drain can detach a backend (an in-place
+			// slice shift) while a probe is parked on its HTTP call, which
+			// would skip or double-probe neighbours on the live slice.
+			for _, b := range g.Backends() {
 				if g.stopped {
 					return
+				}
+				if b.draining {
+					continue
 				}
 				g.probe(p, b)
 			}
@@ -157,12 +285,14 @@ func (g *Gateway) Start(eng *sim.Engine) error {
 	return nil
 }
 
-// Stop unbinds the endpoint and ends the probe loop at its next wakeup.
+// Stop unbinds the endpoint, releases held requests, and ends the probe
+// loop at its next wakeup.
 func (g *Gateway) Stop() {
 	if !g.started || g.stopped {
 		return
 	}
 	g.stopped = true
+	g.wakeHeld()
 	g.Net.Unlisten(g.Host, g.Port)
 }
 
@@ -170,9 +300,13 @@ func (g *Gateway) Stop() {
 func (g *Gateway) probe(p *sim.Proc, b *Backend) {
 	client := &vhttp.Client{Net: g.Net, From: g.Host}
 	resp, err := client.Get(p, b.URL()+"/health")
+	wasRoutable := b.routable()
 	b.healthy = err == nil && resp.Status == 200
 	if !b.healthy {
 		return
+	}
+	if !wasRoutable && b.routable() {
+		g.wakeHeld()
 	}
 	if mresp, err := client.Get(p, b.URL()+"/metrics"); err == nil && mresp.Status == 200 {
 		text := string(mresp.Body)
@@ -186,14 +320,15 @@ func (g *Gateway) probe(p *sim.Proc, b *Backend) {
 	}
 }
 
-// pick chooses the next backend per policy, skipping unhealthy ones and the
-// excluded (just-failed) one. Returns nil when nothing is routable.
+// pick chooses the next backend per policy, skipping unhealthy or draining
+// ones and the excluded (just-failed) one. Returns nil when nothing is
+// routable.
 func (g *Gateway) pick(exclude *Backend) *Backend {
 	switch g.Policy {
 	case PolicyLeastLoaded:
 		var best *Backend
 		for _, b := range g.backends {
-			if !b.healthy || b == exclude {
+			if !b.routable() || b == exclude {
 				continue
 			}
 			if best == nil || b.load() < best.load() {
@@ -205,7 +340,7 @@ func (g *Gateway) pick(exclude *Backend) *Backend {
 		for range g.backends {
 			b := g.backends[g.rr%len(g.backends)]
 			g.rr++
-			if b.healthy && b != exclude {
+			if b.routable() && b != exclude {
 				return b
 			}
 		}
@@ -213,7 +348,7 @@ func (g *Gateway) pick(exclude *Backend) *Backend {
 	}
 }
 
-// saturated reports whether every healthy replica is past the admission
+// saturated reports whether every routable replica is past the admission
 // threshold. The estimate is the last scraped waiting depth plus requests
 // the gateway forwarded since that scrape (inflight growth), so bursts
 // between probes still trip the breaker without double-counting requests
@@ -224,7 +359,7 @@ func (g *Gateway) saturated() bool {
 	}
 	any := false
 	for _, b := range g.backends {
-		if !b.healthy {
+		if !b.routable() {
 			continue
 		}
 		any = true
@@ -235,7 +370,8 @@ func (g *Gateway) saturated() bool {
 	return any
 }
 
-// forward sends the request to one backend, tracking in-flight load.
+// forward sends the request to one backend, tracking in-flight load. A
+// draining backend detaches once its last in-flight request completes.
 func (g *Gateway) forward(p *sim.Proc, b *Backend, req *vhttp.Request) (*vhttp.Response, error) {
 	client := &vhttp.Client{Net: g.Net, From: g.Host}
 	inner := proxyRequest(req, b.URL())
@@ -243,7 +379,33 @@ func (g *Gateway) forward(p *sim.Proc, b *Backend, req *vhttp.Request) (*vhttp.R
 	b.requests++
 	resp, err := client.Do(p, inner)
 	b.inflight--
+	if b.draining && b.inflight == 0 {
+		g.detach(b)
+	}
 	return resp, err
+}
+
+// hold parks a request until a backend becomes routable (cold start) or the
+// deadline passes. Returns the picked backend, or nil on timeout/stop. The
+// deadline is fixed at request arrival so a request re-held after its
+// replica died cannot wait more than one ColdStartWait in total.
+func (g *Gateway) hold(p *sim.Proc, deadline time.Time) *Backend {
+	g.holding++
+	defer func() { g.holding-- }()
+	for !g.stopped {
+		remain := deadline.Sub(p.Now())
+		if remain <= 0 {
+			return nil
+		}
+		if g.wakeup == nil {
+			g.wakeup = p.Engine().NewSignal()
+		}
+		p.WaitTimeout(g.wakeup, remain)
+		if b := g.pick(nil); b != nil {
+			return b
+		}
+	}
+	return nil
 }
 
 // Serve implements vhttp.Service: the virtual endpoint's request path.
@@ -251,7 +413,9 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	switch req.Path {
 	case "/health":
 		// The gateway answers for the replica set: up while any replica is.
-		if g.HealthyBackends() > 0 {
+		// A cold-start-holding gateway with zero replicas is still
+		// serviceable — requests queue and complete after scale-up.
+		if g.HealthyBackends() > 0 || (g.HoldColdStart && !g.stopped) {
 			return vhttp.Text(200, "ok")
 		}
 		return vhttp.Text(503, "unhealthy: no healthy replicas")
@@ -260,6 +424,19 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	}
 
 	g.stats.Requests++
+	g.arrivals.Observe(p.Now(), 1)
+	start := p.Now()
+	// One cold-start budget and one Held count per request, shared between
+	// the arrival hold and a possible re-hold after a forward failure.
+	holdDeadline := start.Add(g.ColdStartWait)
+	held := false
+	enterHold := func() *Backend {
+		if !held {
+			held = true
+			g.stats.Held++
+		}
+		return g.hold(p, holdDeadline)
+	}
 	if g.saturated() {
 		g.stats.Rejected++
 		resp := vhttp.Text(503, "503 Service Unavailable (gateway): all replicas past waiting-queue threshold")
@@ -267,12 +444,20 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		return resp
 	}
 	b := g.pick(nil)
+	if b == nil && g.HoldColdStart {
+		b = enterHold()
+		if b == nil {
+			g.stats.Errors++
+			return vhttp.Text(503, "503 Service Unavailable (gateway): no replica became available within the cold-start window")
+		}
+	}
 	if b == nil {
 		g.stats.Errors++
 		return vhttp.Text(502, "502 Bad Gateway (gateway): no healthy replicas")
 	}
 	resp, err := g.forward(p, b, req)
 	if err == nil && resp.Status < 500 {
+		g.latencies.Observe(p.Now(), float64(p.Now().Sub(start))/float64(time.Millisecond))
 		return resp
 	}
 	// First choice failed: a transport error means the replica endpoint is
@@ -285,6 +470,18 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		b.healthy = false
 	}
 	b2 := g.pick(b)
+	if b2 == nil && err != nil && g.HoldColdStart {
+		// The failed attempt consumed the only routable replica (a fresh
+		// cold-started instance can die on its first request). With
+		// cold-start holding on, park the request again — on its original
+		// budget — rather than surface a 502 the next scale-up would have
+		// absorbed.
+		b2 = enterHold()
+		if b2 == nil {
+			g.stats.Errors++
+			return vhttp.Text(503, "503 Service Unavailable (gateway): no replica became available within the cold-start window")
+		}
+	}
 	if b2 == nil {
 		g.stats.Errors++
 		if err != nil {
@@ -303,6 +500,8 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	if resp2.Status >= 500 {
 		b2.failures++
 		g.stats.Errors++
+	} else {
+		g.latencies.Observe(p.Now(), float64(p.Now().Sub(start))/float64(time.Millisecond))
 	}
 	return resp2
 }
@@ -313,6 +512,7 @@ func (g *Gateway) status() *vhttp.Response {
 		Name     string `json:"name"`
 		URL      string `json:"url"`
 		Healthy  bool   `json:"healthy"`
+		Draining bool   `json:"draining"`
 		Inflight int    `json:"inflight"`
 		Waiting  int    `json:"waiting"`
 		Running  int    `json:"running"`
@@ -320,16 +520,21 @@ func (g *Gateway) status() *vhttp.Response {
 		Failures int    `json:"failures"`
 	}
 	out := struct {
-		Policy   Policy          `json:"policy"`
-		Stats    GatewayStats    `json:"stats"`
-		Backends []backendStatus `json:"backends"`
-	}{Policy: g.Policy, Stats: g.stats}
+		Policy    Policy          `json:"policy"`
+		Stats     GatewayStats    `json:"stats"`
+		Holding   int             `json:"holding"`
+		Backends  []backendStatus `json:"backends"`
+		Autoscale any             `json:"autoscale,omitempty"`
+	}{Policy: g.Policy, Stats: g.stats, Holding: g.holding}
 	for _, b := range g.backends {
 		out.Backends = append(out.Backends, backendStatus{
-			Name: b.Name, URL: b.URL(), Healthy: b.healthy,
+			Name: b.Name, URL: b.URL(), Healthy: b.healthy, Draining: b.draining,
 			Inflight: b.inflight, Waiting: b.waiting, Running: b.running,
 			Requests: b.requests, Failures: b.failures,
 		})
+	}
+	if g.AutoscaleStatus != nil {
+		out.Autoscale = g.AutoscaleStatus()
 	}
 	body, _ := json.Marshal(out)
 	return vhttp.JSON(200, body)

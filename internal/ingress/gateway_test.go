@@ -235,3 +235,204 @@ func TestParsePolicy(t *testing.T) {
 		t.Fatal("unknown policy should error")
 	}
 }
+
+func TestGatewayRemoveBackendDrainsGracefully(t *testing.T) {
+	// Scale-down must be invisible to clients: the drained backend stops
+	// receiving new requests immediately, its in-flight request completes,
+	// and only then does it detach.
+	a := &replica{name: "a", up: true, latency: 5 * time.Second}
+	b := &replica{name: "b", up: true}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a, b)
+
+	var slow *vhttp.Response
+	eng.Go("slow-client", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: "user"}
+		slow, _ = c.Get(p, "http://gw:8000/v1/chat/completions") // round-robin: lands on a
+	})
+	eng.RunFor(time.Second) // request is now in flight on a
+
+	drained := gw.RemoveBackend("a")
+	if drained == nil {
+		t.Fatal("RemoveBackend returned nil for a known backend")
+	}
+	if drained.Fired() {
+		t.Fatal("backend with an in-flight request detached immediately")
+	}
+	if len(gw.Backends()) != 2 || !gw.Backends()[0].Draining() {
+		t.Fatal("draining backend should stay attached until idle")
+	}
+	// New traffic all lands on b while a drains.
+	for i := 0; i < 3; i++ {
+		if _, body := get(eng, net, "user", "http://gw:8000/v1/models"); body != "b" {
+			t.Fatalf("request routed to draining backend: %q", body)
+		}
+	}
+	eng.RunFor(10 * time.Second) // a's slow request completes
+	if slow == nil || slow.Status != 200 {
+		t.Fatalf("in-flight request on draining backend = %+v, want 200", slow)
+	}
+	if !drained.Fired() {
+		t.Fatal("drain signal never fired after in-flight completed")
+	}
+	if len(gw.Backends()) != 1 || gw.Backends()[0].Name != "b" {
+		t.Fatalf("backends after drain = %+v", gw.Backends())
+	}
+}
+
+func TestGatewayRemoveIdleBackendDetachesImmediately(t *testing.T) {
+	a := &replica{name: "a", up: true}
+	_, _, gw := newGateway(t, PolicyRoundRobin, a)
+	sig := gw.RemoveBackend("a")
+	if sig == nil || !sig.Fired() {
+		t.Fatal("idle backend should detach immediately")
+	}
+	if gw.RemoveBackend("nope") != nil {
+		t.Fatal("unknown backend should return nil")
+	}
+	if len(gw.Backends()) != 0 {
+		t.Fatal("backend still attached")
+	}
+}
+
+func TestGatewayColdStartHoldReleasesOnAddBackend(t *testing.T) {
+	// Scale-to-zero: a request arriving with no backends parks at the
+	// gateway and completes once the autoscaler registers a fresh replica.
+	eng, net, gw := newGateway(t, PolicyRoundRobin)
+	gw.HoldColdStart = true
+
+	var status int
+	var body string
+	done := false
+	eng.Go("held-client", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: "user"}
+		resp, err := c.Get(p, "http://gw:8000/v1/chat/completions")
+		if err != nil {
+			t.Errorf("held request error: %v", err)
+		} else {
+			status, body = resp.Status, string(resp.Body)
+		}
+		done = true
+	})
+	eng.RunFor(time.Minute)
+	if done {
+		t.Fatal("request should still be held (no backends)")
+	}
+	if gw.Holding() != 1 || gw.Stats().Held != 1 {
+		t.Fatalf("holding = %d held = %d, want 1/1", gw.Holding(), gw.Stats().Held)
+	}
+
+	// The cold-started replica comes up 3 minutes in.
+	r := &replica{name: "cold", up: true}
+	net.Listen("coldnode", 8000, r, vhttp.ListenOptions{Up: func() bool { return r.up }})
+	gw.AddBackend("cold", "coldnode", 8000)
+	eng.RunFor(time.Minute)
+	if !done || status != 200 || body != "cold" {
+		t.Fatalf("held request after scale-up: done=%v %d %q, want 200 from the new replica", done, status, body)
+	}
+	if gw.Holding() != 0 {
+		t.Fatalf("holding = %d after release", gw.Holding())
+	}
+}
+
+func TestGatewayColdStartHoldTimesOut(t *testing.T) {
+	eng, net, gw := newGateway(t, PolicyRoundRobin)
+	gw.HoldColdStart = true
+	gw.ColdStartWait = 5 * time.Minute
+
+	var status int
+	eng.Go("held-client", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: "user"}
+		if resp, err := c.Get(p, "http://gw:8000/v1/models"); err == nil {
+			status = resp.Status
+		}
+	})
+	eng.RunFor(10 * time.Minute)
+	if status != 503 {
+		t.Fatalf("timed-out held request = %d, want 503", status)
+	}
+	if st := gw.Stats(); st.Held != 1 || st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGatewayHealthWhileScaledToZero(t *testing.T) {
+	eng, net, gw := newGateway(t, PolicyRoundRobin)
+	if status, _ := get(eng, net, "user", "http://gw:8000/health"); status != 503 {
+		t.Fatalf("plain empty gateway health = %d, want 503", status)
+	}
+	gw.HoldColdStart = true
+	if status, _ := get(eng, net, "user", "http://gw:8000/health"); status != 200 {
+		t.Fatalf("cold-start-holding gateway health = %d, want 200 (requests queue)", status)
+	}
+}
+
+func TestGatewayStatusShowsDrainAndHolding(t *testing.T) {
+	a := &replica{name: "a", up: true, latency: 10 * time.Second}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a)
+	eng.Go("slow-client", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: "user"}
+		c.Get(p, "http://gw:8000/v1/chat/completions")
+	})
+	eng.RunFor(time.Second)
+	gw.RemoveBackend("a")
+	_, body := get(eng, net, "user", "http://gw:8000/gateway/status")
+	for _, want := range []string{`"draining":true`, `"holding":0`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("status missing %q:\n%s", want, body)
+		}
+	}
+	gw.AutoscaleStatus = func() any { return map[string]int{"target": 3} }
+	_, body = get(eng, net, "user", "http://gw:8000/gateway/status")
+	if !strings.Contains(body, `"autoscale":{"target":3}`) {
+		t.Fatalf("status missing autoscale block:\n%s", body)
+	}
+}
+
+func TestGatewayLoadAndRateSignals(t *testing.T) {
+	a := &replica{name: "a", up: true, waiting: 6}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a)
+	eng.RunFor(time.Second) // scrape queue depths
+	for i := 0; i < 5; i++ {
+		get(eng, net, "user", "http://gw:8000/v1/models")
+	}
+	if load := gw.Load(); load != 6 {
+		t.Fatalf("Load = %d, want 6 (scraped waiting, no inflight)", load)
+	}
+	if rate := gw.RequestRate(eng.Now()); rate <= 0 {
+		t.Fatalf("request rate = %v, want > 0", rate)
+	}
+	if lat := gw.LatencyQuantile(eng.Now(), 0.95); lat < 0 {
+		t.Fatalf("latency quantile = %v", lat)
+	}
+}
+
+func TestGatewayReholdsWhenOnlyReplicaDiesMidRequest(t *testing.T) {
+	// Cold-start edge: the freshly scaled-up replica dies while serving the
+	// released request. With holding on, the request parks again and
+	// completes on the next replica instead of surfacing a 502.
+	a := &replica{name: "a", up: true, latency: 2 * time.Second}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a)
+	gw.HoldColdStart = true
+	a.up = false // dies between probes: the forward hits a transport error
+
+	var status int
+	var body string
+	eng.Go("client", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: "user"}
+		if resp, err := c.Get(p, "http://gw:8000/v1/chat/completions"); err == nil {
+			status, body = resp.Status, string(resp.Body)
+		}
+	})
+	eng.RunFor(time.Minute)
+	if status != 0 {
+		t.Fatalf("request should be re-held after the only replica failed, got %d %q", status, body)
+	}
+	// The replacement replica arrives; the parked request completes.
+	b := &replica{name: "b", up: true}
+	net.Listen("nodeb", 8000, b, vhttp.ListenOptions{Up: func() bool { return b.up }})
+	gw.AddBackend("b", "nodeb", 8000)
+	eng.RunFor(time.Minute)
+	if status != 200 || body != "b" {
+		t.Fatalf("re-held request = %d %q, want 200 from the replacement replica", status, body)
+	}
+}
