@@ -42,6 +42,8 @@ func main() {
 		prompts  = flag.Int("num-prompts", 1000, "requests per point")
 		concs    = flag.String("concurrencies", "", "comma list (default 1..1024 powers of 2)")
 		seed     = flag.Int64("seed", 0, "dataset sampling seed")
+		fleet    = flag.String("models", "", "multi-model fleet spec alias=hf-name:weight,... — bench each model through one routing endpoint (HPC platforms)")
+		pool     = flag.Int("pool-nodes", 0, "shared node pool arbitrated across the fleet's models (0 = no arbitration)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var fleetEntries []core.FleetFlagEntry
+	if *fleet != "" {
+		if pf.Kind == "k8s" {
+			fatal(fmt.Errorf("-models benches HPC fleet deployments (got %s)", pf.Name))
+		}
+		if fleetEntries, err = core.ParseFleetFlag(*fleet); err != nil {
+			fatal(err)
+		}
+	}
 
 	s := site.New(site.Options{Small: true, Seed: *seed + 3})
 	d := core.NewDeployer(s)
@@ -94,6 +105,13 @@ func main() {
 	done := false
 	s.Eng.Go("benchserve", func(p *sim.Proc) {
 		defer func() { done = true }()
+		if len(fleetEntries) > 0 {
+			failure = benchFleet(p, s, d, pf, fleetEntries, benchFleetConfig{
+				tp: *tp, maxLen: *maxLen, replicas: *replicas, policy: *policy,
+				autoscale: pol, poolNodes: *pool, prompts: *prompts, seed: *seed, points: points,
+			})
+			return
+		}
 		switch pf.Kind {
 		case "k8s":
 			failure = core.SeedModelToS3(p, d, m)
@@ -158,6 +176,63 @@ func main() {
 	if failure != nil {
 		fatal(failure)
 	}
+}
+
+// benchFleetConfig carries the flag values into the fleet bench run.
+type benchFleetConfig struct {
+	tp, maxLen, replicas int
+	policy               string
+	autoscale            *autoscale.Policy
+	poolNodes            int
+	prompts              int
+	seed                 int64
+	points               []int
+}
+
+// benchFleet deploys a multi-model fleet and sweeps each model through the
+// shared routing endpoint, so per-model throughput reflects pool
+// arbitration and model-aware routing, not a private replica set.
+func benchFleet(p *sim.Proc, s *site.Site, d *core.Deployer, pf core.Platform, entries []core.FleetFlagEntry, bc benchFleetConfig) error {
+	models, err := core.SeedFleet(p, d, pf, core.DeployConfig{
+		TensorParallel: bc.tp, MaxModelLen: bc.maxLen, Offline: true,
+		Replicas: bc.replicas, RoutePolicy: bc.policy, Autoscale: bc.autoscale,
+	}, entries)
+	if err != nil {
+		return err
+	}
+	fl, err := d.DeployFleet(p, core.VLLMPackage(), pf, core.FleetConfig{PoolNodes: bc.poolNodes}, models)
+	if err != nil {
+		return err
+	}
+	defer fl.Stop()
+	fmt.Printf("# serving %d-model fleet on %s behind %s (pool: %d nodes)\n",
+		len(fl.Models()), pf.Name, fl.BaseURL, bc.poolNodes)
+	ds := sharegpt.Synthesize(bc.seed, 4000)
+	var series []metrics.Series
+	for _, name := range fl.Models() {
+		target := &bench.HTTPTarget{
+			Client:  &vhttp.Client{Net: s.Net, From: site.LoginHops},
+			BaseURL: fl.BaseURL,
+			Model:   name,
+		}
+		results := bench.Sweep(p, target, bench.Config{
+			Name: name, Dataset: ds, NumPrompts: bc.prompts, Seed: bc.seed,
+			ContinueOnError: true,
+		}, bc.points)
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		series = append(series, bench.ToSeries(name, results))
+	}
+	rst := fl.Router().Stats()
+	fmt.Printf("# router: %d routed, %d unknown-model\n", rst.Requests, rst.Unknown)
+	for _, name := range fl.Models() {
+		st := fl.Deployment(name).Gateway().Stats()
+		fmt.Printf("# model %s: %d requests, %d retries, %d rejected, %d errors, %d holds\n",
+			name, st.Requests, st.Retries, st.Rejected, st.Errors, st.Held)
+	}
+	fmt.Println(metrics.DatFile("output token throughput vs max concurrency (per model)", series))
+	return nil
 }
 
 func fatal(err error) {

@@ -12,6 +12,8 @@
 //	genaictl plan  -platform eldorado ...     # same package, Apptainer+ROCm plan
 //	genaictl plan  -platform goodall  ...     # same package, Helm values
 //	genaictl deploy -platform hops  -model meta-llama/Llama-3.1-8B-Instruct -tp 1 -max-model-len 8192 -query "hello"
+//	genaictl deploy -platform hops  -tp 1 -max-model-len 8192 -autoscale -pool-nodes 4 \
+//	    -models "chat=meta-llama/Llama-3.1-8B-Instruct:2,code=Qwen/Qwen2.5-Coder-7B-Instruct:1" -query "hello"
 //	genaictl fetch -model meta-llama/Llama-3.1-8B-Instruct    # hub → S3 workflow
 package main
 
@@ -103,6 +105,8 @@ type deployOpts struct {
 	elastic          *bool
 	minReps, maxReps *int
 	targetQueue      *int
+	models           *string
+	poolNodes        *int
 }
 
 func deployFlags(fs *flag.FlagSet) *deployOpts {
@@ -119,6 +123,8 @@ func deployFlags(fs *flag.FlagSet) *deployOpts {
 	o.minReps = fs.Int("min-replicas", 0, "autoscale floor (0 = scale to zero when idle)")
 	o.maxReps = fs.Int("max-replicas", 4, "autoscale ceiling")
 	o.targetQueue = fs.Int("target-queue-depth", 0, "autoscale per-replica queue target (0 = default)")
+	o.models = fs.String("models", "", "multi-model fleet spec: alias=hf-name:weight,... (e.g. \"chat=meta-llama/Llama-3.1-8B-Instruct:2,code=Qwen/Qwen2.5-Coder-7B-Instruct:1\"); alias and :weight optional")
+	o.poolNodes = fs.Int("pool-nodes", 0, "shared node pool arbitrated across the fleet's models (0 = no arbitration)")
 	return o
 }
 
@@ -181,6 +187,10 @@ func runDeploy(args []string) {
 	fs.Parse(args)
 	pol, err := opts.validate()
 	fatalIf(err)
+	if *opts.models != "" {
+		runDeployFleet(opts, pol, *query)
+		return
+	}
 	pf, err := platformByName(*opts.platform)
 	fatalIf(err)
 	m, err := llm.ByName(*opts.model)
@@ -246,6 +256,67 @@ func runDeploy(args []string) {
 				p.Now().Sub(t0).Round(time.Millisecond), cr.Usage.CompletionTokens)
 		}
 		dp.Stop()
+	})
+	drive(s, &done)
+	fatalIf(failure)
+}
+
+// runDeployFleet deploys a multi-model fleet behind one routing endpoint.
+func runDeployFleet(opts *deployOpts, pol *autoscale.Policy, query string) {
+	entries, err := core.ParseFleetFlag(*opts.models)
+	fatalIf(err)
+	pf, err := platformByName(*opts.platform)
+	fatalIf(err)
+	if pf.Kind == "k8s" {
+		fatalIf(fmt.Errorf("-models deploys on HPC platforms (got %s)", pf.Name))
+	}
+
+	s := site.New(site.Options{Small: true, Seed: 1})
+	d := core.NewDeployer(s)
+	var failure error
+	done := false
+	s.Eng.Go("genaictl", func(p *sim.Proc) {
+		defer func() { done = true }()
+		models, err := core.SeedFleet(p, d, pf, opts.config(nil, pol), entries)
+		if err != nil {
+			failure = err
+			return
+		}
+		start := p.Now()
+		fleet, err := d.DeployFleet(p, core.VLLMPackage(), pf, core.FleetConfig{PoolNodes: *opts.poolNodes}, models)
+		if err != nil {
+			failure = err
+			return
+		}
+		defer fleet.Stop()
+		fmt.Printf("deployed %d-model fleet on %s in %s (simulated)\n", len(models), pf.Name, p.Now().Sub(start).Round(time.Second))
+		fmt.Printf("  endpoint: %s (routes on the request's `model` field)\n", fleet.BaseURL)
+		if *opts.poolNodes > 0 {
+			fmt.Printf("  pool:     %d nodes shared across the fleet\n", *opts.poolNodes)
+		}
+		for _, name := range fleet.Models() {
+			dp := fleet.Deployment(name)
+			fmt.Printf("  model %-40s %d replicas (%s routing)\n", name, dp.CurrentReplicas(), dp.Gateway().Policy)
+		}
+		if query != "" {
+			client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+			for _, name := range fleet.Models() {
+				body, _ := json.Marshal(vllm.ChatRequest{
+					Model:    name,
+					Messages: []vllm.ChatMessage{{Role: "user", Content: query}}, MaxTokens: 64,
+				})
+				t0 := p.Now()
+				resp, err := client.Do(p, &vhttp.Request{Method: "POST", URL: fleet.BaseURL + "/v1/chat/completions", Body: body})
+				if err != nil {
+					failure = err
+					return
+				}
+				var cr vllm.ChatResponse
+				json.Unmarshal(resp.Body, &cr)
+				fmt.Printf("  query %-40s answered in %s: %d completion tokens\n",
+					name, p.Now().Sub(t0).Round(time.Millisecond), cr.Usage.CompletionTokens)
+			}
+		}
 	})
 	drive(s, &done)
 	fatalIf(failure)

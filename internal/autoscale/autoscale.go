@@ -122,6 +122,7 @@ type Scaler interface {
 type Status struct {
 	Current    int     `json:"current"`
 	Target     int     `json:"target"`
+	Demand     int     `json:"demand"`
 	Load       int     `json:"load"`
 	Holding    int     `json:"holding"`
 	RatePerSec float64 `json:"rate_per_sec"`
@@ -138,6 +139,14 @@ type Autoscaler struct {
 	Gateway *ingress.Gateway
 	Scaler  Scaler
 	Policy  Policy
+	// Name identifies the controller in multi-model fleets (diagnostics
+	// and pool-arbitration status). Defaults to the gateway host.
+	Name string
+	// Arbiter, when non-nil, caps every tick's target against a shared
+	// capacity pool (see Pool). The controller reports its load-justified
+	// demand alongside the cooldown-shaped target, so the pool can tell
+	// idle surplus from needed capacity and preempt only the former.
+	Arbiter Arbiter
 
 	pol          Policy // resolved
 	status       Status
@@ -162,12 +171,15 @@ func (a *Autoscaler) Start(eng *sim.Engine) error {
 	if err := a.Policy.Validate(); err != nil {
 		return err
 	}
+	if a.Name == "" {
+		a.Name = a.Gateway.Host
+	}
 	a.pol = a.Policy.WithDefaults()
 	a.rate.Halflife = a.pol.RateHalflife
 	a.p95.Halflife = a.pol.RateHalflife
 	a.prevRequests = a.Gateway.Stats().Requests
 	a.started = true
-	eng.Go("autoscale-"+a.Gateway.Host, func(p *sim.Proc) {
+	eng.Go("autoscale-"+a.Name, func(p *sim.Proc) {
 		for !a.stopped {
 			p.Sleep(a.pol.Interval)
 			if a.stopped {
@@ -201,7 +213,15 @@ func (a *Autoscaler) tick(p *sim.Proc) {
 	a.prevRequests = reqs
 
 	target, reason := a.desired(now, cur, load, holding, newArrivals)
+	demand := a.demand(load, holding)
+	if a.Arbiter != nil {
+		if granted := a.Arbiter.Grant(cur, target, demand); granted != target {
+			reason = fmt.Sprintf("pool arbitration: granted %d of %d (%s)", granted, target, reason)
+			target = granted
+		}
+	}
 	a.status.Current, a.status.Target = cur, target
+	a.status.Demand = demand
 	a.status.Load, a.status.Holding = load, holding
 	a.status.RatePerSec, a.status.P95Millis = rate, p95
 	a.status.Reason = reason
@@ -230,6 +250,24 @@ func (a *Autoscaler) tick(p *sim.Proc) {
 		a.status.ScaleDowns++
 	}
 	a.status.Current = after
+}
+
+// demand is the replica count the current load justifies, ignoring
+// cooldowns and stabilization — the pool arbiter's fair-share signal. A
+// member coasting on its scale-down cooldown wants its current size but
+// demands only what its queues support; the difference is reclaimable.
+func (a *Autoscaler) demand(load, holding int) int {
+	n := ceilDiv(load, a.pol.TargetQueueDepth)
+	if n < 1 && (load > 0 || holding > 0) {
+		n = 1
+	}
+	if n < a.pol.MinReplicas {
+		n = a.pol.MinReplicas
+	}
+	if n > a.pol.MaxReplicas {
+		n = a.pol.MaxReplicas
+	}
+	return n
 }
 
 // desired computes the next replica target from the sampled signals.

@@ -1,0 +1,159 @@
+package autoscale
+
+import "testing"
+
+// joinOrFatal wires a member whose live replica count the test controls.
+func joinOrFatal(t *testing.T, pl *Pool, name string, weight, npr, initial int, cur *int) *Member {
+	t.Helper()
+	m, err := pl.Join(name, weight, npr, initial, func() int { return *cur })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPoolUncontendedGrantsWant(t *testing.T) {
+	pl := NewPool(4)
+	curA, curB := 1, 1
+	a := joinOrFatal(t, pl, "a", 1, 1, 1, &curA)
+	b := joinOrFatal(t, pl, "b", 1, 1, 1, &curB)
+
+	// Total demand fits: everyone gets what they ask for.
+	if got := a.Grant(1, 2, 2); got != 2 {
+		t.Fatalf("a granted %d, want 2", got)
+	}
+	curA = 2
+	if got := b.Grant(1, 2, 2); got != 2 {
+		t.Fatalf("b granted %d, want 2", got)
+	}
+	// Cooldown-held surplus (want > demand) survives while nobody needs
+	// the nodes: leftover capacity covers it.
+	curB = 2
+	if got := a.Grant(2, 2, 1); got != 2 {
+		t.Fatalf("idle a with free capacity granted %d, want to keep 2", got)
+	}
+}
+
+func TestPoolContentionPreemptsIdleSurplus(t *testing.T) {
+	// a idles on 2 replicas (cooldown-held: want 2, demand 1); b bursts to
+	// demand 3. Capacity 4: b's burst must reclaim a's surplus.
+	pl := NewPool(4)
+	curA, curB := 2, 2
+	a := joinOrFatal(t, pl, "a", 1, 1, 2, &curA)
+	b := joinOrFatal(t, pl, "b", 1, 1, 2, &curB)
+
+	// b reports the burst first: entitled 3, but only 4-2=2 nodes are free
+	// of a's usage — growth waits for the reclaim.
+	if got := b.Grant(2, 3, 3); got != 2 {
+		t.Fatalf("b granted %d before a drained, want 2 (bounded by free nodes)", got)
+	}
+	// a's next tick is capped below what it holds: the preemption.
+	if got := a.Grant(2, 2, 1); got != 1 {
+		t.Fatalf("idle a granted %d under contention, want 1", got)
+	}
+	curA = 1
+	// With a drained, b's next tick gets the reclaimed node.
+	if got := b.Grant(2, 3, 3); got != 3 {
+		t.Fatalf("b granted %d after reclaim, want 3", got)
+	}
+}
+
+func TestPoolWeightsShapeContention(t *testing.T) {
+	// Both members demand 3 on a 4-node pool: the weight-2 member is
+	// entitled to twice the share.
+	pl := NewPool(4)
+	curA, curB := 1, 1
+	a := joinOrFatal(t, pl, "a", 2, 1, 1, &curA)
+	b := joinOrFatal(t, pl, "b", 1, 1, 1, &curB)
+
+	gotA := a.Grant(1, 3, 3)
+	gotB := b.Grant(1, 3, 3)
+	if gotA != 3 || gotB != 1 {
+		t.Fatalf("weighted grants = %d/%d, want 3/1", gotA, gotB)
+	}
+}
+
+func TestPoolMultiNodeReplicasArbitrateInNodes(t *testing.T) {
+	// a's replicas span 2 nodes each; b's span 1. Capacity 6 under equal
+	// weights: node-fair, not replica-fair. Grants materialize between
+	// ticks (current() rises), as in the live control loops.
+	pl := NewPool(6)
+	curA, curB := 1, 1
+	a := joinOrFatal(t, pl, "a", 1, 2, 1, &curA)
+	b := joinOrFatal(t, pl, "b", 1, 1, 1, &curB)
+
+	curA = a.Grant(1, 3, 3) // wants 6 nodes
+	curB = b.Grant(1, 4, 4) // wants 4 nodes
+	// Re-tick until stable: entitlements from one fill never sum past
+	// capacity, so the members converge within a round.
+	for i := 0; i < 4; i++ {
+		curA = a.Grant(curA, 3, 3)
+		curB = b.Grant(curB, 4, 4)
+	}
+	if curA*2+curB > 6 {
+		t.Fatalf("steady state oversubscribes the pool: a=%d (×2 nodes) b=%d", curA, curB)
+	}
+	if curA < 1 || curB < 1 {
+		t.Fatalf("steady state starves a member: a=%d b=%d", curA, curB)
+	}
+}
+
+func TestPoolGrantNeverExceedsWantOrFreeNodes(t *testing.T) {
+	pl := NewPool(8)
+	curA, curB := 1, 6
+	a := joinOrFatal(t, pl, "a", 1, 1, 1, &curA)
+	joinOrFatal(t, pl, "b", 1, 1, 6, &curB)
+
+	// a is entitled to more than it wants: grant caps at want.
+	if got := a.Grant(1, 2, 4); got != 2 {
+		t.Fatalf("granted %d, want capped at the member's own target 2", got)
+	}
+	// Growth is bounded by free nodes (8 - b's 6 = 2) even when demand and
+	// entitlement are higher.
+	if got := a.Grant(1, 4, 4); got > 2 {
+		t.Fatalf("granted %d with only 2 free nodes", got)
+	}
+	// Transient overshoot elsewhere never forces a shrink on a member
+	// whose entitlement covers its holdings.
+	curB = 8
+	if got := a.Grant(1, 1, 1); got != 1 {
+		t.Fatalf("granted %d, want to keep 1 despite b's overshoot", got)
+	}
+}
+
+func TestPoolJoinValidation(t *testing.T) {
+	pl := NewPool(4)
+	cur := 0
+	if _, err := pl.Join("a", 1, 0, 0, func() int { return cur }); err == nil {
+		t.Fatal("nodesPerReplica 0 should be rejected")
+	}
+	joinOrFatal(t, pl, "a", 0, 1, 0, &cur) // weight 0 clamps to 1
+	if _, err := pl.Join("a", 1, 1, 0, func() int { return cur }); err == nil {
+		t.Fatal("duplicate member name should be rejected")
+	}
+}
+
+func TestPoolStatusReportsEntitlements(t *testing.T) {
+	pl := NewPool(4)
+	curA, curB := 2, 1
+	a := joinOrFatal(t, pl, "a", 1, 1, 2, &curA)
+	b := joinOrFatal(t, pl, "b", 1, 1, 1, &curB)
+	a.Grant(2, 2, 1)
+	b.Grant(1, 3, 3)
+
+	st := pl.Status()
+	if st.CapacityNodes != 4 || st.UsedNodes != 3 || len(st.Members) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	byName := map[string]PoolMemberStatus{}
+	for _, m := range st.Members {
+		byName[m.Name] = m
+	}
+	if byName["a"].Entitled != 1 || byName["b"].Entitled != 3 {
+		t.Fatalf("entitlements = a:%d b:%d, want 1/3 (demand-driven)",
+			byName["a"].Entitled, byName["b"].Entitled)
+	}
+	if byName["a"].Want != 2 || byName["a"].Demand != 1 {
+		t.Fatalf("a's reported signals = %+v", byName["a"])
+	}
+}

@@ -170,8 +170,32 @@ type DeployConfig struct {
 	// at the gateway. HPC platforms only; on Kubernetes use the cluster's
 	// HPA. Replicas is the initial size (clamped into the policy's range).
 	Autoscale *autoscale.Policy
+	// ServedName aliases the model name the service answers to (vLLM's
+	// --served-model-name): the `model` field clients send, the id in
+	// /v1/models, and the route key in multi-model fleets. Defaults to
+	// Model.Name. Aliases let one set of weights serve under several
+	// fleet entries ("chat", "chat-large") with distinct scaling policies.
+	ServedName string
 	// IngressHost exposes the service externally on Kubernetes.
 	IngressHost string
+
+	// fleetManaged marks a replica set deployed as one member of a
+	// DeployFleet: its gateway stays unbound (the fleet's Router fronts
+	// it) and its autoscaler draws capacity through arbiter.
+	fleetManaged bool
+	arbiter      autoscale.Arbiter
+}
+
+// RouteName is the model name the service answers to: the ServedName alias
+// when set, the underlying model's name otherwise.
+func (cfg *DeployConfig) RouteName() string {
+	if cfg.ServedName != "" {
+		return cfg.ServedName
+	}
+	if cfg.Model != nil {
+		return cfg.Model.Name
+	}
+	return ""
 }
 
 func (cfg *DeployConfig) nodes(gpusPerNode int) int {
@@ -192,6 +216,9 @@ func (cfg *DeployConfig) ServeArgs(modelArg string) []string {
 	}
 	if cfg.PipelineParallel > 1 {
 		args = append(args, fmt.Sprintf("--pipeline_parallel_size=%d", cfg.PipelineParallel))
+	}
+	if cfg.ServedName != "" {
+		args = append(args, "--served-model-name="+cfg.ServedName)
 	}
 	if cfg.MaxModelLen > 0 {
 		args = append(args, fmt.Sprintf("--max-model-len=%d", cfg.MaxModelLen))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/autoscale"
@@ -87,25 +88,15 @@ func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platf
 	if err != nil {
 		return nil, err
 	}
-	n := cfg.Replicas
-	if n < 1 {
-		n = 1
-	}
+	// The initial size sits inside the elastic range (scale-to-zero only
+	// happens after the idle timeout, so elastic sets start with at least
+	// one); initialReplicas is the single clamp shared with fleet
+	// validation and pool accounting.
+	n := initialReplicas(&cfg)
 	var pol *autoscale.Policy
 	if cfg.Autoscale != nil {
 		// Deploy validated the policy already; only resolve defaults here.
 		resolved := cfg.Autoscale.WithDefaults()
-		// The initial size must sit inside the elastic range; scale-to-zero
-		// only happens after the idle timeout, so start with at least one.
-		if n > resolved.MaxReplicas {
-			n = resolved.MaxReplicas
-		}
-		if n < resolved.MinReplicas {
-			n = resolved.MinReplicas
-		}
-		if n < 1 {
-			n = 1
-		}
 		pol = &resolved
 	}
 	single := cfg
@@ -123,16 +114,24 @@ func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platf
 		return nil, err
 	}
 
+	name := pkg.Name
+	if cfg.fleetManaged {
+		// Fleet members are named by their route key so replica jobs and
+		// backend names stay distinct across the fleet's deployments.
+		name = pkg.Name + "-" + shortName(cfg.RouteName())
+	}
 	gw := &ingress.Gateway{
 		Net:           d.Site.Net,
 		Host:          site.ServiceHost(pf.Name),
 		Port:          cfg.Port,
+		Model:         cfg.RouteName(),
+		Unbound:       cfg.fleetManaged,
 		Policy:        policy,
 		MaxWaiting:    cfg.GatewayMaxWaiting,
 		HoldColdStart: pol != nil,
 	}
 	dp := &Deployment{
-		Name:     pkg.Name,
+		Name:     name,
 		Platform: pf,
 		dep:      d,
 		gateway:  gw,
@@ -140,24 +139,38 @@ func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platf
 		rcfg:     single,
 	}
 	if err := gw.Start(p.Engine()); err != nil {
-		return nil, fmt.Errorf("core: replica set %s: gateway: %w", pkg.Name, err)
+		return nil, fmt.Errorf("core: replica set %s: gateway: %w", name, err)
 	}
 	if err := dp.addReplicas(p, n); err != nil {
 		dp.Stop()
-		return nil, fmt.Errorf("core: replica set %s: %w", pkg.Name, err)
+		return nil, fmt.Errorf("core: replica set %s: %w", name, err)
 	}
-	dp.BaseURL = gw.Endpoint()
-	dp.ExternalURL = gw.Endpoint()
+	if !cfg.fleetManaged {
+		dp.BaseURL = gw.Endpoint()
+		dp.ExternalURL = gw.Endpoint()
+	}
 	if pol != nil {
-		as := &autoscale.Autoscaler{Gateway: gw, Scaler: dp, Policy: *pol}
+		as := &autoscale.Autoscaler{
+			Gateway: gw, Scaler: dp, Policy: *pol,
+			Name: cfg.RouteName(), Arbiter: cfg.arbiter,
+		}
 		if err := as.Start(p.Engine()); err != nil {
 			dp.Stop()
-			return nil, fmt.Errorf("core: replica set %s: %w", pkg.Name, err)
+			return nil, fmt.Errorf("core: replica set %s: %w", name, err)
 		}
 		gw.AutoscaleStatus = func() any { return as.Status() }
 		dp.autoscaler = as
 	}
 	return dp, nil
+}
+
+// shortName compresses a model route name into a job-name-friendly token
+// ("meta-llama/Llama-3.1-8B-Instruct" → "llama-3.1-8b-instruct").
+func shortName(s string) string {
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[i+1:]
+	}
+	return strings.ToLower(s)
 }
 
 // checkReplicaCapacity fails fast when a replica set of size n cannot fit

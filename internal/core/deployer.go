@@ -209,7 +209,7 @@ func (d *Deployer) helmValues(pkg *ContainerPackage, image string, cfg DeployCon
 	}
 	command := []any{"vllm", "serve", "/data/", "--host", "0.0.0.0",
 		"--port", fmt.Sprint(cfg.Port),
-		"--served-model-name", cfg.Model.Name,
+		"--served-model-name", cfg.RouteName(),
 		fmt.Sprintf("--tensor-parallel-size=%d", cfg.TensorParallel),
 		"--disable-log-requests",
 	}
@@ -289,6 +289,10 @@ type Deployment struct {
 	rcfg          DeployConfig
 	nextReplicaID int
 	backendName   string
+	// draining counts replicas popped from the set whose graceful drain
+	// has not finished — they still hold scheduler nodes, so capacity
+	// accounting (the fleet pool) must keep seeing them.
+	draining int
 }
 
 // Replicas enumerates the deployment's instances: the child deployments of
@@ -417,12 +421,20 @@ func (dp *Deployment) RemoveReplica(p *sim.Proc) error {
 	}
 	victim := dp.replicas[len(dp.replicas)-1]
 	dp.replicas = dp.replicas[:len(dp.replicas)-1]
+	dp.draining++
 	if sig := dp.gateway.RemoveBackend(victim.backendName); sig != nil {
 		p.WaitTimeout(sig, 10*time.Minute)
 	}
 	victim.Stop()
+	dp.draining--
 	return nil
 }
+
+// OccupiedReplicas counts the replicas still holding scheduler nodes:
+// the live set plus drains in progress. This — not CurrentReplicas — is
+// what shared-capacity accounting must see, or a pool would hand a
+// draining replica's node to another model before it is actually free.
+func (dp *Deployment) OccupiedReplicas() int { return len(dp.replicas) + dp.draining }
 
 // Engine exposes the serving engine (metrics, fault injection). For
 // Kubernetes deployments it resolves through the first ready pod; for

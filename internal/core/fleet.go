@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/autoscale"
+	"repro/internal/ingress"
+	"repro/internal/llm"
+	"repro/internal/sim"
+	"repro/internal/site"
+)
+
+// FleetFlagEntry is one item of a parsed `-models` fleet flag.
+type FleetFlagEntry struct {
+	Alias  string // served/route name ("" = the model's own name)
+	Model  *llm.ModelSpec
+	Weight int
+}
+
+// RouteName is the route key the entry deploys under.
+func (e FleetFlagEntry) RouteName() string {
+	if e.Alias != "" {
+		return e.Alias
+	}
+	return e.Model.Name
+}
+
+// ParseFleetFlag parses the CLI fleet spec shared by genaictl and
+// benchserve: comma-separated `alias=hf-name:weight` items, with alias and
+// `:weight` optional (weight defaults to 1).
+func ParseFleetFlag(spec string) ([]FleetFlagEntry, error) {
+	var out []FleetFlagEntry
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		e := FleetFlagEntry{Weight: 1}
+		if eq := strings.Index(item, "="); eq >= 0 {
+			e.Alias, item = item[:eq], item[eq+1:]
+		}
+		if colon := strings.LastIndex(item, ":"); colon >= 0 {
+			w, err := strconv.Atoi(item[colon+1:])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("core: fleet spec: bad weight in %q (want a positive integer after ':')", item)
+			}
+			e.Weight, item = w, item[:colon]
+		}
+		m, err := llm.ByName(item)
+		if err != nil {
+			return nil, fmt.Errorf("core: fleet spec: %w", err)
+		}
+		e.Model = m
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: fleet spec is empty")
+	}
+	return out, nil
+}
+
+// initialReplicas is the size a replica set actually launches at: the
+// requested Replicas clamped into the autoscale policy's range (at least
+// one). Shared by deployReplicaSet, fleet validation, and pool Join so
+// capacity accounting can never diverge from what deploys.
+func initialReplicas(cfg *DeployConfig) int {
+	n := cfg.Replicas
+	if n < 1 {
+		n = 1
+	}
+	if cfg.Autoscale != nil {
+		pol := cfg.Autoscale.WithDefaults()
+		if n > pol.MaxReplicas {
+			n = pol.MaxReplicas
+		}
+		if n < pol.MinReplicas {
+			n = pol.MinReplicas
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
+}
+
+// FleetModel is one named model service in a multi-model fleet: a full
+// per-model deployment request plus its share of the pool.
+type FleetModel struct {
+	// Config is the model's deployment request. Its RouteName (ServedName
+	// alias or Model.Name) is the `model` value clients send; it must be
+	// unique within the fleet. Per-model Replicas, RoutePolicy,
+	// GatewayMaxWaiting, and Autoscale all apply.
+	Config DeployConfig
+	// Weight is the model's relative priority in pool arbitration under
+	// contention (default 1).
+	Weight int
+}
+
+// FleetConfig shapes the fleet-wide front door and capacity.
+type FleetConfig struct {
+	// Port is the router endpoint's port (default: the package's port).
+	Port int
+	// PoolNodes bounds the total nodes the fleet's replica sets may hold,
+	// arbitrated across models by weight and demand (see autoscale.Pool).
+	// 0 disables arbitration: each model scales independently against the
+	// platform's full capacity.
+	PoolNodes int
+}
+
+// SeedFleet stages each entry's model weights onto the platform's
+// filesystem (the test/demo shortcut mirroring SeedModel) and assembles
+// the FleetModel list: base's per-model knobs with Model, ServedName, and
+// Weight taken from each entry. Shared by the genaictl and benchserve
+// fleet paths.
+func SeedFleet(p *sim.Proc, d *Deployer, pf Platform, base DeployConfig, entries []FleetFlagEntry) ([]FleetModel, error) {
+	fs := d.platformFS(pf)
+	if fs == nil {
+		return nil, fmt.Errorf("core: no staging filesystem on %s (fleets deploy on HPC platforms)", pf.Name)
+	}
+	var out []FleetModel
+	for _, e := range entries {
+		if err := SeedModel(p, fs, e.Model); err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Model = e.Model
+		cfg.ServedName = e.Alias
+		out = append(out, FleetModel{Config: cfg, Weight: e.Weight})
+	}
+	return out, nil
+}
+
+// Fleet is a live multi-model deployment: N per-model replica sets behind
+// one model-routing endpoint, optionally drawing replicas from a shared
+// node pool.
+type Fleet struct {
+	Platform Platform
+	// BaseURL is the router endpoint — one URL for every model.
+	BaseURL string
+
+	router  *ingress.Router
+	pool    *autoscale.Pool
+	names   []string // registration order
+	byName  map[string]*Deployment
+	stopped bool
+}
+
+// Router returns the fleet's model-routing front door.
+func (f *Fleet) Router() *ingress.Router { return f.router }
+
+// Pool returns the shared-capacity arbiter (nil when PoolNodes was 0).
+func (f *Fleet) Pool() *autoscale.Pool { return f.pool }
+
+// Models lists the fleet's route names in registration order.
+func (f *Fleet) Models() []string { return append([]string(nil), f.names...) }
+
+// Deployment returns the replica set serving a route name (nil if unknown).
+func (f *Fleet) Deployment(model string) *Deployment { return f.byName[model] }
+
+// Stop tears the whole fleet down: router first (stop admitting), then
+// every model's replica set.
+func (f *Fleet) Stop() {
+	if f.stopped {
+		return
+	}
+	f.stopped = true
+	f.router.Stop()
+	for _, name := range f.names {
+		f.byName[name].Stop()
+	}
+}
+
+// DeployFleet launches a multi-model fleet on an HPC platform: each model
+// deploys as its own replica set (launched concurrently — weight loading
+// dominates), fronted by one ingress.Router that dispatches on the request
+// body's `model` field, with /v1/models aggregated across the fleet. With
+// FleetConfig.PoolNodes set, the models' autoscalers draw replicas from
+// one finite node pool: per-model weights arbitrate contention, and a
+// burst on one model reclaims idle capacity from another through graceful
+// drains instead of failing on node exhaustion.
+func (d *Deployer) DeployFleet(p *sim.Proc, pkg *ContainerPackage, pf Platform, fc FleetConfig, models []FleetModel) (*Fleet, error) {
+	if pf.Kind == "k8s" {
+		return nil, fmt.Errorf("core: fleets deploy on HPC platforms (use per-model Helm releases and the cluster ingress on %s)", pf.Name)
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("core: a fleet needs at least one model")
+	}
+	port := fc.Port
+	if port == 0 {
+		port = pkg.Needs.Port
+	}
+
+	// Validate the whole fleet before launching anything.
+	gpusPerNode := d.gpusPerNode(pf)
+	seen := make(map[string]bool, len(models))
+	totalInitialNodes := 0
+	for i := range models {
+		cfg := &models[i].Config
+		name := cfg.RouteName()
+		if name == "" {
+			return nil, fmt.Errorf("core: fleet model %d names no model", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("core: fleet route name %q is not unique", name)
+		}
+		seen[name] = true
+		if cfg.Persistent {
+			return nil, fmt.Errorf("core: fleet model %q: Persistent and fleet deployment are exclusive", name)
+		}
+		if _, err := ingress.ParsePolicy(cfg.RoutePolicy); err != nil {
+			return nil, fmt.Errorf("core: fleet model %q: %w", name, err)
+		}
+		if cfg.Autoscale != nil {
+			if err := cfg.Autoscale.Validate(); err != nil {
+				return nil, fmt.Errorf("core: fleet model %q: %w", name, err)
+			}
+		}
+		totalInitialNodes += initialReplicas(cfg) * cfg.nodes(gpusPerNode)
+	}
+	if fc.PoolNodes > 0 && totalInitialNodes > fc.PoolNodes {
+		return nil, fmt.Errorf("core: fleet's initial replicas need %d nodes but the pool holds %d", totalInitialNodes, fc.PoolNodes)
+	}
+
+	f := &Fleet{
+		Platform: pf,
+		router:   &ingress.Router{Net: d.Site.Net, Host: site.ServiceHost(pf.Name), Port: port},
+		byName:   make(map[string]*Deployment, len(models)),
+	}
+	if fc.PoolNodes > 0 {
+		f.pool = autoscale.NewPool(fc.PoolNodes)
+		f.router.PoolStatus = func() any { return f.pool.Status() }
+	}
+	if err := f.router.Start(p.Engine()); err != nil {
+		return nil, fmt.Errorf("core: fleet router: %w", err)
+	}
+
+	type launch struct {
+		name string
+		dp   **Deployment // pool membership closes over the slot
+		fut  *sim.Future[*Deployment]
+	}
+	launches := make([]launch, 0, len(models))
+	for i := range models {
+		fm := models[i]
+		cfg := fm.Config
+		cfg.Port = port
+		cfg.fleetManaged = true
+		name := cfg.RouteName()
+		slot := new(*Deployment)
+		if f.pool != nil {
+			// Every member joins — fixed-size sets too, so their nodes
+			// count against entitlements and free capacity. Only elastic
+			// members get the arbiter wired into their control loop; a
+			// fixed member's recorded demand stays at its size, which
+			// means it is never preempted and never grows. Members are
+			// accounted by occupied nodes (live replicas plus drains in
+			// progress), so a reclaimed node is only re-granted once the
+			// drain actually released it.
+			member, err := f.pool.Join(name, fm.Weight, cfg.nodes(gpusPerNode), initialReplicas(&cfg), func() int {
+				if *slot == nil {
+					return 0
+				}
+				return (*slot).OccupiedReplicas()
+			})
+			if err != nil {
+				f.Stop()
+				return nil, err
+			}
+			if cfg.Autoscale != nil {
+				cfg.arbiter = member
+			}
+		}
+		fut := sim.NewFuture[*Deployment](p.Engine())
+		launches = append(launches, launch{name: name, dp: slot, fut: fut})
+		cfgCopy := cfg
+		p.Engine().Go("deploy-fleet-"+name, func(rp *sim.Proc) {
+			dp, err := d.deployReplicaSet(rp, pkg, pf, cfgCopy)
+			fut.Resolve(dp, err)
+		})
+	}
+	var firstErr error
+	for _, l := range launches {
+		dp, err := sim.Await(p, l.fut)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: fleet model %q: %w", l.name, err)
+			}
+			continue
+		}
+		*l.dp = dp
+		dp.BaseURL = f.router.Endpoint()
+		dp.ExternalURL = f.router.Endpoint()
+		f.names = append(f.names, l.name)
+		f.byName[l.name] = dp
+		if err := f.router.AddModel(l.name, dp.Gateway()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		f.Stop()
+		return nil, firstErr
+	}
+	f.BaseURL = f.router.Endpoint()
+	return f, nil
+}

@@ -111,6 +111,16 @@ type Gateway struct {
 	Net  *vhttp.Net
 	Host string // virtual endpoint host (e.g. "hops-gw.example.gov")
 	Port int
+	// Model is the served model name this replica set hosts. When set, the
+	// gateway answers GET /v1/models authoritatively — every replica serves
+	// the same model, so the list must not depend on which replica a
+	// round-robin pick happens to land on (or fail when none is routable
+	// but cold-start holding would absorb real work).
+	Model string
+	// Unbound keeps Start from binding Host:Port — a Router fronts this
+	// gateway and dispatches into Serve directly. Probing, forwarding, and
+	// every routing policy work exactly as in the bound shape.
+	Unbound bool
 	// Policy defaults to round-robin.
 	Policy Policy
 	// HealthInterval between health/metrics probe rounds (default 15s).
@@ -260,8 +270,10 @@ func (g *Gateway) Start(eng *sim.Engine) error {
 	if g.ColdStartWait <= 0 {
 		g.ColdStartWait = 30 * time.Minute
 	}
-	if err := g.Net.Listen(g.Host, g.Port, g, vhttp.ListenOptions{Up: func() bool { return !g.stopped }}); err != nil {
-		return err
+	if !g.Unbound {
+		if err := g.Net.Listen(g.Host, g.Port, g, vhttp.ListenOptions{Up: func() bool { return !g.stopped }}); err != nil {
+			return err
+		}
 	}
 	g.eng = eng
 	g.started = true
@@ -293,7 +305,15 @@ func (g *Gateway) Stop() {
 	}
 	g.stopped = true
 	g.wakeHeld()
-	g.Net.Unlisten(g.Host, g.Port)
+	if !g.Unbound {
+		g.Net.Unlisten(g.Host, g.Port)
+	}
+}
+
+// Serviceable reports whether the gateway can make progress on a request:
+// a replica is routable, or cold-start holding will queue it until one is.
+func (g *Gateway) Serviceable() bool {
+	return !g.stopped && (g.HealthyBackends() > 0 || g.HoldColdStart)
 }
 
 // probe refreshes one backend's health and queue depth.
@@ -415,12 +435,20 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		// The gateway answers for the replica set: up while any replica is.
 		// A cold-start-holding gateway with zero replicas is still
 		// serviceable — requests queue and complete after scale-up.
-		if g.HealthyBackends() > 0 || (g.HoldColdStart && !g.stopped) {
+		if g.Serviceable() {
 			return vhttp.Text(200, "ok")
 		}
 		return vhttp.Text(503, "unhealthy: no healthy replicas")
 	case "/gateway/status":
 		return g.status()
+	case "/v1/models":
+		// Authoritative when the served model is known: the list is a
+		// property of the replica set, not of whichever replica the
+		// balancing policy would pick (which may be none during a cold
+		// start, or a stale one mid-drain).
+		if g.Model != "" {
+			return vhttp.JSON(200, vllm.ModelListBody(g.Model))
+		}
 	}
 
 	g.stats.Requests++
@@ -520,12 +548,13 @@ func (g *Gateway) status() *vhttp.Response {
 		Failures int    `json:"failures"`
 	}
 	out := struct {
+		Model     string          `json:"model,omitempty"`
 		Policy    Policy          `json:"policy"`
 		Stats     GatewayStats    `json:"stats"`
 		Holding   int             `json:"holding"`
 		Backends  []backendStatus `json:"backends"`
 		Autoscale any             `json:"autoscale,omitempty"`
-	}{Policy: g.Policy, Stats: g.stats, Holding: g.holding}
+	}{Model: g.Model, Policy: g.Policy, Stats: g.stats, Holding: g.holding}
 	for _, b := range g.backends {
 		out.Backends = append(out.Backends, backendStatus{
 			Name: b.Name, URL: b.URL(), Healthy: b.healthy, Draining: b.draining,

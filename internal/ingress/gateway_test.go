@@ -406,6 +406,132 @@ func TestGatewayLoadAndRateSignals(t *testing.T) {
 	}
 }
 
+func TestGatewayAllDrainingBackends502(t *testing.T) {
+	// Every backend draining is a set with no routable replica: without
+	// cold-start holding the request must fail fast with 502, not land on
+	// a replica that is being retired.
+	a := &replica{name: "a", up: true, latency: 30 * time.Second}
+	b := &replica{name: "b", up: true, latency: 30 * time.Second}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a, b)
+
+	// Park one slow request on each backend so both drains stay pending.
+	for i := 0; i < 2; i++ {
+		eng.Go(fmt.Sprintf("slow-%d", i), func(p *sim.Proc) {
+			c := &vhttp.Client{Net: net, From: "user"}
+			c.Get(p, "http://gw:8000/v1/chat/completions")
+		})
+	}
+	eng.RunFor(time.Second)
+	gw.RemoveBackend("a")
+	gw.RemoveBackend("b")
+	if len(gw.Backends()) != 2 {
+		t.Fatal("draining backends should stay attached while in flight")
+	}
+
+	status, body := get(eng, net, "user", "http://gw:8000/v1/chat/completions")
+	if status != 502 || !strings.Contains(body, "no healthy replicas") {
+		t.Fatalf("request against all-draining set = %d %q, want 502", status, body)
+	}
+	if st := gw.Stats(); st.Errors != 1 || st.Retries != 0 {
+		t.Fatalf("stats = %+v, want one error and no retry against a draining set", st)
+	}
+}
+
+func TestGatewayRetryExhaustionTwoDistinctFailures(t *testing.T) {
+	// Both the first choice and the distinct-replica retry fail: the client
+	// sees one 502 naming the retry, and both replicas are out of rotation.
+	a := &replica{name: "a", up: true}
+	b := &replica{name: "b", up: true}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a, b)
+	eng.RunFor(time.Second) // first probe sees both healthy
+	a.up, b.up = false, false
+
+	status, body := get(eng, net, "user", "http://gw:8000/v1/chat/completions")
+	if status != 502 || !strings.Contains(body, "retry on") {
+		t.Fatalf("double transport failure = %d %q, want 502 naming the retry", status, body)
+	}
+	st := gw.Stats()
+	if st.Retries != 1 || st.Errors != 1 {
+		t.Fatalf("stats = %+v, want exactly one retry and one error", st)
+	}
+	if gw.HealthyBackends() != 0 {
+		t.Fatalf("healthy = %d, want both failed replicas marked down", gw.HealthyBackends())
+	}
+
+	// 5xx on both attempts (engines dying mid-request, endpoints alive):
+	// the second response passes through and both failures are counted.
+	a.up, b.up = true, true
+	eng.RunFor(30 * time.Second) // probes revive both
+	a.failNext, b.failNext = true, true
+	status, _ = get(eng, net, "user", "http://gw:8000/v1/chat/completions")
+	if status != 500 {
+		t.Fatalf("double 5xx = %d, want the retried replica's 500 passed through", status)
+	}
+	if st := gw.Stats(); st.Retries != 2 || st.Errors != 2 {
+		t.Fatalf("stats after 5xx exhaustion = %+v", st)
+	}
+}
+
+func TestGatewayColdStartWaitDeadline503(t *testing.T) {
+	// The ColdStartWait budget is fixed at arrival and covers re-holds: a
+	// request that got a replica which then died must not wait a second
+	// full window before its 503.
+	a := &replica{name: "a", up: true, latency: 2 * time.Second}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a)
+	gw.HoldColdStart = true
+	gw.ColdStartWait = 5 * time.Minute
+	a.up = false // transport error on the only replica → re-hold
+
+	var status int
+	var elapsed time.Duration
+	eng.Go("client", func(p *sim.Proc) {
+		start := p.Now()
+		c := &vhttp.Client{Net: net, From: "user"}
+		if resp, err := c.Get(p, "http://gw:8000/v1/chat/completions"); err == nil {
+			status = resp.Status
+			elapsed = p.Now().Sub(start)
+		}
+	})
+	eng.RunFor(20 * time.Minute)
+	if status != 503 {
+		t.Fatalf("re-held request past the deadline = %d, want 503", status)
+	}
+	if elapsed > 6*time.Minute {
+		t.Fatalf("503 arrived after %s, want within the single %s budget", elapsed, gw.ColdStartWait)
+	}
+	if st := gw.Stats(); st.Held != 1 || st.Errors != 1 {
+		t.Fatalf("stats = %+v, want one hold and one error", st)
+	}
+}
+
+func TestGatewayAuthoritativeModelList(t *testing.T) {
+	// The /v1/models fix: with the served model known, the gateway answers
+	// the list itself — identical during cold starts, drains, and
+	// irrespective of which replica a pick would have hit.
+	a := &replica{name: "a", up: true}
+	eng, net, gw := newGateway(t, PolicyRoundRobin, a)
+	gw.Model = "meta-llama/Llama-3.1-8B-Instruct"
+
+	status, body := get(eng, net, "user", "http://gw:8000/v1/models")
+	if status != 200 || !strings.Contains(body, `"id":"meta-llama/Llama-3.1-8B-Instruct"`) {
+		t.Fatalf("models = %d %q, want the served name", status, body)
+	}
+	if a.hits != 0 {
+		t.Fatal("authoritative list should not consume a replica pick")
+	}
+	// Still authoritative with zero routable replicas.
+	a.up = false
+	eng.RunFor(30 * time.Second)
+	if status, body2 := get(eng, net, "user", "http://gw:8000/v1/models"); status != 200 || body2 != body {
+		t.Fatalf("models with no replicas = %d %q, want the same authoritative list", status, body2)
+	}
+	// Without a configured model the old proxy behaviour is preserved.
+	gw.Model = ""
+	if status, _ := get(eng, net, "user", "http://gw:8000/v1/models"); status != 502 {
+		t.Fatalf("proxying gateway with dead replica = %d, want 502", status)
+	}
+}
+
 func TestGatewayReholdsWhenOnlyReplicaDiesMidRequest(t *testing.T) {
 	// Cold-start edge: the freshly scaled-up replica dies while serving the
 	// released request. With holding on, the request parks again and

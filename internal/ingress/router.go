@@ -1,0 +1,245 @@
+package ingress
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+)
+
+// RouterStats counts router-level outcomes. Per-model forwarding outcomes
+// (retries, sheds, holds) live in each model's GatewayStats.
+type RouterStats struct {
+	Requests int // model-routed client requests dispatched to a gateway
+	Unknown  int // requests naming an unknown (or no) model, answered 404
+}
+
+// Router is the multi-model front door: one OpenAI-compatible endpoint
+// fronting N named model deployments, each a replica set behind its own
+// (unbound) Gateway. It inspects the `model` field of /v1/chat/completions
+// and /v1/completions bodies and dispatches to the matching gateway, so
+// every per-model policy — least-loaded balancing, retry-on-distinct-
+// replica, queue-aware shed, cold-start holding — applies unchanged per
+// model. GET /v1/models aggregates the fleet's served names. This is the
+// Chat AI shape from the related work: route by model name to per-model
+// Slurm-backed instances behind a single stable URL.
+type Router struct {
+	Net  *vhttp.Net
+	Host string
+	Port int
+	// PoolStatus, when non-nil, renders the shared-capacity arbiter's view
+	// into /router/status under "pool".
+	PoolStatus func() any
+
+	routes  []*modelRoute // registration order (deterministic rendering)
+	byModel map[string]*modelRoute
+	stats   RouterStats
+	started bool
+	stopped bool
+}
+
+type modelRoute struct {
+	model string
+	gw    *Gateway
+}
+
+// AddModel registers a model name and the gateway serving it. Safe while
+// the router serves: requests for the name route as soon as it returns.
+func (r *Router) AddModel(model string, gw *Gateway) error {
+	if model == "" {
+		return fmt.Errorf("ingress: router model name must be non-empty")
+	}
+	if gw == nil {
+		return fmt.Errorf("ingress: router model %q needs a gateway", model)
+	}
+	if r.byModel == nil {
+		r.byModel = make(map[string]*modelRoute)
+	}
+	if _, dup := r.byModel[model]; dup {
+		return fmt.Errorf("ingress: model %q already routed", model)
+	}
+	rt := &modelRoute{model: model, gw: gw}
+	r.routes = append(r.routes, rt)
+	r.byModel[model] = rt
+	return nil
+}
+
+// RemoveModel unroutes a model name (the gateway is left running; the
+// caller owns its lifecycle). Reports whether the name was routed.
+func (r *Router) RemoveModel(model string) bool {
+	rt, ok := r.byModel[model]
+	if !ok {
+		return false
+	}
+	delete(r.byModel, model)
+	for i, x := range r.routes {
+		if x == rt {
+			r.routes = append(r.routes[:i], r.routes[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Gateway returns the gateway routed for a model name (nil if unknown).
+func (r *Router) Gateway(model string) *Gateway {
+	if rt, ok := r.byModel[model]; ok {
+		return rt.gw
+	}
+	return nil
+}
+
+// Models lists routed model names in registration order.
+func (r *Router) Models() []string {
+	out := make([]string, 0, len(r.routes))
+	for _, rt := range r.routes {
+		out = append(out, rt.model)
+	}
+	return out
+}
+
+// Stats returns a snapshot of router counters.
+func (r *Router) Stats() RouterStats { return r.stats }
+
+// Endpoint is the single base URL clients target for every model.
+func (r *Router) Endpoint() string { return fmt.Sprintf("http://%s:%d", r.Host, r.Port) }
+
+// Start binds the endpoint. Per-model gateways are started (unbound) by
+// their own deployments; the router only dispatches into them.
+func (r *Router) Start(eng *sim.Engine) error {
+	if r.started {
+		return fmt.Errorf("ingress: router %s already started", r.Endpoint())
+	}
+	if err := r.Net.Listen(r.Host, r.Port, r, vhttp.ListenOptions{Up: func() bool { return !r.stopped }}); err != nil {
+		return err
+	}
+	r.started = true
+	return nil
+}
+
+// Stop unbinds the endpoint. Gateways keep running for their owners.
+func (r *Router) Stop() {
+	if !r.started || r.stopped {
+		return
+	}
+	r.stopped = true
+	r.Net.Unlisten(r.Host, r.Port)
+}
+
+// inferencePath reports whether the path is a model-routed OpenAI
+// inference endpoint.
+func inferencePath(path string) bool {
+	return path == "/v1/chat/completions" || path == "/v1/completions"
+}
+
+// modelOf extracts the model name from an inference request body.
+func modelOf(req *vhttp.Request) (string, error) {
+	var body struct {
+		Model string `json:"model"`
+	}
+	if err := json.Unmarshal(req.Body, &body); err != nil {
+		return "", fmt.Errorf("request body is not valid JSON (%v)", err)
+	}
+	return body.Model, nil
+}
+
+// errorResponse renders the OpenAI error envelope naming the routable
+// models, so a typo'd `model` field is self-diagnosing.
+func (r *Router) errorResponse(status int, msg string) *vhttp.Response {
+	var er vllm.ErrorResponse
+	er.Error.Message = fmt.Sprintf("%s; available models: %v", msg, r.Models())
+	er.Error.Type = "invalid_request_error"
+	body, _ := json.Marshal(er)
+	return vhttp.JSON(status, body)
+}
+
+// Serve implements vhttp.Service: the multi-model request path.
+func (r *Router) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+	switch req.Path {
+	case "/health":
+		// Up while any model can make progress on a request.
+		for _, rt := range r.routes {
+			if rt.gw.Serviceable() {
+				return vhttp.Text(200, "ok")
+			}
+		}
+		return vhttp.Text(503, "unhealthy: no model serviceable")
+	case "/router/status":
+		return r.status()
+	case "/v1/models":
+		// Aggregated and deduplicated across the fleet: the authoritative
+		// list lives here, not on whichever replica a probe would hit.
+		seen := make(map[string]bool, len(r.routes))
+		var ids []string
+		for _, rt := range r.routes {
+			if !seen[rt.model] {
+				seen[rt.model] = true
+				ids = append(ids, rt.model)
+			}
+		}
+		return vhttp.JSON(200, vllm.ModelListBody(ids...))
+	}
+
+	if !inferencePath(req.Path) {
+		return r.errorResponse(404, fmt.Sprintf("unknown endpoint %s (the router serves /v1/models, /v1/chat/completions, /v1/completions)", req.Path))
+	}
+	if req.Method != "POST" {
+		r.stats.Unknown++
+		return r.errorResponse(405, fmt.Sprintf("%s requires POST (got %s)", req.Path, req.Method))
+	}
+	model, err := modelOf(req)
+	if err != nil {
+		r.stats.Unknown++
+		return r.errorResponse(400, err.Error())
+	}
+	if model == "" {
+		r.stats.Unknown++
+		return r.errorResponse(404, "request body names no model")
+	}
+	rt, routed := r.byModel[model]
+	if !routed {
+		r.stats.Unknown++
+		return r.errorResponse(404, fmt.Sprintf("model %q does not exist", model))
+	}
+	r.stats.Requests++
+	return rt.gw.Serve(p, req)
+}
+
+// status renders the control-plane view of the whole fleet.
+func (r *Router) status() *vhttp.Response {
+	type modelStatus struct {
+		Model       string       `json:"model"`
+		Healthy     int          `json:"healthy_backends"`
+		Serviceable bool         `json:"serviceable"`
+		Holding     int          `json:"holding"`
+		Stats       GatewayStats `json:"stats"`
+		Autoscale   any          `json:"autoscale,omitempty"`
+	}
+	out := struct {
+		Stats  RouterStats   `json:"stats"`
+		Models []modelStatus `json:"models"`
+		Pool   any           `json:"pool,omitempty"`
+	}{Stats: r.stats}
+	for _, rt := range r.routes {
+		ms := modelStatus{
+			Model:       rt.model,
+			Healthy:     rt.gw.HealthyBackends(),
+			Serviceable: rt.gw.Serviceable(),
+			Holding:     rt.gw.Holding(),
+			Stats:       rt.gw.Stats(),
+		}
+		if rt.gw.AutoscaleStatus != nil {
+			ms.Autoscale = rt.gw.AutoscaleStatus()
+		}
+		out.Models = append(out.Models, ms)
+	}
+	if r.PoolStatus != nil {
+		out.Pool = r.PoolStatus()
+	}
+	body, _ := json.Marshal(out)
+	return vhttp.JSON(200, body)
+}
+
+var _ vhttp.Service = (*Router)(nil)

@@ -1,0 +1,78 @@
+package ingress
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vhttp"
+)
+
+// benchFleet builds a router fronting m models with r healthy backends
+// each. No network or engine: pick and dispatch are pure in-memory paths.
+func benchFleet(m, r int, policy Policy) (*Router, []string) {
+	router := &Router{Host: "bench", Port: 8000}
+	names := make([]string, m)
+	for i := 0; i < m; i++ {
+		names[i] = fmt.Sprintf("model-%02d", i)
+		gw := &Gateway{Host: "bench", Model: names[i], Unbound: true, Policy: policy}
+		for j := 0; j < r; j++ {
+			gw.AddBackend(fmt.Sprintf("%s-rep%d", names[i], j), "node", 9000+j)
+		}
+		if err := router.AddModel(names[i], gw); err != nil {
+			panic(err)
+		}
+	}
+	return router, names
+}
+
+// BenchmarkRouterPick measures the per-request routing decision — model
+// lookup plus the gateway's replica pick — across fleet sizes.
+func BenchmarkRouterPick(b *testing.B) {
+	for _, policy := range []Policy{PolicyRoundRobin, PolicyLeastLoaded} {
+		for _, m := range []int{1, 4, 16} {
+			for _, r := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/models=%d/replicas=%d", policy, m, r), func(b *testing.B) {
+					router, names := benchFleet(m, r, policy)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						gw := router.Gateway(names[i%m])
+						if gw.pick(nil) == nil {
+							b.Fatal("pick returned nil with healthy backends")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkRouterDispatchDecision adds the `model` extraction from the
+// request body — the full router-side cost of one inference request before
+// the forward.
+func BenchmarkRouterDispatchDecision(b *testing.B) {
+	for _, m := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("models=%d", m), func(b *testing.B) {
+			router, names := benchFleet(m, 4, PolicyLeastLoaded)
+			reqs := make([]*vhttp.Request, m)
+			for i, name := range names {
+				reqs[i] = &vhttp.Request{
+					Method: "POST",
+					Path:   "/v1/chat/completions",
+					Body:   []byte(fmt.Sprintf(`{"model":%q,"messages":[{"role":"user","content":"hi"}]}`, name)),
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := reqs[i%m]
+				model, err := modelOf(req)
+				if err != nil {
+					b.Fatal("modelOf failed")
+				}
+				gw := router.Gateway(model)
+				if gw == nil || gw.pick(nil) == nil {
+					b.Fatal("dispatch failed")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,526 @@
+// Scenario harness: table-driven end-to-end tests for multi-model serving.
+// Each scenario is pure data — a fleet spec (models, weights, elastic
+// ranges, a shared node pool), scripted open-loop load phases, fault
+// events, and expected routing/scaling outcomes — executed by one driver
+// against a real Router, real per-model Gateways, and real Autoscalers
+// drawing from a real Pool. Only the replicas are fakes (instant model
+// "engines" with configurable latency and cold-start time), so the suite
+// covers the same control-plane topology as examples/multimodel
+// deterministically in go test.
+//
+// The file lives in package ingress_test so it can compose internal/ingress
+// with internal/autoscale (which imports ingress) without a cycle.
+package ingress_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/ingress"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+)
+
+// scenarioModel is one model's row in a scenario's fleet spec.
+type scenarioModel struct {
+	name    string
+	weight  int
+	initial int // replicas at t=0
+	min     int
+	max     int
+	// coldStart is how long a fresh fake replica takes to come up.
+	coldStart time.Duration
+	// latency is the fake engine's per-request service time.
+	latency time.Duration
+	// downCooldown is the model's scale-down cooldown; long values force
+	// reclaim to happen through pool arbitration rather than self-drain.
+	downCooldown time.Duration
+}
+
+// scenarioPhase is one scripted load segment: per-model mean open-loop
+// arrival rates held for dur.
+type scenarioPhase struct {
+	name string
+	dur  time.Duration
+	rps  map[string]float64
+}
+
+// scenarioEvent injects a fault at an offset from the scenario start.
+type scenarioEvent struct {
+	at    time.Duration
+	crash string // model whose newest live replica crashes (endpoint gone)
+}
+
+// expect is the scenario's acceptance contract.
+type expect struct {
+	// maxFailed bounds user-visible failures per model (absent = 0): only
+	// requests in flight on a crashing replica may be allowed to fail.
+	maxFailed map[string]int
+	// minPeak / maxPeak bound each model's peak replica count (absent =
+	// unchecked).
+	minPeak map[string]int
+	maxPeak map[string]int
+	// finalMin bounds each model's replica count at scenario end.
+	finalMin map[string]int
+	// wantReclaim requires at least one pool-arbitration preemption (a
+	// model shrunk below its own policy's target).
+	wantReclaim bool
+	// probe404, when set, sends a request for this model name after the
+	// load and requires a 404 naming every fleet model.
+	probe404 string
+	// wantHeld requires this model to have held (cold-start-queued) at
+	// least one request.
+	wantHeld string
+}
+
+// scenario is one table entry.
+type scenario struct {
+	name      string
+	poolNodes int // 0 = no shared pool
+	models    []scenarioModel
+	phases    []scenarioPhase
+	events    []scenarioEvent
+	expect    expect
+}
+
+// fakeReplica is a controllable model engine endpoint.
+type fakeReplica struct {
+	model   string
+	name    string
+	latency time.Duration
+	up      bool
+	queue   int // in-service requests, reported as running in /metrics
+}
+
+func (r *fakeReplica) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+	switch req.Path {
+	case "/health":
+		if r.up {
+			return vhttp.Text(200, "ok")
+		}
+		return vhttp.Text(500, "unhealthy")
+	case "/metrics":
+		return vhttp.Text(200, fmt.Sprintf(
+			"vllm:num_requests_waiting 0\nvllm:num_requests_running %d\n", r.queue))
+	}
+	r.queue++
+	p.Sleep(r.latency)
+	r.queue--
+	if !r.up {
+		// Crashed mid-request: the dying engine fails its in-flight work.
+		return vhttp.Text(500, `{"error":{"message":"engine dead"}}`)
+	}
+	body, _ := json.Marshal(map[string]string{"model": r.model, "replica": r.name})
+	return vhttp.JSON(200, body)
+}
+
+// fakeScaler implements autoscale.Scaler by launching and draining fake
+// replicas against the model's gateway, with a simulated cold start.
+type fakeScaler struct {
+	net       *vhttp.Net
+	gw        *ingress.Gateway
+	model     scenarioModel
+	replicas  []*fakeReplica
+	ports     []int
+	nextID    int
+	portBase  int
+	launched  int
+	reclaimed int
+}
+
+func (s *fakeScaler) CurrentReplicas() int { return len(s.replicas) }
+
+func (s *fakeScaler) ScaleTo(p *sim.Proc, n int) error {
+	for len(s.replicas) < n {
+		r := &fakeReplica{
+			model:   s.model.name,
+			name:    fmt.Sprintf("%s-%d", s.model.name, s.nextID),
+			latency: s.model.latency,
+			up:      true,
+		}
+		port := s.portBase + s.nextID
+		s.nextID++
+		p.Sleep(s.model.coldStart)
+		host := "node-" + r.name
+		if err := s.net.Listen(host, port, r, vhttp.ListenOptions{Up: func() bool { return r.up }}); err != nil {
+			return err
+		}
+		s.replicas = append(s.replicas, r)
+		s.ports = append(s.ports, port)
+		s.gw.AddBackend(r.name, host, port)
+		s.launched++
+	}
+	for len(s.replicas) > n {
+		victim := s.replicas[len(s.replicas)-1]
+		port := s.ports[len(s.ports)-1]
+		s.replicas = s.replicas[:len(s.replicas)-1]
+		s.ports = s.ports[:len(s.ports)-1]
+		if sig := s.gw.RemoveBackend(victim.name); sig != nil {
+			p.WaitTimeout(sig, 10*time.Minute)
+		}
+		victim.up = false
+		s.net.Unlisten("node-"+victim.name, port)
+	}
+	return nil
+}
+
+// crash kills the newest live replica: the endpoint drops (transport
+// errors), the control plane notices, and the replica leaves the set — so
+// the autoscaler sees the loss and cold-starts a replacement on demand.
+func (s *fakeScaler) crash() {
+	if len(s.replicas) == 0 {
+		return
+	}
+	victim := s.replicas[len(s.replicas)-1]
+	port := s.ports[len(s.ports)-1]
+	s.replicas = s.replicas[:len(s.replicas)-1]
+	s.ports = s.ports[:len(s.ports)-1]
+	victim.up = false
+	s.gw.RemoveBackend(victim.name)
+	s.net.Unlisten("node-"+victim.name, port)
+}
+
+// modelRig is one model's assembled control plane.
+type modelRig struct {
+	spec   scenarioModel
+	gw     *ingress.Gateway
+	scaler *fakeScaler
+	as     *autoscale.Autoscaler
+
+	sent    int
+	failed  int
+	wrong   int // responses served by another model's replica
+	peak    int
+	held    bool
+	preempt int // pool-arbitration shrinks observed
+}
+
+// runScenario executes one table entry end to end.
+func runScenario(t *testing.T, sc scenario) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	net := vhttp.NewNet(netsim.New(eng))
+
+	router := &ingress.Router{Net: net, Host: "fleet", Port: 8000}
+	if err := router.Start(eng); err != nil {
+		t.Fatal(err)
+	}
+	var pool *autoscale.Pool
+	if sc.poolNodes > 0 {
+		pool = autoscale.NewPool(sc.poolNodes)
+		router.PoolStatus = func() any { return pool.Status() }
+	}
+
+	rigs := make([]*modelRig, 0, len(sc.models))
+	rigByName := map[string]*modelRig{}
+	for i, m := range sc.models {
+		if m.downCooldown == 0 {
+			m.downCooldown = 2 * time.Minute
+		}
+		gw := &ingress.Gateway{
+			Net: net, Host: "fleet", Model: m.name, Unbound: true,
+			Policy: ingress.PolicyLeastLoaded, HealthInterval: 10 * time.Second,
+			HoldColdStart: true, ColdStartWait: 20 * time.Minute,
+		}
+		rig := &modelRig{
+			spec:   m,
+			gw:     gw,
+			scaler: &fakeScaler{net: net, gw: gw, model: m, portBase: 9000 + 100*i},
+		}
+		rig.as = &autoscale.Autoscaler{
+			Gateway: gw, Scaler: rig.scaler, Name: m.name,
+			Policy: autoscale.Policy{
+				MinReplicas: m.min, MaxReplicas: m.max, TargetQueueDepth: 4,
+				Interval: 15 * time.Second, ScaleUpCooldown: 30 * time.Second,
+				ScaleDownCooldown: m.downCooldown, ScaleToZeroAfter: 30 * time.Minute,
+			},
+		}
+		if pool != nil {
+			member, err := pool.Join(m.name, m.weight, 1, m.initial, rig.scaler.CurrentReplicas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rig.as.Arbiter = member
+		}
+		if err := gw.Start(eng); err != nil {
+			t.Fatal(err)
+		}
+		if err := router.AddModel(m.name, gw); err != nil {
+			t.Fatal(err)
+		}
+		rigs = append(rigs, rig)
+		rigByName[m.name] = rig
+	}
+
+	done := false
+	eng.Go("scenario-"+sc.name, func(p *sim.Proc) {
+		defer func() { done = true }()
+
+		// Bring up the initial replicas, then hand control to the loops.
+		for _, rig := range rigs {
+			if err := rig.scaler.ScaleTo(p, rig.spec.initial); err != nil {
+				t.Errorf("initial ScaleTo(%s): %v", rig.spec.name, err)
+				return
+			}
+			if err := rig.as.Start(eng); err != nil {
+				t.Errorf("autoscaler %s: %v", rig.spec.name, err)
+				return
+			}
+			gw := rig.gw
+			gw.AutoscaleStatus = func() any { return rig.as.Status() }
+		}
+
+		// Fault events fire on their own processes at fixed offsets.
+		for _, ev := range sc.events {
+			ev := ev
+			eng.Go("event", func(ep *sim.Proc) {
+				ep.Sleep(ev.at)
+				if ev.crash != "" {
+					rigByName[ev.crash].scaler.crash()
+				}
+			})
+		}
+
+		// Sampler: peaks, pool bounds, and pool-arbitration preemptions (a
+		// sampled replica-count drop while the controller's last decision
+		// was an arbitration cap).
+		poolOver := 0
+		eng.Go("sampler", func(spr *sim.Proc) {
+			prevN := map[string]int{}
+			for !done {
+				used := 0
+				for _, rig := range rigs {
+					n := rig.scaler.CurrentReplicas()
+					used += n
+					if n > rig.peak {
+						rig.peak = n
+					}
+					if prev, ok := prevN[rig.spec.name]; ok && n < prev &&
+						strings.Contains(rig.as.Status().Reason, "pool arbitration") {
+						rig.preempt++
+					}
+					prevN[rig.spec.name] = n
+				}
+				if pool != nil && used > sc.poolNodes {
+					poolOver++
+				}
+				spr.Sleep(5 * time.Second)
+			}
+		})
+
+		// Scripted open-loop load.
+		client := &vhttp.Client{Net: net, From: "user"}
+		inflight := eng.NewGroup()
+		rng := eng.Rand()
+		for _, ph := range sc.phases {
+			end := p.Now().Add(ph.dur)
+			total := 0.0
+			for _, m := range sc.models {
+				total += ph.rps[m.name]
+			}
+			if total == 0 {
+				p.Sleep(ph.dur)
+				continue
+			}
+			for p.Now().Before(end) {
+				gap := time.Duration(rng.ExpFloat64() / total * float64(time.Second))
+				p.Sleep(gap)
+				if !p.Now().Before(end) {
+					break
+				}
+				pick := rng.Float64() * total
+				model := sc.models[0].name
+				for _, m := range sc.models {
+					if pick < ph.rps[m.name] {
+						model = m.name
+						break
+					}
+					pick -= ph.rps[m.name]
+				}
+				rig := rigByName[model]
+				rig.sent++
+				body, _ := json.Marshal(map[string]any{
+					"model":    model,
+					"messages": []map[string]string{{"role": "user", "content": "scripted load"}},
+				})
+				inflight.Add(1)
+				eng.Go(fmt.Sprintf("user-%s-%d", model, rig.sent), func(rp *sim.Proc) {
+					defer inflight.Finish()
+					resp, err := client.Do(rp, &vhttp.Request{
+						Method: "POST", URL: router.Endpoint() + "/v1/chat/completions", Body: body,
+					})
+					if err != nil || resp.Status != 200 {
+						rig.failed++
+						return
+					}
+					var out struct {
+						Model string `json:"model"`
+					}
+					if json.Unmarshal(resp.Body, &out) == nil && out.Model != model {
+						rig.wrong++
+					}
+				})
+			}
+		}
+		inflight.WaitAll(p)
+
+		// Post-load probes and the acceptance contract.
+		if sc.expect.probe404 != "" {
+			body, _ := json.Marshal(map[string]any{"model": sc.expect.probe404})
+			resp, err := client.Do(p, &vhttp.Request{
+				Method: "POST", URL: router.Endpoint() + "/v1/chat/completions", Body: body,
+			})
+			if err != nil {
+				t.Errorf("unknown model %q probe: %v", sc.expect.probe404, err)
+			} else if resp.Status != 404 {
+				t.Errorf("unknown model %q: status %d, want 404", sc.expect.probe404, resp.Status)
+			} else {
+				for _, m := range sc.models {
+					if !strings.Contains(string(resp.Body), m.name) {
+						t.Errorf("404 body does not list %q:\n%s", m.name, resp.Body)
+					}
+				}
+			}
+		}
+
+		reclaims := 0
+		for _, rig := range rigs {
+			name := rig.spec.name
+			st := rig.gw.Stats()
+			if st.Held > 0 {
+				rig.held = true
+			}
+			if allowed := sc.expect.maxFailed[name]; rig.failed > allowed {
+				t.Errorf("%s: %d failed requests (allowed %d); gateway stats %+v",
+					name, rig.failed, allowed, st)
+			}
+			if rig.wrong > 0 {
+				t.Errorf("%s: %d responses served by another model's replica", name, rig.wrong)
+			}
+			if want, ok := sc.expect.minPeak[name]; ok && rig.peak < want {
+				t.Errorf("%s: peak %d replicas, want >= %d", name, rig.peak, want)
+			}
+			if want, ok := sc.expect.maxPeak[name]; ok && rig.peak > want {
+				t.Errorf("%s: peak %d replicas, want <= %d", name, rig.peak, want)
+			}
+			if want, ok := sc.expect.finalMin[name]; ok && rig.scaler.CurrentReplicas() < want {
+				t.Errorf("%s: %d replicas at end, want >= %d (status %+v)",
+					name, rig.scaler.CurrentReplicas(), want, rig.as.Status())
+			}
+			reclaims += rig.preempt
+		}
+		if sc.expect.wantReclaim && reclaims == 0 {
+			t.Error("no pool-arbitration preemption observed; the burst never reclaimed idle capacity")
+		}
+		if poolOver > 0 {
+			t.Errorf("pool capacity exceeded in %d samples", poolOver)
+		}
+		if m := sc.expect.wantHeld; m != "" && !rigByName[m].held {
+			t.Errorf("%s: no request was ever cold-start held", m)
+		}
+	})
+
+	for i := 0; i < 5000 && !done; i++ {
+		eng.RunFor(time.Minute)
+	}
+	if !done {
+		t.Fatal("scenario did not finish within the simulated time budget")
+	}
+}
+
+// TestScenarios is the table. Each entry runs the full fleet topology; run
+// one by name with -run 'TestScenarios/<name>'.
+func TestScenarios(t *testing.T) {
+	chat := scenarioModel{
+		name: "chat", weight: 2, initial: 1, min: 1, max: 3,
+		coldStart: 90 * time.Second, latency: 4 * time.Second,
+	}
+	code := scenarioModel{
+		name: "code", weight: 1, initial: 1, min: 1, max: 3,
+		coldStart: 90 * time.Second, latency: 4 * time.Second,
+	}
+
+	scenarios := []scenario{
+		{
+			// Two models under balanced steady load: every request lands on
+			// its own model's replicas, nobody scales past need, no failures.
+			name:      "model-mix-steady-state",
+			poolNodes: 4,
+			models:    []scenarioModel{chat, code},
+			phases: []scenarioPhase{
+				{"steady", 30 * time.Minute, map[string]float64{"chat": 0.5, "code": 0.5}},
+			},
+			expect: expect{
+				minPeak:  map[string]int{"chat": 1, "code": 1},
+				maxPeak:  map[string]int{"chat": 2, "code": 2},
+				finalMin: map[string]int{"chat": 1, "code": 1},
+			},
+		},
+		{
+			// The tentpole behaviour: code holds surplus it no longer needs
+			// (sticky cooldown), chat bursts, and the pool preempts code's
+			// surplus so chat can grow — graceful drains, zero failures.
+			name:      "burst-with-reclaim",
+			poolNodes: 4,
+			models: []scenarioModel{
+				func() scenarioModel { m := chat; m.downCooldown = 45 * time.Minute; return m }(),
+				func() scenarioModel { m := code; m.downCooldown = 45 * time.Minute; return m }(),
+			},
+			phases: []scenarioPhase{
+				{"code-busy", 20 * time.Minute, map[string]float64{"chat": 0.1, "code": 2.0}},
+				{"chat-burst", 30 * time.Minute, map[string]float64{"chat": 3.0, "code": 0.05}},
+			},
+			expect: expect{
+				minPeak:     map[string]int{"chat": 3, "code": 2},
+				wantReclaim: true,
+			},
+		},
+		{
+			// A typo'd model name is a clean 404 listing the fleet; the
+			// running models are unaffected.
+			name:      "unknown-model-name",
+			poolNodes: 0,
+			models:    []scenarioModel{chat, code},
+			phases: []scenarioPhase{
+				{"light", 5 * time.Minute, map[string]float64{"chat": 0.3, "code": 0.3}},
+			},
+			expect: expect{
+				probe404: "gpt-5",
+				finalMin: map[string]int{"chat": 1, "code": 1},
+			},
+		},
+		{
+			// A single-replica model's only instance crashes while the other
+			// model bursts: its requests hold at the gateway through the
+			// cold start of the replacement, and the burst is undisturbed.
+			// Only requests in flight on the dying replica may fail.
+			name:      "single-replica-crash-during-burst",
+			poolNodes: 4,
+			models:    []scenarioModel{chat, code},
+			phases: []scenarioPhase{
+				{"warm", 10 * time.Minute, map[string]float64{"chat": 0.5, "code": 0.3}},
+				{"chat-burst", 25 * time.Minute, map[string]float64{"chat": 2.5, "code": 0.3}},
+				{"settle", 10 * time.Minute, map[string]float64{"chat": 0.3, "code": 0.3}},
+			},
+			events: []scenarioEvent{
+				{at: 15 * time.Minute, crash: "code"},
+			},
+			expect: expect{
+				maxFailed: map[string]int{"code": 3},
+				minPeak:   map[string]int{"chat": 2},
+				finalMin:  map[string]int{"chat": 1, "code": 1},
+				wantHeld:  "code",
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) { runScenario(t, sc) })
+	}
+}

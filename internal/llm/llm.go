@@ -184,11 +184,20 @@ var (
 		Layers: 32, KVHeads: 8, HeadDim: 128, Hidden: 4096,
 		MaxContextLen: 131_072,
 	}
+	// Qwen25Coder7B is a small code model; paired with Llama318B it forms
+	// the heterogeneous chat+code fleets of the multi-model serving path.
+	Qwen25Coder7B = &ModelSpec{
+		Name: "Qwen/Qwen2.5-Coder-7B-Instruct", Short: "Qwen2.5-Coder-7B",
+		Quant:       BF16,
+		ParamsTotal: 7.6e9, ParamsActive: 7.6e9,
+		Layers: 28, KVHeads: 4, HeadDim: 128, Hidden: 3584,
+		MaxContextLen: 131_072,
+	}
 )
 
 // Catalog returns all known models.
 func Catalog() []*ModelSpec {
-	return []*ModelSpec{Scout, ScoutW4A16, Llama31405B, Llama318B}
+	return []*ModelSpec{Scout, ScoutW4A16, Llama31405B, Llama318B, Qwen25Coder7B}
 }
 
 // ByName resolves a model by its full name.

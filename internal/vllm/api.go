@@ -68,6 +68,20 @@ type modelItem struct {
 	OwnedBy string `json:"owned_by"`
 }
 
+// ModelListBody renders the OpenAI GET /v1/models response body for the
+// given served model ids. Shared by the APIServer (one id per engine) and
+// the ingress layer, where the gateway/router answer authoritatively for
+// the model names they front instead of reflecting whichever replica a
+// probe happens to hit.
+func ModelListBody(ids ...string) []byte {
+	ml := modelList{Object: "list", Data: []modelItem{}}
+	for _, id := range ids {
+		ml.Data = append(ml.Data, modelItem{ID: id, Object: "model", OwnedBy: "vllm"})
+	}
+	body, _ := json.Marshal(ml)
+	return body
+}
+
 // EstimateTokens approximates tokenization at four characters per token,
 // matching the coarse accounting real serving stacks use for sizing.
 func EstimateTokens(text string) int {
@@ -115,11 +129,7 @@ func (a *APIServer) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		return vhttp.Text(200, "ok")
 
 	case req.Path == "/v1/models":
-		body, _ := json.Marshal(modelList{
-			Object: "list",
-			Data:   []modelItem{{ID: a.servedName(), Object: "model", OwnedBy: "vllm"}},
-		})
-		return vhttp.JSON(200, body)
+		return vhttp.JSON(200, ModelListBody(a.servedName()))
 
 	case req.Path == "/metrics":
 		return vhttp.Text(200, a.renderMetrics())
