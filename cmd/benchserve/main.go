@@ -21,6 +21,7 @@ import (
 	"repro/internal/ingress"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/sharegpt"
 	"repro/internal/sim"
 	"repro/internal/site"
@@ -34,10 +35,12 @@ func main() {
 		tp       = flag.Int("tp", 4, "tensor parallel size")
 		pp       = flag.Int("pp", 1, "pipeline parallel size")
 		replicas = flag.Int("replicas", 1, "engine instances behind the gateway (>1 = replica set)")
-		policy   = flag.String("route-policy", "round-robin", "gateway routing: round-robin, least-loaded")
+		policy   = flag.String("route-policy", "round-robin", "gateway routing: round-robin, least-loaded, session (KV-cache affinity)")
 		elastic  = flag.Bool("autoscale", false, "autoscale the replica set from gateway load (HPC platforms)")
 		minReps  = flag.Int("min-replicas", 0, "autoscale floor (0 = scale to zero when idle)")
 		maxReps  = flag.Int("max-replicas", 4, "autoscale ceiling")
+		sloP95   = flag.Duration("slo-p95", 0, "p95 latency objective: shed batch-class requests while the gateway's rolling p95 breaches it (0 = off)")
+		priority = flag.String("priority", "", "default priority class for unlabeled requests: interactive (default) or batch")
 		maxLen   = flag.Int("max-model-len", 65536, "context limit")
 		prompts  = flag.Int("num-prompts", 1000, "requests per point")
 		concs    = flag.String("concurrencies", "", "comma list (default 1..1024 powers of 2)")
@@ -53,6 +56,12 @@ func main() {
 	}
 	if _, err := ingress.ParsePolicy(*policy); err != nil {
 		fatal(err)
+	}
+	if _, err := sched.ParseClass(*priority); err != nil {
+		fatal(err)
+	}
+	if *sloP95 < 0 {
+		fatal(fmt.Errorf("-slo-p95 must be >= 0 (got %s)", *sloP95))
 	}
 	var pol *autoscale.Policy
 	if *elastic {
@@ -108,6 +117,7 @@ func main() {
 		if len(fleetEntries) > 0 {
 			failure = benchFleet(p, s, d, pf, fleetEntries, benchFleetConfig{
 				tp: *tp, maxLen: *maxLen, replicas: *replicas, policy: *policy,
+				sloP95: *sloP95, priority: *priority,
 				autoscale: pol, poolNodes: *pool, prompts: *prompts, seed: *seed, points: points,
 			})
 			return
@@ -129,6 +139,7 @@ func main() {
 			Model: m, TensorParallel: *tp, PipelineParallel: *pp,
 			MaxModelLen: *maxLen, Offline: true,
 			Replicas: *replicas, RoutePolicy: *policy, Autoscale: pol,
+			SLOTargetP95: *sloP95, PriorityClass: *priority,
 		})
 		if err != nil {
 			failure = err
@@ -157,6 +168,13 @@ func main() {
 			st := gw.Stats()
 			fmt.Printf("# gateway: %d requests, %d retries, %d rejected, %d errors; %d/%d replicas healthy\n",
 				st.Requests, st.Retries, st.Rejected, st.Errors, gw.HealthyBackends(), len(gw.Backends()))
+			if slo, ok := gw.SLO(); ok {
+				fmt.Printf("# slo: p95 objective %s, %d batch sheds (breaker engaged: %v)\n",
+					slo.Target, slo.Sheds, slo.Engaged)
+			}
+			if spills := gw.SessionSpills(); spills > 0 {
+				fmt.Printf("# session routing: %d saturation spills off the affine replica\n", spills)
+			}
 			if as := dp.Autoscaler(); as != nil {
 				ast := as.Status()
 				fmt.Printf("# autoscaler: %d replicas (target %d), %d scale-ups, %d scale-downs, %d cold-start holds\n",
@@ -182,6 +200,8 @@ func main() {
 type benchFleetConfig struct {
 	tp, maxLen, replicas int
 	policy               string
+	sloP95               time.Duration
+	priority             string
 	autoscale            *autoscale.Policy
 	poolNodes            int
 	prompts              int
@@ -196,6 +216,7 @@ func benchFleet(p *sim.Proc, s *site.Site, d *core.Deployer, pf core.Platform, e
 	models, err := core.SeedFleet(p, d, pf, core.DeployConfig{
 		TensorParallel: bc.tp, MaxModelLen: bc.maxLen, Offline: true,
 		Replicas: bc.replicas, RoutePolicy: bc.policy, Autoscale: bc.autoscale,
+		SLOTargetP95: bc.sloP95, PriorityClass: bc.priority,
 	}, entries)
 	if err != nil {
 		return err

@@ -29,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ingress"
 	"repro/internal/llm"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/site"
 	"repro/internal/vhttp"
@@ -105,6 +106,8 @@ type deployOpts struct {
 	elastic          *bool
 	minReps, maxReps *int
 	targetQueue      *int
+	sloP95           *time.Duration
+	priority         *string
 	models           *string
 	poolNodes        *int
 }
@@ -118,12 +121,14 @@ func deployFlags(fs *flag.FlagSet) *deployOpts {
 	o.maxLen = fs.Int("max-model-len", 65536, "context length limit")
 	o.persistent = fs.Bool("persistent", false, "Compute-as-Login persistent service (HPC)")
 	o.replicas = fs.Int("replicas", 1, "engine instances behind one endpoint (>1 = replica set + gateway)")
-	o.policy = fs.String("route-policy", "round-robin", "replica-set routing: round-robin, least-loaded")
+	o.policy = fs.String("route-policy", "round-robin", "replica-set routing: round-robin, least-loaded, session (KV-cache affinity on the request's session key)")
 	o.elastic = fs.Bool("autoscale", false, "elastically resize the replica set from gateway load (HPC)")
 	o.minReps = fs.Int("min-replicas", 0, "autoscale floor (0 = scale to zero when idle)")
 	o.maxReps = fs.Int("max-replicas", 4, "autoscale ceiling")
 	o.targetQueue = fs.Int("target-queue-depth", 0, "autoscale per-replica queue target (0 = default)")
-	o.models = fs.String("models", "", "multi-model fleet spec: alias=hf-name:weight,... (e.g. \"chat=meta-llama/Llama-3.1-8B-Instruct:2,code=Qwen/Qwen2.5-Coder-7B-Instruct:1\"); alias and :weight optional")
+	o.sloP95 = fs.Duration("slo-p95", 0, "p95 latency objective: shed batch-class requests while the gateway's rolling p95 breaches it (0 = off)")
+	o.priority = fs.String("priority", "", "default priority class for unlabeled requests: interactive (default) or batch")
+	o.models = fs.String("models", "", "multi-model fleet spec: alias=hf-name[:weight][:p95=dur][:class=name][:policy=name],... (e.g. \"chat=meta-llama/Llama-3.1-8B-Instruct:2:p95=30s,code=Qwen/Qwen2.5-Coder-7B-Instruct:1:class=batch\")")
 	o.poolNodes = fs.Int("pool-nodes", 0, "shared node pool arbitrated across the fleet's models (0 = no arbitration)")
 	return o
 }
@@ -136,6 +141,12 @@ func (o *deployOpts) validate() (*autoscale.Policy, error) {
 	}
 	if _, err := ingress.ParsePolicy(*o.policy); err != nil {
 		return nil, err
+	}
+	if _, err := sched.ParseClass(*o.priority); err != nil {
+		return nil, err
+	}
+	if *o.sloP95 < 0 {
+		return nil, fmt.Errorf("-slo-p95 must be >= 0 (got %s)", *o.sloP95)
 	}
 	if !*o.elastic {
 		return nil, nil
@@ -156,6 +167,7 @@ func (o *deployOpts) config(m *llm.ModelSpec, pol *autoscale.Policy) core.Deploy
 		Model: m, TensorParallel: *o.tp, PipelineParallel: *o.pp,
 		MaxModelLen: *o.maxLen, Offline: true, Persistent: *o.persistent,
 		Replicas: *o.replicas, RoutePolicy: *o.policy, Autoscale: pol,
+		SLOTargetP95: *o.sloP95, PriorityClass: *o.priority,
 	}
 }
 
@@ -237,6 +249,12 @@ func runDeploy(args []string) {
 				resolved := pol.WithDefaults()
 				fmt.Printf("  autoscale: %d–%d replicas, target queue %d/replica, scale-to-zero after %s idle\n",
 					resolved.MinReplicas, resolved.MaxReplicas, resolved.TargetQueueDepth, resolved.ScaleToZeroAfter)
+			}
+			if *opts.sloP95 > 0 {
+				fmt.Printf("  slo: p95 objective %s (batch-class requests shed while breached)\n", *opts.sloP95)
+			}
+			if *opts.priority != "" {
+				fmt.Printf("  priority: unlabeled requests default to the %s class\n", *opts.priority)
 			}
 		}
 		if *query != "" {

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/autoscale"
 	"repro/internal/cruntime"
@@ -157,13 +158,27 @@ type DeployConfig struct {
 	// a load-balancing ingress.Gateway.
 	Replicas int
 	// RoutePolicy selects the gateway's balancing policy for replica sets:
-	// "round-robin" (default) or "least-loaded". On Kubernetes the cluster
-	// Service round-robins across pods regardless of this setting.
+	// "round-robin" (default), "least-loaded", or "session" (consistent-
+	// hash affinity on the request's session key, so multi-turn chats
+	// reuse one replica's warm KV cache, spilling to least-loaded when the
+	// affine replica saturates). On Kubernetes the cluster Service
+	// round-robins across pods regardless of this setting.
 	RoutePolicy string
 	// GatewayMaxWaiting enables queue-aware admission control on replica
 	// sets: the gateway sheds load with 503 once every replica's waiting
 	// queue is past this depth. 0 disables.
 	GatewayMaxWaiting int
+	// SLOTargetP95 sets a per-model p95 latency objective on the replica
+	// set's gateway: while the rolling p95 breaches it, batch-class
+	// requests are shed with 503 (interactive traffic is never SLO-shed).
+	// 0 disables. HPC replica sets only.
+	SLOTargetP95 time.Duration
+	// PriorityClass is the default scheduling class for requests that
+	// carry no explicit class (X-Priority header or body priority field):
+	// "interactive" (default) or "batch". Batch-class requests are shed
+	// first under an SLO breach and dequeued last from the gateway's
+	// cold-start hold queue.
+	PriorityClass string
 	// Autoscale, when non-nil, runs an elastic control loop that resizes
 	// the replica set between the policy's MinReplicas and MaxReplicas from
 	// gateway load signals, including scale-to-zero with cold-start queuing

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ingress"
 	"repro/internal/k8s"
 	"repro/internal/ray"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/site"
 	"repro/internal/slurm"
@@ -40,6 +41,9 @@ func (d *Deployer) Deploy(p *sim.Proc, pkg *ContainerPackage, pf Platform, cfg D
 	}
 	if cfg.Port == 0 {
 		cfg.Port = pkg.Needs.Port
+	}
+	if _, err := sched.ParseClass(cfg.PriorityClass); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if cfg.Replicas > 1 || cfg.Autoscale != nil {
 		// Validate the policy on every platform kind; on Kubernetes the
@@ -88,6 +92,10 @@ func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platf
 	if err != nil {
 		return nil, err
 	}
+	class, err := sched.ParseClass(cfg.PriorityClass)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	// The initial size sits inside the elastic range (scale-to-zero only
 	// happens after the idle timeout, so elastic sets start with at least
 	// one); initialReplicas is the single clamp shared with fleet
@@ -128,6 +136,8 @@ func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platf
 		Unbound:       cfg.fleetManaged,
 		Policy:        policy,
 		MaxWaiting:    cfg.GatewayMaxWaiting,
+		SLOTargetP95:  cfg.SLOTargetP95,
+		DefaultClass:  class,
 		HoldColdStart: pol != nil,
 	}
 	dp := &Deployment{

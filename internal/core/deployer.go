@@ -14,6 +14,7 @@ import (
 	"repro/internal/ingress"
 	"repro/internal/k8s"
 	"repro/internal/ray"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/site"
 	"repro/internal/slurm"
@@ -160,6 +161,24 @@ func (d *Deployer) Plan(pkg *ContainerPackage, pf Platform, cfg DeployConfig) (*
 				"autoscale: elastic %d–%d replicas, target queue %d/replica, scale-to-zero after %s idle (cold-start requests queue at the gateway)",
 				pol.MinReplicas, pol.MaxReplicas, pol.TargetQueueDepth, pol.ScaleToZeroAfter))
 		}
+		if cfg.PriorityClass != "" {
+			if _, err := sched.ParseClass(cfg.PriorityClass); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		// SLO admission and priority classes live on the replica-set
+		// gateway; a single-instance deployment has no gateway to enforce
+		// them, so the plan must not claim they are active.
+		if cfg.Replicas > 1 || cfg.Autoscale != nil {
+			if cfg.SLOTargetP95 > 0 {
+				plan.Notes = append(plan.Notes, fmt.Sprintf(
+					"slo: p95 objective %s; batch-class requests shed while the gateway's rolling p95 breaches it",
+					cfg.SLOTargetP95))
+			}
+			if cfg.PriorityClass != "" {
+				plan.Notes = append(plan.Notes, "priority: requests default to the "+cfg.PriorityClass+" class")
+			}
+		}
 	case "k8s":
 		if cfg.Autoscale != nil {
 			return nil, fmt.Errorf("core: Autoscale is not supported on Kubernetes platforms (use the cluster's HPA)")
@@ -293,6 +312,12 @@ type Deployment struct {
 	// has not finished — they still hold scheduler nodes, so capacity
 	// accounting (the fleet pool) must keep seeing them.
 	draining int
+	// launching counts replica launches in flight (scheduler job submitted,
+	// weights still loading): they already occupy nodes, so capacity
+	// accounting must see them before they register with the gateway, or
+	// a shared pool could grant the same nodes to another model during the
+	// cold-start window.
+	launching int
 }
 
 // Replicas enumerates the deployment's instances: the child deployments of
@@ -375,6 +400,7 @@ func (dp *Deployment) addReplicas(p *sim.Proc, k int) error {
 		dp.nextReplicaID++
 		fut := sim.NewFuture[*Deployment](p.Engine())
 		launches = append(launches, launch{name: name, fut: fut})
+		dp.launching++
 		p.Engine().Go("deploy-"+name, func(rp *sim.Proc) {
 			r, err := d.Deploy(rp, dp.pkg, dp.Platform, dp.rcfg)
 			fut.Resolve(r, err)
@@ -383,6 +409,9 @@ func (dp *Deployment) addReplicas(p *sim.Proc, k int) error {
 	var firstErr error
 	for _, l := range launches {
 		r, err := sim.Await(p, l.fut)
+		// The launch hands its node accounting over in the same event: it
+		// either joins the replica set below or never held its nodes.
+		dp.launching--
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -430,11 +459,15 @@ func (dp *Deployment) RemoveReplica(p *sim.Proc) error {
 	return nil
 }
 
-// OccupiedReplicas counts the replicas still holding scheduler nodes:
-// the live set plus drains in progress. This — not CurrentReplicas — is
-// what shared-capacity accounting must see, or a pool would hand a
-// draining replica's node to another model before it is actually free.
-func (dp *Deployment) OccupiedReplicas() int { return len(dp.replicas) + dp.draining }
+// OccupiedReplicas counts the replicas holding (or actively claiming)
+// scheduler nodes: the live set, drains in progress, and launches in
+// flight. This — not CurrentReplicas — is what shared-capacity accounting
+// must see: a pool would otherwise hand a draining replica's node to
+// another model before it is free, or double-grant the nodes a cold-
+// starting replica is already loading weights on.
+func (dp *Deployment) OccupiedReplicas() int {
+	return len(dp.replicas) + dp.draining + dp.launching
+}
 
 // Engine exposes the serving engine (metrics, fault injection). For
 // Kubernetes deployments it resolves through the first ready pod; for

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/autoscale"
 	"repro/internal/ingress"
 	"repro/internal/llm"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/site"
 )
@@ -17,6 +19,15 @@ type FleetFlagEntry struct {
 	Alias  string // served/route name ("" = the model's own name)
 	Model  *llm.ModelSpec
 	Weight int
+	// SLOTargetP95 is the per-model latency objective (`p95=<dur>` option;
+	// 0 = inherit the fleet-wide flag).
+	SLOTargetP95 time.Duration
+	// Class is the model's default priority class (`class=<name>` option;
+	// "" = inherit the fleet-wide flag).
+	Class string
+	// RoutePolicy is the model's balancing policy (`policy=<name>` option;
+	// "" = inherit the fleet-wide flag).
+	RoutePolicy string
 }
 
 // RouteName is the route key the entry deploys under.
@@ -28,8 +39,14 @@ func (e FleetFlagEntry) RouteName() string {
 }
 
 // ParseFleetFlag parses the CLI fleet spec shared by genaictl and
-// benchserve: comma-separated `alias=hf-name:weight` items, with alias and
-// `:weight` optional (weight defaults to 1).
+// benchserve: comma-separated `alias=hf-name[:opt...]` items, with alias
+// optional. Each colon-separated option after the model name is either a
+// bare positive integer (the pool-arbitration weight, default 1),
+// `p95=<duration>` (a per-model p95 latency objective), `class=<name>`
+// (the model's default priority class), or `policy=<name>` (the model's
+// balancing policy), e.g.
+//
+//	chat=meta-llama/Llama-3.1-8B-Instruct:2:p95=30s:policy=session,bulk=Qwen/Qwen2.5-Coder-7B-Instruct:1:class=batch
 func ParseFleetFlag(spec string) ([]FleetFlagEntry, error) {
 	var out []FleetFlagEntry
 	for _, item := range strings.Split(spec, ",") {
@@ -38,17 +55,44 @@ func ParseFleetFlag(spec string) ([]FleetFlagEntry, error) {
 			continue
 		}
 		e := FleetFlagEntry{Weight: 1}
+		// `=` introduces the alias only before the first option separator —
+		// options themselves carry `=` (p95=30s, class=batch).
 		if eq := strings.Index(item, "="); eq >= 0 {
-			e.Alias, item = item[:eq], item[eq+1:]
-		}
-		if colon := strings.LastIndex(item, ":"); colon >= 0 {
-			w, err := strconv.Atoi(item[colon+1:])
-			if err != nil || w < 1 {
-				return nil, fmt.Errorf("core: fleet spec: bad weight in %q (want a positive integer after ':')", item)
+			if colon := strings.Index(item, ":"); colon < 0 || eq < colon {
+				e.Alias, item = item[:eq], item[eq+1:]
 			}
-			e.Weight, item = w, item[:colon]
 		}
-		m, err := llm.ByName(item)
+		parts := strings.Split(item, ":")
+		for _, opt := range parts[1:] {
+			switch {
+			case strings.HasPrefix(opt, "p95="):
+				d, err := time.ParseDuration(opt[len("p95="):])
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("core: fleet spec: bad p95 objective in %q (want a positive duration, e.g. p95=30s)", item)
+				}
+				e.SLOTargetP95 = d
+			case strings.HasPrefix(opt, "class="):
+				name := opt[len("class="):]
+				if c, err := sched.ParseClass(name); err != nil || c == sched.ClassUnset {
+					return nil, fmt.Errorf("core: fleet spec: bad priority class in %q (want class=interactive or class=batch)", item)
+				}
+				e.Class = name
+			case strings.HasPrefix(opt, "policy="):
+				name := opt[len("policy="):]
+				if _, err := ingress.ParsePolicy(name); err != nil || name == "" {
+					return nil, fmt.Errorf("core: fleet spec: bad route policy in %q (want policy=%s, policy=%s, or policy=%s)",
+						item, ingress.PolicyRoundRobin, ingress.PolicyLeastLoaded, ingress.PolicySession)
+				}
+				e.RoutePolicy = name
+			default:
+				w, err := strconv.Atoi(opt)
+				if err != nil || w < 1 {
+					return nil, fmt.Errorf("core: fleet spec: bad option %q in %q (want a positive weight, p95=<dur>, class=<name>, or policy=<name>)", opt, item)
+				}
+				e.Weight = w
+			}
+		}
+		m, err := llm.ByName(parts[0])
 		if err != nil {
 			return nil, fmt.Errorf("core: fleet spec: %w", err)
 		}
@@ -91,7 +135,8 @@ type FleetModel struct {
 	// Config is the model's deployment request. Its RouteName (ServedName
 	// alias or Model.Name) is the `model` value clients send; it must be
 	// unique within the fleet. Per-model Replicas, RoutePolicy,
-	// GatewayMaxWaiting, and Autoscale all apply.
+	// GatewayMaxWaiting, SLOTargetP95, PriorityClass, and Autoscale all
+	// apply.
 	Config DeployConfig
 	// Weight is the model's relative priority in pool arbitration under
 	// contention (default 1).
@@ -127,6 +172,16 @@ func SeedFleet(p *sim.Proc, d *Deployer, pf Platform, base DeployConfig, entries
 		cfg := base
 		cfg.Model = e.Model
 		cfg.ServedName = e.Alias
+		// Per-model scheduling options override the fleet-wide base.
+		if e.SLOTargetP95 > 0 {
+			cfg.SLOTargetP95 = e.SLOTargetP95
+		}
+		if e.Class != "" {
+			cfg.PriorityClass = e.Class
+		}
+		if e.RoutePolicy != "" {
+			cfg.RoutePolicy = e.RoutePolicy
+		}
 		out = append(out, FleetModel{Config: cfg, Weight: e.Weight})
 	}
 	return out, nil
@@ -210,6 +265,9 @@ func (d *Deployer) DeployFleet(p *sim.Proc, pkg *ContainerPackage, pf Platform, 
 			return nil, fmt.Errorf("core: fleet model %q: Persistent and fleet deployment are exclusive", name)
 		}
 		if _, err := ingress.ParsePolicy(cfg.RoutePolicy); err != nil {
+			return nil, fmt.Errorf("core: fleet model %q: %w", name, err)
+		}
+		if _, err := sched.ParseClass(cfg.PriorityClass); err != nil {
 			return nil, fmt.Errorf("core: fleet model %q: %w", name, err)
 		}
 		if cfg.Autoscale != nil {

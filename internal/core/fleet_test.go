@@ -220,6 +220,111 @@ func TestDeployFleetPoolReclaimUnderContention(t *testing.T) {
 	})
 }
 
+func TestParseFleetFlagSchedulingOptions(t *testing.T) {
+	entries, err := ParseFleetFlag(
+		"chat=meta-llama/Llama-3.1-8B-Instruct:2:p95=30s:policy=session," +
+			"bulk=Qwen/Qwen2.5-Coder-7B-Instruct:class=batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	chat, bulk := entries[0], entries[1]
+	if chat.Alias != "chat" || chat.Weight != 2 || chat.SLOTargetP95 != 30*time.Second || chat.RoutePolicy != "session" {
+		t.Fatalf("chat entry = %+v", chat)
+	}
+	if bulk.Alias != "bulk" || bulk.Weight != 1 || bulk.Class != "batch" || bulk.SLOTargetP95 != 0 {
+		t.Fatalf("bulk entry = %+v", bulk)
+	}
+
+	for spec, wantErr := range map[string]string{
+		"meta-llama/Llama-3.1-8B-Instruct:p95=banana": "bad p95",
+		"meta-llama/Llama-3.1-8B-Instruct:p95=-3s":    "bad p95",
+		"meta-llama/Llama-3.1-8B-Instruct:class=vip":  "bad priority class",
+		"meta-llama/Llama-3.1-8B-Instruct:policy=x":   "bad route policy",
+		"meta-llama/Llama-3.1-8B-Instruct:0":          "bad option",
+	} {
+		if _, err := ParseFleetFlag(spec); err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("spec %q: err = %v, want %q", spec, err, wantErr)
+		}
+	}
+}
+
+func TestSeedFleetAppliesPerModelSchedulingOptions(t *testing.T) {
+	s, d := newSite(t)
+	run(t, s, func(p *sim.Proc) {
+		entries, err := ParseFleetFlag(
+			"chat=meta-llama/Llama-3.1-8B-Instruct:p95=20s:policy=session,bulk=Qwen/Qwen2.5-Coder-7B-Instruct:class=batch")
+		if err != nil {
+			t.Errorf("ParseFleetFlag: %v", err)
+			return
+		}
+		base := DeployConfig{TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 1, RoutePolicy: "least-loaded", SLOTargetP95: 5 * time.Second}
+		models, err := SeedFleet(p, d, PlatformHops, base, entries)
+		if err != nil {
+			t.Errorf("SeedFleet: %v", err)
+			return
+		}
+		chat, bulk := models[0].Config, models[1].Config
+		if chat.SLOTargetP95 != 20*time.Second || chat.RoutePolicy != "session" || chat.PriorityClass != "" {
+			t.Errorf("chat config = slo %s policy %s class %q", chat.SLOTargetP95, chat.RoutePolicy, chat.PriorityClass)
+		}
+		// Unset per-model options inherit the fleet-wide base.
+		if bulk.SLOTargetP95 != 5*time.Second || bulk.RoutePolicy != "least-loaded" || bulk.PriorityClass != "batch" {
+			t.Errorf("bulk config = slo %s policy %s class %q", bulk.SLOTargetP95, bulk.RoutePolicy, bulk.PriorityClass)
+		}
+	})
+}
+
+func TestOccupiedReplicasCountsInFlightLaunches(t *testing.T) {
+	// The reclaim-convergence fix: a replica mid-launch (job submitted,
+	// weights loading) already occupies its node, so pool accounting must
+	// see it before it registers with the gateway.
+	s, d := newSite(t)
+	model := llm.Llama318B
+	run(t, s, func(p *sim.Proc) {
+		if err := SeedModel(p, s.HopsLustre, model); err != nil {
+			t.Errorf("SeedModel: %v", err)
+			return
+		}
+		dp, err := d.Deploy(p, VLLMPackage(), PlatformHops, DeployConfig{
+			Model: model, TensorParallel: 1, MaxModelLen: 8192, Offline: true,
+			Replicas: 2, RoutePolicy: "round-robin",
+		})
+		if err != nil {
+			t.Errorf("Deploy: %v", err)
+			return
+		}
+		defer dp.Stop()
+		done := sim.NewFuture[int](p.Engine())
+		p.Engine().Go("grow", func(rp *sim.Proc) {
+			err := dp.AddReplica(rp)
+			if err != nil {
+				t.Errorf("AddReplica: %v", err)
+			}
+			done.Resolve(0, err)
+		})
+		// Weight loading dominates a replica launch; a minute in, the new
+		// replica is still launching but must already count as occupied.
+		p.Sleep(time.Minute)
+		if dp.CurrentReplicas() != 2 {
+			t.Errorf("CurrentReplicas mid-launch = %d, want 2", dp.CurrentReplicas())
+		}
+		if got := dp.OccupiedReplicas(); got != 3 {
+			t.Errorf("OccupiedReplicas mid-launch = %d, want 3 (live + launching)", got)
+		}
+		if _, err := sim.Await(p, done); err != nil {
+			return
+		}
+		if dp.CurrentReplicas() != 3 || dp.OccupiedReplicas() != 3 {
+			t.Errorf("after launch: current %d occupied %d, want 3/3",
+				dp.CurrentReplicas(), dp.OccupiedReplicas())
+		}
+	})
+}
+
 func TestDeployFleetValidation(t *testing.T) {
 	s, d := newSite(t)
 	run(t, s, func(p *sim.Proc) {
@@ -263,6 +368,14 @@ func TestDeployFleetValidation(t *testing.T) {
 		_, err = d.DeployFleet(p, VLLMPackage(), PlatformHops, FleetConfig{}, []FleetModel{{Config: bad}})
 		if err == nil || !strings.Contains(err.Error(), "unknown route policy") {
 			t.Errorf("bad policy: %v", err)
+			return
+		}
+		// So does a bad per-model priority class.
+		badClass := base
+		badClass.PriorityClass = "vip"
+		_, err = d.DeployFleet(p, VLLMPackage(), PlatformHops, FleetConfig{}, []FleetModel{{Config: badClass}})
+		if err == nil || !strings.Contains(err.Error(), "unknown priority class") {
+			t.Errorf("bad class: %v", err)
 			return
 		}
 	})

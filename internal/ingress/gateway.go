@@ -3,9 +3,11 @@ package ingress
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/vhttp"
 	"repro/internal/vllm"
@@ -21,6 +23,12 @@ const (
 	// gateway-tracked in-flight requests plus the waiting/running queue
 	// depths last scraped from the replica's /metrics endpoint.
 	PolicyLeastLoaded Policy = "least-loaded"
+	// PolicySession pins requests sharing a session key (X-Session-Key
+	// header, or the body's session_id/user field) to one replica via
+	// consistent hashing, so multi-turn chats reuse that replica's warm
+	// KV cache; keyless requests and sessions whose affine replica is
+	// saturated fall back to least-loaded.
+	PolicySession Policy = "session"
 )
 
 // ParsePolicy resolves a policy name ("" defaults to round-robin).
@@ -30,8 +38,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return PolicyRoundRobin, nil
 	case PolicyLeastLoaded:
 		return PolicyLeastLoaded, nil
+	case PolicySession:
+		return PolicySession, nil
 	}
-	return "", fmt.Errorf("ingress: unknown route policy %q (want %q or %q)", s, PolicyRoundRobin, PolicyLeastLoaded)
+	return "", fmt.Errorf("ingress: unknown route policy %q (want %q, %q, or %q)", s, PolicyRoundRobin, PolicyLeastLoaded, PolicySession)
 }
 
 // Backend is one replica endpoint behind a Gateway.
@@ -86,13 +96,35 @@ func (b *Backend) queueEstimate() int {
 // routable reports whether the backend may receive new requests.
 func (b *Backend) routable() bool { return b.healthy && !b.draining }
 
+// backendView adapts a gateway backend to the scheduling layer's view.
+type backendView struct{ b *Backend }
+
+// Key implements sched.Backend.
+func (v backendView) Key() string { return v.b.Name }
+
+// Score implements sched.Backend.
+func (v backendView) Score() int { return v.b.load() }
+
+// Pressure implements sched.Backend: the scraped waiting depth plus
+// requests forwarded since that scrape — the PR 1 admission estimate.
+func (v backendView) Pressure() int { return v.b.waiting + v.b.inflight - v.b.scrapeInflight }
+
 // GatewayStats counts gateway-level outcomes.
 type GatewayStats struct {
 	Requests int // forwarded client requests (excludes health/status)
 	Retries  int // second attempts after a first-choice replica failed
-	Rejected int // 503s from queue-aware admission control
+	Rejected int // 503s from admission control (queue-depth and SLO sheds)
 	Errors   int // requests that failed on every attempted replica
 	Held     int // requests queued at the gateway waiting for a replica (cold start)
+}
+
+// SLOStatus is the SLO admission breaker's observable state.
+type SLOStatus struct {
+	Target  time.Duration `json:"-"`
+	TargetM float64       `json:"target_ms"`
+	P95M    float64       `json:"p95_ms"`
+	Engaged bool          `json:"engaged"`
+	Sheds   int           `json:"sheds"`
 }
 
 // Gateway is the load-balancing front door for a replica set: one virtual
@@ -102,11 +134,18 @@ type GatewayStats struct {
 // proxy's static one-route-per-user shape into the control plane the
 // related work (OpenTela, Chat AI) runs in front of transient instances.
 //
+// All three request-path policy decisions — admission, hold-queue order,
+// and replica choice — are delegated to the pluggable internal/sched
+// layer. The Policy / MaxWaiting / SLOTargetP95 knobs resolve to concrete
+// sched implementations in Start; callers needing custom behavior inject
+// Picker or Admitter directly.
+//
 // Backends may be registered and removed while the gateway serves: the
 // autoscaler grows the set with AddBackend and shrinks it with
 // RemoveBackend's graceful drain. With HoldColdStart set, requests that
 // arrive while no replica is routable (scale-to-zero) are queued at the
-// gateway and released when the first replica turns healthy.
+// gateway — ordered by priority class — and released when the first
+// replica turns healthy.
 type Gateway struct {
 	Net  *vhttp.Net
 	Host string // virtual endpoint host (e.g. "hops-gw.example.gov")
@@ -121,17 +160,41 @@ type Gateway struct {
 	// gateway and dispatches into Serve directly. Probing, forwarding, and
 	// every routing policy work exactly as in the bound shape.
 	Unbound bool
-	// Policy defaults to round-robin.
+	// Policy defaults to round-robin. Ignored when Picker is set.
 	Policy Policy
+	// Picker overrides the Policy-derived replica selector (advanced use;
+	// nil resolves from Policy). An implementation must return one of the
+	// candidate values it was handed, verbatim — wrapped or fabricated
+	// backends are treated as no pick.
+	Picker sched.Picker
 	// HealthInterval between health/metrics probe rounds (default 15s).
 	HealthInterval time.Duration
 	// MaxWaiting is the queue-aware admission threshold: when every healthy
 	// replica's scraped waiting depth exceeds it, new requests get 503 with
 	// a Retry-After instead of piling onto saturated engines. 0 disables.
 	MaxWaiting int
+	// SLOTargetP95 is the per-model latency objective: while the gateway's
+	// rolling p95 breaches it, batch-class requests are shed with 503
+	// (interactive traffic is never SLO-shed). 0 disables.
+	SLOTargetP95 time.Duration
+	// DefaultClass is the priority class assumed for requests that carry
+	// no explicit class (X-Priority header or body priority field).
+	// ClassUnset means interactive.
+	DefaultClass sched.Class
+	// SessionSpillDepth is the affine replica's load score above which a
+	// session-routed request spills to least-loaded
+	// (0 = sched.DefaultSpillDepth). Deliberately not defaulted from
+	// MaxWaiting: that threshold is calibrated against the waiting-queue
+	// pressure estimate, not the load score. Only meaningful with
+	// PolicySession.
+	SessionSpillDepth int
+	// Admitter overrides the MaxWaiting/SLOTargetP95-derived admission
+	// chain (advanced use; nil resolves in Start).
+	Admitter sched.Admitter
 	// HoldColdStart queues requests when no replica is routable instead of
 	// failing them with 502 — the scale-to-zero cold-start path. Held
-	// requests release as soon as a backend is added or revived.
+	// requests release as soon as a backend is added or revived,
+	// interactive class first.
 	HoldColdStart bool
 	// ColdStartWait bounds how long a held request waits for a replica
 	// before giving up with 503 (default 30 minutes — a replica cold start
@@ -143,12 +206,17 @@ type Gateway struct {
 
 	eng      *sim.Engine
 	backends []*Backend
-	rr       int
 	stats    GatewayStats
-	holding  int         // requests currently held waiting for a replica
-	wakeup   *sim.Signal // fires when a backend becomes routable
-	started  bool
-	stopped  bool
+	holdq    sched.Queue // requests parked waiting for a routable replica
+	// Policy-derived sched instances, created on first use so flipping
+	// Policy / MaxWaiting / SLOTargetP95 on a running gateway still takes
+	// effect (stateful ones persist: the round-robin cursor, the session
+	// spill counter, the SLO breaker's hysteresis).
+	rr      *sched.RoundRobin
+	session *sched.Session
+	slo     *sched.SLO
+	started bool
+	stopped bool
 
 	arrivals  metrics.Rolling // client request arrival times
 	latencies metrics.Rolling // completed request latencies (ms)
@@ -199,12 +267,10 @@ func (g *Gateway) detach(b *Backend) {
 	}
 }
 
-// wakeHeld releases requests parked waiting for a routable backend.
+// wakeHeld releases requests parked waiting for a routable backend, in
+// priority order (interactive before batch, FIFO within a class).
 func (g *Gateway) wakeHeld() {
-	if g.wakeup != nil {
-		g.wakeup.Fire()
-		g.wakeup = nil
-	}
+	g.holdq.WakeAll()
 }
 
 // Backends lists registered backends (draining ones included until detach).
@@ -215,7 +281,35 @@ func (g *Gateway) Stats() GatewayStats { return g.stats }
 
 // Holding reports how many requests are currently queued at the gateway
 // waiting for a replica (cold start).
-func (g *Gateway) Holding() int { return g.holding }
+func (g *Gateway) Holding() int { return g.holdq.Len() }
+
+// SLO reports the SLO admission breaker's state; ok is false when no
+// SLOTargetP95 is configured.
+func (g *Gateway) SLO() (st SLOStatus, ok bool) {
+	if g.SLOTargetP95 <= 0 {
+		return SLOStatus{}, false
+	}
+	now := g.eng.Now()
+	st = SLOStatus{
+		Target:  g.SLOTargetP95,
+		TargetM: float64(g.SLOTargetP95) / float64(time.Millisecond),
+		P95M:    float64(g.LatencyQuantile(now, 0.95)) / float64(time.Millisecond),
+	}
+	if g.slo != nil {
+		st.Engaged = g.slo.Engaged()
+		st.Sheds = g.slo.Sheds()
+	}
+	return st, true
+}
+
+// SessionSpills counts session-routed requests that left their affine
+// replica because it was saturated (0 unless PolicySession is active).
+func (g *Gateway) SessionSpills() int {
+	if g.session == nil {
+		return 0
+	}
+	return g.session.Spills()
+}
 
 // Endpoint is the virtual base URL clients target.
 func (g *Gateway) Endpoint() string { return fmt.Sprintf("http://%s:%d", g.Host, g.Port) }
@@ -236,7 +330,7 @@ func (g *Gateway) HealthyBackends() int {
 // corrected, so bursts between probes are counted once). The autoscaler's
 // primary signal.
 func (g *Gateway) Load() int {
-	total := g.holding
+	total := g.holdq.Len()
 	for _, b := range g.backends {
 		if !b.routable() {
 			continue
@@ -256,7 +350,8 @@ func (g *Gateway) LatencyQuantile(now time.Time, q float64) time.Duration {
 	return time.Duration(g.latencies.Quantile(now, q) * float64(time.Millisecond))
 }
 
-// Start binds the virtual endpoint and launches the health-check loop.
+// Start binds the virtual endpoint, resolves the scheduling policies, and
+// launches the health-check loop.
 func (g *Gateway) Start(eng *sim.Engine) error {
 	if g.started {
 		return fmt.Errorf("ingress: gateway %s already started", g.Endpoint())
@@ -340,54 +435,112 @@ func (g *Gateway) probe(p *sim.Proc, b *Backend) {
 	}
 }
 
-// pick chooses the next backend per policy, skipping unhealthy or draining
-// ones and the excluded (just-failed) one. Returns nil when nothing is
-// routable.
-func (g *Gateway) pick(exclude *Backend) *Backend {
+// views builds the scheduling layer's view of the routable backends,
+// minus the excluded (just-failed) one.
+func (g *Gateway) views(exclude *Backend) []sched.Backend {
+	out := make([]sched.Backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		if b.routable() && b != exclude {
+			out = append(out, backendView{b})
+		}
+	}
+	return out
+}
+
+// picker resolves the active replica selector: the injected Picker, or
+// the Policy-derived sched implementation (instantiated on first use so a
+// post-Start Policy change still takes effect).
+func (g *Gateway) picker() sched.Picker {
+	if g.Picker != nil {
+		return g.Picker
+	}
 	switch g.Policy {
 	case PolicyLeastLoaded:
-		var best *Backend
-		for _, b := range g.backends {
-			if !b.routable() || b == exclude {
-				continue
-			}
-			if best == nil || b.load() < best.load() {
-				best = b
-			}
+		return sched.LeastLoaded{}
+	case PolicySession:
+		if g.session == nil {
+			g.session = &sched.Session{}
 		}
-		return best
-	default: // round-robin
-		for range g.backends {
-			b := g.backends[g.rr%len(g.backends)]
-			g.rr++
-			if b.routable() && b != exclude {
-				return b
-			}
+		// Re-sync the threshold every pick so post-Start changes to
+		// SessionSpillDepth take effect (only the spill counter persists).
+		g.session.SpillDepth = g.SessionSpillDepth
+		return g.session
+	default:
+		if g.rr == nil {
+			g.rr = &sched.RoundRobin{}
 		}
-		return nil
+		return g.rr
 	}
 }
 
-// saturated reports whether every routable replica is past the admission
-// threshold. The estimate is the last scraped waiting depth plus requests
-// the gateway forwarded since that scrape (inflight growth), so bursts
-// between probes still trip the breaker without double-counting requests
-// that were already in the replica's queues when it was scraped.
-func (g *Gateway) saturated() bool {
-	if g.MaxWaiting <= 0 {
-		return false
+// pickFor delegates the replica choice to the scheduling layer. Returns
+// nil when nothing is routable.
+func (g *Gateway) pickFor(sreq *sched.Request, exclude *Backend) *Backend {
+	return g.pickFrom(g.views(exclude), sreq)
+}
+
+// pickFrom picks from an already-built candidate snapshot (shared with
+// admission on the arrival path, so the slice is built once per request;
+// retries and hold wakeups rebuild it — the set changes while they wait).
+// A Picker must return one of the candidate values verbatim; anything
+// else (a wrapped view from a custom Picker) is treated as no pick rather
+// than panicking the serving path.
+func (g *Gateway) pickFrom(candidates []sched.Backend, sreq *sched.Request) *Backend {
+	if len(candidates) == 0 {
+		return nil
 	}
-	any := false
-	for _, b := range g.backends {
-		if !b.routable() {
-			continue
+	view, ok := g.picker().Pick(candidates, sreq).(backendView)
+	if !ok {
+		return nil
+	}
+	return view.b
+}
+
+// describe derives the request's scheduling attributes from headers and
+// the JSON body (lenient: a non-JSON body just yields defaults).
+func (g *Gateway) describe(req *vhttp.Request) sched.Request {
+	sreq, _ := sched.Describe(req.Header, req.Body)
+	g.normalize(&sreq)
+	return sreq
+}
+
+// normalize pins the descriptor to this replica set and resolves the
+// default priority class.
+func (g *Gateway) normalize(sreq *sched.Request) {
+	sreq.Model = g.Model
+	sreq.Class = sreq.Class.Or(g.DefaultClass.Or(sched.ClassInteractive))
+}
+
+// admit runs the admission chain against the arrival-time replica
+// snapshot: the injected Admitter, or the SLO breaker (when SLOTargetP95
+// is set) followed by the queue-depth breaker (MaxWaiting; a no-op at 0).
+func (g *Gateway) admit(p *sim.Proc, sreq *sched.Request, candidates []sched.Backend) sched.Outcome {
+	// No admission configured (the default): the old saturated() fast
+	// path, preserved.
+	if g.Admitter == nil && g.SLOTargetP95 <= 0 && g.MaxWaiting <= 0 {
+		return sched.Admitted
+	}
+	now := p.Now()
+	st := sched.State{
+		Backends: candidates,
+		P95:      func() time.Duration { return g.LatencyQuantile(now, 0.95) },
+	}
+	if g.Admitter != nil {
+		return g.Admitter.Admit(sreq, st)
+	}
+	if g.SLOTargetP95 > 0 {
+		if g.slo == nil {
+			g.slo = &sched.SLO{}
 		}
-		any = true
-		if b.waiting+b.inflight-b.scrapeInflight <= g.MaxWaiting {
-			return false
+		// Re-sync the objective every decision so post-Start changes take
+		// effect (only the breaker's hysteresis state and counter persist);
+		// dropping SLOTargetP95 to 0 disables the breaker entirely.
+		g.slo.Target = g.SLOTargetP95
+		if out := g.slo.Admit(sreq, st); !out.Admit {
+			return out
 		}
 	}
-	return any
+	return sched.QueueDepth{MaxWaiting: g.MaxWaiting}.Admit(sreq, st)
 }
 
 // forward sends the request to one backend, tracking in-flight load. A
@@ -406,22 +559,22 @@ func (g *Gateway) forward(p *sim.Proc, b *Backend, req *vhttp.Request) (*vhttp.R
 }
 
 // hold parks a request until a backend becomes routable (cold start) or the
-// deadline passes. Returns the picked backend, or nil on timeout/stop. The
-// deadline is fixed at request arrival so a request re-held after its
-// replica died cannot wait more than one ColdStartWait in total.
-func (g *Gateway) hold(p *sim.Proc, deadline time.Time) *Backend {
-	g.holding++
-	defer func() { g.holding-- }()
+// deadline passes, queued by priority class. Returns the picked backend, or
+// nil on timeout/stop. The deadline is fixed at request arrival so a
+// request re-held after its replica died cannot wait more than one
+// ColdStartWait in total.
+func (g *Gateway) hold(p *sim.Proc, sreq *sched.Request, deadline time.Time) *Backend {
+	ticket := g.holdq.Push(sreq.Class)
+	defer g.holdq.Remove(ticket)
 	for !g.stopped {
 		remain := deadline.Sub(p.Now())
 		if remain <= 0 {
 			return nil
 		}
-		if g.wakeup == nil {
-			g.wakeup = p.Engine().NewSignal()
-		}
-		p.WaitTimeout(g.wakeup, remain)
-		if b := g.pick(nil); b != nil {
+		wake := p.Engine().NewSignal()
+		ticket.SetWake(wake.Fire)
+		p.WaitTimeout(wake, remain)
+		if b := g.pickFor(sreq, nil); b != nil {
 			return b
 		}
 	}
@@ -430,6 +583,26 @@ func (g *Gateway) hold(p *sim.Proc, deadline time.Time) *Backend {
 
 // Serve implements vhttp.Service: the virtual endpoint's request path.
 func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+	if resp := g.control(req); resp != nil {
+		return resp
+	}
+	return g.dispatch(p, req, g.describe(req))
+}
+
+// ServeDescribed is Serve for a request whose scheduling attributes were
+// already derived — a fronting Router parses the body once and hands the
+// descriptor down, so the per-model gateway does not re-parse.
+func (g *Gateway) ServeDescribed(p *sim.Proc, req *vhttp.Request, sreq sched.Request) *vhttp.Response {
+	if resp := g.control(req); resp != nil {
+		return resp
+	}
+	g.normalize(&sreq)
+	return g.dispatch(p, req, sreq)
+}
+
+// control answers the gateway's own endpoints; nil means the request is
+// inference traffic for the replica set.
+func (g *Gateway) control(req *vhttp.Request) *vhttp.Response {
 	switch req.Path {
 	case "/health":
 		// The gateway answers for the replica set: up while any replica is.
@@ -450,7 +623,12 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 			return vhttp.JSON(200, vllm.ModelListBody(g.Model))
 		}
 	}
+	return nil
+}
 
+// dispatch is the scheduling path shared by Serve and ServeDescribed:
+// admission, pick (holding through cold starts), forward, one retry.
+func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) *vhttp.Response {
 	g.stats.Requests++
 	g.arrivals.Observe(p.Now(), 1)
 	start := p.Now()
@@ -463,15 +641,18 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 			held = true
 			g.stats.Held++
 		}
-		return g.hold(p, holdDeadline)
+		return g.hold(p, &sreq, holdDeadline)
 	}
-	if g.saturated() {
+	// One routable-set snapshot serves both the admission decision and the
+	// first pick; nothing yields between them.
+	candidates := g.views(nil)
+	if out := g.admit(p, &sreq, candidates); !out.Admit {
 		g.stats.Rejected++
-		resp := vhttp.Text(503, "503 Service Unavailable (gateway): all replicas past waiting-queue threshold")
-		resp.SetHeader("Retry-After", "30")
+		resp := vhttp.Text(503, "503 Service Unavailable (gateway): "+out.Reason)
+		resp.SetHeader("Retry-After", strconv.Itoa(out.RetryAfter))
 		return resp
 	}
-	b := g.pick(nil)
+	b := g.pickFrom(candidates, &sreq)
 	if b == nil && g.HoldColdStart {
 		b = enterHold()
 		if b == nil {
@@ -497,7 +678,7 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	if err != nil {
 		b.healthy = false
 	}
-	b2 := g.pick(b)
+	b2 := g.pickFor(&sreq, b)
 	if b2 == nil && err != nil && g.HoldColdStart {
 		// The failed attempt consumed the only routable replica (a fresh
 		// cold-started instance can die on its first request). With
@@ -552,9 +733,14 @@ func (g *Gateway) status() *vhttp.Response {
 		Policy    Policy          `json:"policy"`
 		Stats     GatewayStats    `json:"stats"`
 		Holding   int             `json:"holding"`
+		SLO       *SLOStatus      `json:"slo,omitempty"`
+		Spills    int             `json:"session_spills,omitempty"`
 		Backends  []backendStatus `json:"backends"`
 		Autoscale any             `json:"autoscale,omitempty"`
-	}{Model: g.Model, Policy: g.Policy, Stats: g.stats, Holding: g.holding}
+	}{Model: g.Model, Policy: g.Policy, Stats: g.stats, Holding: g.holdq.Len(), Spills: g.SessionSpills()}
+	if slo, ok := g.SLO(); ok {
+		out.SLO = &slo
+	}
 	for _, b := range g.backends {
 		out.Backends = append(out.Backends, backendStatus{
 			Name: b.Name, URL: b.URL(), Healthy: b.healthy, Draining: b.draining,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/vhttp"
 	"repro/internal/vllm"
@@ -134,17 +135,6 @@ func inferencePath(path string) bool {
 	return path == "/v1/chat/completions" || path == "/v1/completions"
 }
 
-// modelOf extracts the model name from an inference request body.
-func modelOf(req *vhttp.Request) (string, error) {
-	var body struct {
-		Model string `json:"model"`
-	}
-	if err := json.Unmarshal(req.Body, &body); err != nil {
-		return "", fmt.Errorf("request body is not valid JSON (%v)", err)
-	}
-	return body.Model, nil
-}
-
 // errorResponse renders the OpenAI error envelope naming the routable
 // models, so a typo'd `model` field is self-diagnosing.
 func (r *Router) errorResponse(status int, msg string) *vhttp.Response {
@@ -189,22 +179,26 @@ func (r *Router) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		r.stats.Unknown++
 		return r.errorResponse(405, fmt.Sprintf("%s requires POST (got %s)", req.Path, req.Method))
 	}
-	model, err := modelOf(req)
+	// One parse of the scheduling attributes (model, session key, priority
+	// class) covers the whole front door: the router dispatches on the
+	// model and hands the descriptor to the per-model gateway, which
+	// consumes the rest without re-parsing the body.
+	desc, err := sched.Describe(req.Header, req.Body)
 	if err != nil {
 		r.stats.Unknown++
 		return r.errorResponse(400, err.Error())
 	}
-	if model == "" {
+	if desc.Model == "" {
 		r.stats.Unknown++
 		return r.errorResponse(404, "request body names no model")
 	}
-	rt, routed := r.byModel[model]
+	rt, routed := r.byModel[desc.Model]
 	if !routed {
 		r.stats.Unknown++
-		return r.errorResponse(404, fmt.Sprintf("model %q does not exist", model))
+		return r.errorResponse(404, fmt.Sprintf("model %q does not exist", desc.Model))
 	}
 	r.stats.Requests++
-	return rt.gw.Serve(p, req)
+	return rt.gw.ServeDescribed(p, req, desc)
 }
 
 // status renders the control-plane view of the whole fleet.

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/sched"
 	"repro/internal/vhttp"
 )
 
 // benchFleet builds a router fronting m models with r healthy backends
-// each. No network or engine: pick and dispatch are pure in-memory paths.
+// each. No network or engine: pick and dispatch are pure in-memory paths
+// (pickFor resolves the Policy-derived picker lazily, no Start needed).
 func benchFleet(m, r int, policy Policy) (*Router, []string) {
 	router := &Router{Host: "bench", Port: 8000}
 	names := make([]string, m)
@@ -28,15 +30,16 @@ func benchFleet(m, r int, policy Policy) (*Router, []string) {
 // BenchmarkRouterPick measures the per-request routing decision — model
 // lookup plus the gateway's replica pick — across fleet sizes.
 func BenchmarkRouterPick(b *testing.B) {
-	for _, policy := range []Policy{PolicyRoundRobin, PolicyLeastLoaded} {
+	for _, policy := range []Policy{PolicyRoundRobin, PolicyLeastLoaded, PolicySession} {
 		for _, m := range []int{1, 4, 16} {
 			for _, r := range []int{1, 2, 4, 8} {
 				b.Run(fmt.Sprintf("%s/models=%d/replicas=%d", policy, m, r), func(b *testing.B) {
 					router, names := benchFleet(m, r, policy)
+					sreq := sched.Request{SessionKey: "bench-session", Class: sched.ClassInteractive}
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						gw := router.Gateway(names[i%m])
-						if gw.pick(nil) == nil {
+						if gw.pickFor(&sreq, nil) == nil {
 							b.Fatal("pick returned nil with healthy backends")
 						}
 					}
@@ -46,9 +49,9 @@ func BenchmarkRouterPick(b *testing.B) {
 	}
 }
 
-// BenchmarkRouterDispatchDecision adds the `model` extraction from the
-// request body — the full router-side cost of one inference request before
-// the forward.
+// BenchmarkRouterDispatchDecision adds the scheduling-attribute extraction
+// from the request body — the full router-side cost of one inference
+// request before the forward.
 func BenchmarkRouterDispatchDecision(b *testing.B) {
 	for _, m := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("models=%d", m), func(b *testing.B) {
@@ -64,12 +67,12 @@ func BenchmarkRouterDispatchDecision(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				req := reqs[i%m]
-				model, err := modelOf(req)
+				desc, err := sched.Describe(req.Header, req.Body)
 				if err != nil {
-					b.Fatal("modelOf failed")
+					b.Fatal("describe failed")
 				}
-				gw := router.Gateway(model)
-				if gw == nil || gw.pick(nil) == nil {
+				gw := router.Gateway(desc.Model)
+				if gw == nil || gw.pickFor(&desc, nil) == nil {
 					b.Fatal("dispatch failed")
 				}
 			}

@@ -35,19 +35,31 @@ type scenarioModel struct {
 	max     int
 	// coldStart is how long a fresh fake replica takes to come up.
 	coldStart time.Duration
-	// latency is the fake engine's per-request service time.
+	// latency is the fake engine's per-request base service time.
 	latency time.Duration
+	// slowdown is the extra service time per request already queued on the
+	// replica — a contention model, so overload visibly degrades p95.
+	slowdown time.Duration
 	// downCooldown is the model's scale-down cooldown; long values force
 	// reclaim to happen through pool arbitration rather than self-drain.
 	downCooldown time.Duration
+	// policy overrides the gateway balancing policy (default least-loaded).
+	policy ingress.Policy
+	// sloP95 sets the model's p95 latency objective (0 = no SLO admission).
+	sloP95 time.Duration
+	// sessions > 0 tags the model's requests with that many distinct
+	// session keys (round-robin), exercising session-affinity routing.
+	sessions int
 }
 
 // scenarioPhase is one scripted load segment: per-model mean open-loop
-// arrival rates held for dur.
+// arrival rates held for dur. rps is interactive-class traffic; batch is
+// batch-class traffic (X-Priority: batch), shed first under an SLO breach.
 type scenarioPhase struct {
-	name string
-	dur  time.Duration
-	rps  map[string]float64
+	name  string
+	dur   time.Duration
+	rps   map[string]float64
+	batch map[string]float64
 }
 
 // scenarioEvent injects a fault at an offset from the scenario start.
@@ -58,8 +70,9 @@ type scenarioEvent struct {
 
 // expect is the scenario's acceptance contract.
 type expect struct {
-	// maxFailed bounds user-visible failures per model (absent = 0): only
-	// requests in flight on a crashing replica may be allowed to fail.
+	// maxFailed bounds user-visible interactive-class failures per model
+	// (absent = 0): only requests in flight on a crashing replica may be
+	// allowed to fail. Batch-class 503 sheds are counted separately.
 	maxFailed map[string]int
 	// minPeak / maxPeak bound each model's peak replica count (absent =
 	// unchecked).
@@ -76,6 +89,13 @@ type expect struct {
 	// wantHeld requires this model to have held (cold-start-queued) at
 	// least one request.
 	wantHeld string
+	// minShed requires at least this many batch-class 503 sheds per model
+	// (the SLO admission path under a burst).
+	minShed map[string]int
+	// wantAffinity requires every session of this model to have been
+	// served by exactly one replica, spread across at least two replicas
+	// overall (session-affinity routing with no saturation spill).
+	wantAffinity string
 }
 
 // scenario is one table entry.
@@ -90,11 +110,12 @@ type scenario struct {
 
 // fakeReplica is a controllable model engine endpoint.
 type fakeReplica struct {
-	model   string
-	name    string
-	latency time.Duration
-	up      bool
-	queue   int // in-service requests, reported as running in /metrics
+	model    string
+	name     string
+	latency  time.Duration
+	slowdown time.Duration
+	up       bool
+	queue    int // in-service requests, reported as running in /metrics
 }
 
 func (r *fakeReplica) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
@@ -108,8 +129,11 @@ func (r *fakeReplica) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		return vhttp.Text(200, fmt.Sprintf(
 			"vllm:num_requests_waiting 0\nvllm:num_requests_running %d\n", r.queue))
 	}
+	// Service time degrades with the queue already on the engine, so
+	// sustained overload shows up in the gateway's rolling p95.
+	service := r.latency + time.Duration(r.queue)*r.slowdown
 	r.queue++
-	p.Sleep(r.latency)
+	p.Sleep(service)
 	r.queue--
 	if !r.up {
 		// Crashed mid-request: the dying engine fails its in-flight work.
@@ -130,22 +154,32 @@ type fakeScaler struct {
 	nextID    int
 	portBase  int
 	launched  int
+	launching int // launches in flight (cold start running)
 	reclaimed int
 }
 
 func (s *fakeScaler) CurrentReplicas() int { return len(s.replicas) }
 
+// Occupied counts the nodes the scaler holds for pool accounting: live
+// replicas plus launches still in their cold start — mirroring
+// core.Deployment.OccupiedReplicas, so the pool cannot double-grant a
+// node that a cold-starting replica is already loading weights on.
+func (s *fakeScaler) Occupied() int { return len(s.replicas) + s.launching }
+
 func (s *fakeScaler) ScaleTo(p *sim.Proc, n int) error {
 	for len(s.replicas) < n {
 		r := &fakeReplica{
-			model:   s.model.name,
-			name:    fmt.Sprintf("%s-%d", s.model.name, s.nextID),
-			latency: s.model.latency,
-			up:      true,
+			model:    s.model.name,
+			name:     fmt.Sprintf("%s-%d", s.model.name, s.nextID),
+			latency:  s.model.latency,
+			slowdown: s.model.slowdown,
+			up:       true,
 		}
 		port := s.portBase + s.nextID
 		s.nextID++
+		s.launching++
 		p.Sleep(s.model.coldStart)
+		s.launching--
 		host := "node-" + r.name
 		if err := s.net.Listen(host, port, r, vhttp.ListenOptions{Up: func() bool { return r.up }}); err != nil {
 			return err
@@ -192,12 +226,16 @@ type modelRig struct {
 	scaler *fakeScaler
 	as     *autoscale.Autoscaler
 
-	sent    int
-	failed  int
-	wrong   int // responses served by another model's replica
-	peak    int
-	held    bool
-	preempt int // pool-arbitration shrinks observed
+	sent      int
+	failed    int // interactive-class failures (batch sheds tracked apart)
+	sentBatch int
+	shed      int // batch-class 503s (SLO / queue-depth admission sheds)
+	wrong     int // responses served by another model's replica
+	peak      int
+	held      bool
+	preempt   int // pool-arbitration shrinks observed
+	// sessionHits maps session key -> replica names that served it.
+	sessionHits map[string]map[string]bool
 }
 
 // runScenario executes one table entry end to end.
@@ -222,15 +260,20 @@ func runScenario(t *testing.T, sc scenario) {
 		if m.downCooldown == 0 {
 			m.downCooldown = 2 * time.Minute
 		}
+		if m.policy == "" {
+			m.policy = ingress.PolicyLeastLoaded
+		}
 		gw := &ingress.Gateway{
 			Net: net, Host: "fleet", Model: m.name, Unbound: true,
-			Policy: ingress.PolicyLeastLoaded, HealthInterval: 10 * time.Second,
-			HoldColdStart: true, ColdStartWait: 20 * time.Minute,
+			Policy: m.policy, SLOTargetP95: m.sloP95,
+			HealthInterval: 10 * time.Second,
+			HoldColdStart:  true, ColdStartWait: 20 * time.Minute,
 		}
 		rig := &modelRig{
-			spec:   m,
-			gw:     gw,
-			scaler: &fakeScaler{net: net, gw: gw, model: m, portBase: 9000 + 100*i},
+			spec:        m,
+			gw:          gw,
+			scaler:      &fakeScaler{net: net, gw: gw, model: m, portBase: 9000 + 100*i},
+			sessionHits: map[string]map[string]bool{},
 		}
 		rig.as = &autoscale.Autoscaler{
 			Gateway: gw, Scaler: rig.scaler, Name: m.name,
@@ -241,7 +284,10 @@ func runScenario(t *testing.T, sc scenario) {
 			},
 		}
 		if pool != nil {
-			member, err := pool.Join(m.name, m.weight, 1, m.initial, rig.scaler.CurrentReplicas)
+			// Occupied (live + launching) rather than CurrentReplicas: a
+			// cold-starting replica already holds its node, so the pool
+			// must not grant it to a competing model mid-launch.
+			member, err := pool.Join(m.name, m.weight, 1, m.initial, rig.scaler.Occupied)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -313,7 +359,9 @@ func runScenario(t *testing.T, sc scenario) {
 			}
 		})
 
-		// Scripted open-loop load.
+		// Scripted open-loop load. Each phase mixes interactive-class and
+		// batch-class arrivals; arrivals pick (model, class) proportionally
+		// to the phase rates.
 		client := &vhttp.Client{Net: net, From: "user"}
 		inflight := eng.NewGroup()
 		rng := eng.Rand()
@@ -321,7 +369,7 @@ func runScenario(t *testing.T, sc scenario) {
 			end := p.Now().Add(ph.dur)
 			total := 0.0
 			for _, m := range sc.models {
-				total += ph.rps[m.name]
+				total += ph.rps[m.name] + ph.batch[m.name]
 			}
 			if total == 0 {
 				p.Sleep(ph.dur)
@@ -335,34 +383,66 @@ func runScenario(t *testing.T, sc scenario) {
 				}
 				pick := rng.Float64() * total
 				model := sc.models[0].name
+				batch := false
 				for _, m := range sc.models {
 					if pick < ph.rps[m.name] {
 						model = m.name
 						break
 					}
 					pick -= ph.rps[m.name]
+					if pick < ph.batch[m.name] {
+						model, batch = m.name, true
+						break
+					}
+					pick -= ph.batch[m.name]
 				}
 				rig := rigByName[model]
-				rig.sent++
-				body, _ := json.Marshal(map[string]any{
+				req := map[string]any{
 					"model":    model,
 					"messages": []map[string]string{{"role": "user", "content": "scripted load"}},
-				})
+				}
+				session := ""
+				if n := rig.spec.sessions; n > 0 && !batch {
+					session = fmt.Sprintf("%s-session-%d", model, rig.sent%n)
+					req["session_id"] = session
+				}
+				var header map[string]string
+				if batch {
+					rig.sentBatch++
+					header = map[string]string{"X-Priority": "batch"}
+				} else {
+					rig.sent++
+				}
+				body, _ := json.Marshal(req)
 				inflight.Add(1)
-				eng.Go(fmt.Sprintf("user-%s-%d", model, rig.sent), func(rp *sim.Proc) {
+				eng.Go(fmt.Sprintf("user-%s-%d", model, rig.sent+rig.sentBatch), func(rp *sim.Proc) {
 					defer inflight.Finish()
 					resp, err := client.Do(rp, &vhttp.Request{
-						Method: "POST", URL: router.Endpoint() + "/v1/chat/completions", Body: body,
+						Method: "POST", URL: router.Endpoint() + "/v1/chat/completions",
+						Header: header, Body: body,
 					})
-					if err != nil || resp.Status != 200 {
+					switch {
+					case err == nil && resp.Status == 503 && batch:
+						rig.shed++
+						return
+					case err != nil || resp.Status != 200:
 						rig.failed++
 						return
 					}
 					var out struct {
-						Model string `json:"model"`
+						Model   string `json:"model"`
+						Replica string `json:"replica"`
 					}
-					if json.Unmarshal(resp.Body, &out) == nil && out.Model != model {
-						rig.wrong++
+					if json.Unmarshal(resp.Body, &out) == nil {
+						if out.Model != model {
+							rig.wrong++
+						}
+						if session != "" && out.Replica != "" {
+							if rig.sessionHits[session] == nil {
+								rig.sessionHits[session] = map[string]bool{}
+							}
+							rig.sessionHits[session][out.Replica] = true
+						}
 					}
 				})
 			}
@@ -412,6 +492,35 @@ func runScenario(t *testing.T, sc scenario) {
 				t.Errorf("%s: %d replicas at end, want >= %d (status %+v)",
 					name, rig.scaler.CurrentReplicas(), want, rig.as.Status())
 			}
+			if want, ok := sc.expect.minShed[name]; ok {
+				slo, _ := rig.gw.SLO()
+				if rig.shed < want {
+					t.Errorf("%s: %d batch-class sheds, want >= %d (slo %+v, stats %+v)",
+						name, rig.shed, want, slo, st)
+				}
+				if st.Rejected < rig.shed {
+					t.Errorf("%s: gateway rejected %d < %d observed sheds", name, st.Rejected, rig.shed)
+				}
+			}
+			if sc.expect.wantAffinity == name {
+				replicasUsed := map[string]bool{}
+				for session, hits := range rig.sessionHits {
+					if len(hits) != 1 {
+						t.Errorf("%s: session %s served by %d replicas, want exactly 1 (%v)",
+							name, session, len(hits), hits)
+					}
+					for r := range hits {
+						replicasUsed[r] = true
+					}
+				}
+				if len(rig.sessionHits) < rig.spec.sessions {
+					t.Errorf("%s: only %d of %d sessions observed", name, len(rig.sessionHits), rig.spec.sessions)
+				}
+				if len(replicasUsed) < 2 {
+					t.Errorf("%s: affinity hashed every session onto %d replica(s); want spread over >= 2",
+						name, len(replicasUsed))
+				}
+			}
 			reclaims += rig.preempt
 		}
 		if sc.expect.wantReclaim && reclaims == 0 {
@@ -453,7 +562,7 @@ func TestScenarios(t *testing.T) {
 			poolNodes: 4,
 			models:    []scenarioModel{chat, code},
 			phases: []scenarioPhase{
-				{"steady", 30 * time.Minute, map[string]float64{"chat": 0.5, "code": 0.5}},
+				{name: "steady", dur: 30 * time.Minute, rps: map[string]float64{"chat": 0.5, "code": 0.5}},
 			},
 			expect: expect{
 				minPeak:  map[string]int{"chat": 1, "code": 1},
@@ -472,8 +581,8 @@ func TestScenarios(t *testing.T) {
 				func() scenarioModel { m := code; m.downCooldown = 45 * time.Minute; return m }(),
 			},
 			phases: []scenarioPhase{
-				{"code-busy", 20 * time.Minute, map[string]float64{"chat": 0.1, "code": 2.0}},
-				{"chat-burst", 30 * time.Minute, map[string]float64{"chat": 3.0, "code": 0.05}},
+				{name: "code-busy", dur: 20 * time.Minute, rps: map[string]float64{"chat": 0.1, "code": 2.0}},
+				{name: "chat-burst", dur: 30 * time.Minute, rps: map[string]float64{"chat": 3.0, "code": 0.05}},
 			},
 			expect: expect{
 				minPeak:     map[string]int{"chat": 3, "code": 2},
@@ -487,11 +596,59 @@ func TestScenarios(t *testing.T) {
 			poolNodes: 0,
 			models:    []scenarioModel{chat, code},
 			phases: []scenarioPhase{
-				{"light", 5 * time.Minute, map[string]float64{"chat": 0.3, "code": 0.3}},
+				{name: "light", dur: 5 * time.Minute, rps: map[string]float64{"chat": 0.3, "code": 0.3}},
 			},
 			expect: expect{
 				probe404: "gpt-5",
 				finalMin: map[string]int{"chat": 1, "code": 1},
+			},
+		},
+		{
+			// SLO-aware admission under a burst: a fixed two-replica set
+			// receives mixed interactive and batch traffic past its
+			// capacity. Queueing drags the rolling p95 over the model's
+			// objective, the SLO breaker engages, and batch-class requests
+			// shed with 503 while every interactive request completes —
+			// the scarce GPUs serve the latency-sensitive class first.
+			name:      "slo-shed-under-burst",
+			poolNodes: 0,
+			models: []scenarioModel{{
+				name: "chat", weight: 1, initial: 2, min: 2, max: 2,
+				coldStart: 90 * time.Second, latency: 1500 * time.Millisecond,
+				slowdown: 400 * time.Millisecond, sloP95: 4 * time.Second,
+			}},
+			phases: []scenarioPhase{
+				{name: "warm", dur: 8 * time.Minute,
+					rps: map[string]float64{"chat": 0.4}, batch: map[string]float64{"chat": 0.2}},
+				{name: "burst", dur: 12 * time.Minute,
+					rps: map[string]float64{"chat": 2.5}, batch: map[string]float64{"chat": 2.5}},
+				{name: "cool", dur: 8 * time.Minute,
+					rps: map[string]float64{"chat": 0.3}, batch: map[string]float64{"chat": 0.1}},
+			},
+			expect: expect{
+				minShed:  map[string]int{"chat": 1},
+				finalMin: map[string]int{"chat": 2},
+			},
+		},
+		{
+			// Session-affinity routing: six multi-turn sessions drive a
+			// fixed two-replica set below the spill threshold. Every
+			// session must land on exactly one replica for its whole life
+			// (KV-cache locality) while the hash spreads the session
+			// population across both replicas.
+			name:      "session-affinity-cache-hit",
+			poolNodes: 0,
+			models: []scenarioModel{{
+				name: "chat", weight: 1, initial: 2, min: 2, max: 2,
+				coldStart: 90 * time.Second, latency: 2 * time.Second,
+				policy: ingress.PolicySession, sessions: 6,
+			}},
+			phases: []scenarioPhase{
+				{name: "steady", dur: 20 * time.Minute, rps: map[string]float64{"chat": 1.0}},
+			},
+			expect: expect{
+				wantAffinity: "chat",
+				finalMin:     map[string]int{"chat": 2},
 			},
 		},
 		{
@@ -503,9 +660,9 @@ func TestScenarios(t *testing.T) {
 			poolNodes: 4,
 			models:    []scenarioModel{chat, code},
 			phases: []scenarioPhase{
-				{"warm", 10 * time.Minute, map[string]float64{"chat": 0.5, "code": 0.3}},
-				{"chat-burst", 25 * time.Minute, map[string]float64{"chat": 2.5, "code": 0.3}},
-				{"settle", 10 * time.Minute, map[string]float64{"chat": 0.3, "code": 0.3}},
+				{name: "warm", dur: 10 * time.Minute, rps: map[string]float64{"chat": 0.5, "code": 0.3}},
+				{name: "chat-burst", dur: 25 * time.Minute, rps: map[string]float64{"chat": 2.5, "code": 0.3}},
+				{name: "settle", dur: 10 * time.Minute, rps: map[string]float64{"chat": 0.3, "code": 0.3}},
 			},
 			events: []scenarioEvent{
 				{at: 15 * time.Minute, crash: "code"},

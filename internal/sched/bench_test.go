@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPick measures the per-request cost of each replica-selection
+// policy as the backend set grows — the gateway's hot path. Rendezvous
+// hashing is O(backends) per pick like least-loaded; the benchmark keeps
+// the constant honest at fleet-realistic sizes.
+func BenchmarkPick(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		cands := backends(n)
+		req := &Request{SessionKey: "conversation-42", Class: ClassInteractive}
+		b.Run(fmt.Sprintf("round-robin/backends=%d", n), func(b *testing.B) {
+			p := &RoundRobin{}
+			for i := 0; i < b.N; i++ {
+				if p.Pick(cands, req) == nil {
+					b.Fatal("nil pick")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("least-loaded/backends=%d", n), func(b *testing.B) {
+			p := LeastLoaded{}
+			for i := 0; i < b.N; i++ {
+				if p.Pick(cands, req) == nil {
+					b.Fatal("nil pick")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("session-hash/backends=%d", n), func(b *testing.B) {
+			p := &Session{}
+			for i := 0; i < b.N; i++ {
+				if p.Pick(cands, req) == nil {
+					b.Fatal("nil pick")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDescribe measures the scheduling-attribute extraction from an
+// OpenAI-style body — paid once per request at the front door.
+func BenchmarkDescribe(b *testing.B) {
+	body := []byte(`{"model":"chat","session_id":"conversation-42","priority":"interactive","messages":[{"role":"user","content":"hi"}]}`)
+	for i := 0; i < b.N; i++ {
+		if _, err := Describe(nil, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package sched
+
+// Picker selects which replica serves a request. Implementations may keep
+// state (round-robin's cursor); the gateway serializes calls on the
+// simulation's strict handoff, so no internal locking is needed.
+type Picker interface {
+	// Pick chooses one of candidates for req. Candidates are the currently
+	// routable replicas (the caller has already excluded unhealthy,
+	// draining, and just-failed ones); nil is returned only when the slice
+	// is empty.
+	Pick(candidates []Backend, req *Request) Backend
+}
+
+// RoundRobin cycles through the candidates in order — PR 1's default
+// policy, extracted.
+type RoundRobin struct {
+	next int
+}
+
+// Pick implements Picker.
+func (p *RoundRobin) Pick(candidates []Backend, _ *Request) Backend {
+	if len(candidates) == 0 {
+		return nil
+	}
+	b := candidates[p.next%len(candidates)]
+	p.next++
+	return b
+}
+
+// LeastLoaded routes to the replica with the smallest load score, ties
+// resolving to the earliest-registered candidate — PR 1's least-loaded
+// policy, extracted.
+type LeastLoaded struct{}
+
+// Pick implements Picker.
+func (LeastLoaded) Pick(candidates []Backend, _ *Request) Backend {
+	var best Backend
+	for _, b := range candidates {
+		if best == nil || b.Score() < best.Score() {
+			best = b
+		}
+	}
+	return best
+}
+
+// DefaultSpillDepth is the affine replica's load score above which a
+// session spills when the Session picker has no explicit threshold. It
+// matches the autoscaler's default per-replica queue target: a replica
+// holding a full target queue gains nothing from more cache-affine load.
+const DefaultSpillDepth = 8
+
+// Session routes every request sharing a session key to the same replica
+// so multi-turn conversations reuse that replica's warm prefix/KV cache.
+// The mapping is rendezvous (highest-random-weight) hashing — a
+// consistent-hashing scheme: adding or removing a replica only remaps the
+// sessions that hashed to it, and the mapping is independent of candidate
+// order. Keyless requests fall back to least-loaded, and a session whose
+// affine replica is past SpillDepth spills to the least-loaded other
+// replica (a cache hit is not worth queueing behind a saturated engine).
+type Session struct {
+	// SpillDepth is the affine replica's load score (Score: in-flight plus
+	// scraped queue depths — the saturation measure that still works when
+	// a continuous-batching engine absorbs every request into its running
+	// batch) above which the session spills (0 = DefaultSpillDepth).
+	SpillDepth int
+
+	fallback LeastLoaded
+	spills   int
+}
+
+// Spills counts picks that left the affine replica due to saturation.
+func (s *Session) Spills() int { return s.spills }
+
+// Pick implements Picker.
+func (s *Session) Pick(candidates []Backend, req *Request) Backend {
+	if len(candidates) == 0 {
+		return nil
+	}
+	if req == nil || req.SessionKey == "" {
+		return s.fallback.Pick(candidates, req)
+	}
+	affine := Affine(candidates, req.SessionKey)
+	spill := s.SpillDepth
+	if spill <= 0 {
+		spill = DefaultSpillDepth
+	}
+	if affine.Score() > spill && len(candidates) > 1 {
+		others := make([]Backend, 0, len(candidates)-1)
+		for _, b := range candidates {
+			if b != affine {
+				others = append(others, b)
+			}
+		}
+		s.spills++
+		return s.fallback.Pick(others, req)
+	}
+	return affine
+}
+
+// Affine returns the rendezvous-hash owner of a session key among the
+// candidates: the backend whose (key, backend) hash is highest. Exposed
+// so tests and diagnostics can predict the mapping.
+func Affine(candidates []Backend, sessionKey string) Backend {
+	var best Backend
+	var bestHash uint64
+	for _, b := range candidates {
+		h := rendezvous(sessionKey, b.Key())
+		if best == nil || h > bestHash || (h == bestHash && b.Key() < best.Key()) {
+			best, bestHash = b, h
+		}
+	}
+	return best
+}
+
+// rendezvous is FNV-1a over sessionKey \x00 backendKey: cheap, stateless,
+// and stable across candidate reorderings.
+func rendezvous(sessionKey, backendKey string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(sessionKey); i++ {
+		h ^= uint64(sessionKey[i])
+		h *= prime64
+	}
+	// Separator round so ("ab","c") and ("a","bc") hash differently.
+	h *= prime64
+	for i := 0; i < len(backendKey); i++ {
+		h ^= uint64(backendKey[i])
+		h *= prime64
+	}
+	return h
+}

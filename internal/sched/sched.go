@@ -1,0 +1,153 @@
+// Package sched is the gateway's pluggable request-scheduling layer: the
+// three policy decisions on the serving request path, extracted from
+// ingress.Gateway so each can be swapped independently.
+//
+//   - A Picker chooses which replica serves a request: round-robin,
+//     least-loaded, or session-affine (consistent hashing on a session key
+//     so multi-turn chats reuse one replica's warm KV cache, with
+//     least-loaded spill when the affine replica saturates).
+//   - An Admitter decides whether a request is served at all: the PR 1
+//     queue-depth breaker, and an SLO admitter that sheds the lowest
+//     priority class while the gateway's rolling p95 breaches a per-model
+//     latency objective (with hysteresis, so the breaker does not flap).
+//   - A Queue orders requests held at the gateway (cold starts, dead
+//     replica windows) by priority class: interactive work dequeues before
+//     batch, FIFO within a class.
+//
+// This is the control point the paper's deployment experience and Chat AI
+// (Doosthosseini et al.) both centralize at the front door: on a GPU-scarce
+// HPC center, who gets admitted, who waits, and which replica serves are
+// where the nodes are won or lost.
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Class is a request's priority class. Higher values dequeue first from
+// the hold queue and survive SLO shedding longer.
+type Class uint8
+
+const (
+	// ClassUnset resolves to the consumer's default (interactive).
+	ClassUnset Class = iota
+	// ClassBatch is throughput traffic: shed first under an SLO breach,
+	// dequeued last from the hold queue.
+	ClassBatch
+	// ClassInteractive is latency-sensitive traffic: dequeued first,
+	// never SLO-shed.
+	ClassInteractive
+)
+
+// String renders the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassBatch:
+		return "batch"
+	case ClassInteractive:
+		return "interactive"
+	}
+	return "unset"
+}
+
+// ParseClass resolves a priority class name. The empty string is
+// ClassUnset (callers apply their own default).
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "":
+		return ClassUnset, nil
+	case "batch":
+		return ClassBatch, nil
+	case "interactive":
+		return ClassInteractive, nil
+	}
+	return ClassUnset, fmt.Errorf("sched: unknown priority class %q (want %q or %q)", s, ClassInteractive, ClassBatch)
+}
+
+// Or resolves ClassUnset to a default.
+func (c Class) Or(def Class) Class {
+	if c == ClassUnset {
+		return def
+	}
+	return c
+}
+
+// Request carries the scheduling-relevant attributes of one client
+// request, derived once at the front door and threaded through admission,
+// holding, and picking.
+type Request struct {
+	// Model is the served-model route name from the request body.
+	Model string
+	// SessionKey groups requests of one conversation for affinity routing
+	// ("" = no affinity; the picker falls back to least-loaded).
+	SessionKey string
+	// Class is the request's priority class.
+	Class Class
+}
+
+// Header keys clients (or a fronting router) use to carry scheduling
+// attributes outside the JSON body.
+const (
+	SessionHeader  = "X-Session-Key"
+	PriorityHeader = "X-Priority"
+)
+
+// bodyAttrs are the scheduling-relevant fields of an OpenAI-style
+// inference body. session_id is the explicit session handle; the standard
+// `user` field is the fallback affinity key (OpenAI defines it as a
+// stable end-user identifier, which is exactly a KV-cache locality hint).
+type bodyAttrs struct {
+	Model     string `json:"model"`
+	SessionID string `json:"session_id"`
+	User      string `json:"user"`
+	Priority  string `json:"priority"`
+}
+
+// Describe extracts a request's scheduling attributes: the model name from
+// the body, the session key (X-Session-Key header, else the body's
+// session_id, else its user field), and the priority class (X-Priority
+// header, else the body's priority field). Unknown class names fail safe
+// to ClassBatch — mislabeled traffic must not claim interactive priority.
+// The error is non-nil only when the body is not valid JSON — header-borne
+// attributes are still returned so a bound gateway can stay lenient while
+// a router surfaces the 400.
+func Describe(header map[string]string, body []byte) (Request, error) {
+	var a bodyAttrs
+	var err error
+	if jerr := json.Unmarshal(body, &a); jerr != nil {
+		err = fmt.Errorf("request body is not valid JSON (%v)", jerr)
+	}
+	r := Request{Model: a.Model}
+	r.SessionKey = header[SessionHeader]
+	if r.SessionKey == "" {
+		r.SessionKey = a.SessionID
+	}
+	if r.SessionKey == "" {
+		r.SessionKey = a.User
+	}
+	cls := header[PriorityHeader]
+	if cls == "" {
+		cls = a.Priority
+	}
+	if c, cerr := ParseClass(cls); cerr == nil {
+		r.Class = c
+	} else {
+		r.Class = ClassBatch
+	}
+	return r, err
+}
+
+// Backend is one routable replica as the scheduling layer sees it. The
+// gateway adapts its backend records to this view; tests use fakes.
+type Backend interface {
+	// Key is the backend's stable identity, the consistent-hashing site.
+	Key() string
+	// Score is the routing load score (lower routes first): gateway
+	// in-flight plus the queue depths last scraped from /metrics.
+	Score() int
+	// Pressure estimates the backend's waiting queue for admission and
+	// spill decisions: the last scraped waiting depth plus requests
+	// forwarded since that scrape.
+	Pressure() int
+}

@@ -23,6 +23,15 @@ type ChatRequest struct {
 	Messages    []ChatMessage `json:"messages"`
 	MaxTokens   int           `json:"max_tokens,omitempty"`
 	Temperature float64       `json:"temperature,omitempty"`
+	// User is OpenAI's stable end-user identifier; the gateway's session-
+	// affinity routing uses it as the fallback session key.
+	User string `json:"user,omitempty"`
+	// SessionID explicitly groups multi-turn requests for session-affinity
+	// routing (takes precedence over User).
+	SessionID string `json:"session_id,omitempty"`
+	// Priority is the request's scheduling class ("interactive" or
+	// "batch"); batch-class requests are shed first under an SLO breach.
+	Priority string `json:"priority,omitempty"`
 }
 
 // ChatChoice is one completion alternative.

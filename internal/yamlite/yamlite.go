@@ -141,6 +141,12 @@ func stripComment(s string) string {
 	inS, inD := false, false
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
+		case '\\':
+			// Inside a double-quoted scalar, \" is an escaped quote, not a
+			// closing delimiter (Marshal emits strconv.Quote output).
+			if inD {
+				i++
+			}
 		case '\'':
 			if !inD {
 				inS = !inS
@@ -286,6 +292,12 @@ func splitKV(s string) (key, val string, ok bool) {
 	depth := 0
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
+		case '\\':
+			// Skip escapes inside double quotes so a scalar like "1\": "
+			// cannot masquerade as a key-value split point.
+			if inD {
+				i++
+			}
 		case '\'':
 			if !inD {
 				inS = !inS
@@ -370,6 +382,10 @@ func splitFlow(s string) []string {
 	start := 0
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
+		case '\\':
+			if inD {
+				i++
+			}
 		case '\'':
 			if !inD {
 				inS = !inS

@@ -218,6 +218,32 @@ func TestMarshalRoundTripFixed(t *testing.T) {
 	}
 }
 
+func TestMarshalRoundTripStructuralStrings(t *testing.T) {
+	// Strings whose quoted form embeds YAML-structural substrings (an
+	// escaped quote followed by ": ", a "#" inside quotes, a trailing
+	// backslash) used to re-parse as maps: the line scanners treated the
+	// escaped \" as a closing delimiter. Regression for the quick-seed
+	// flake in TestMarshalParsePropertyRoundTrip.
+	for _, tree := range []any{
+		[]any{`1": `},
+		[]any{`a": b`},
+		map[string]any{"k": []any{`x#": `}},
+		map[string]any{"k": `1": `},
+		[]any{`tail\`},
+		map[string]any{"k": []any{`a\", "b`}},
+	} {
+		data := Marshal(tree)
+		back, err := Parse(data)
+		if err != nil {
+			t.Errorf("%#v: reparse error %v\nyaml:\n%s", tree, err, data)
+			continue
+		}
+		if !reflect.DeepEqual(back, tree) {
+			t.Errorf("round trip:\norig: %#v\nback: %#v\nyaml:\n%s", tree, back, data)
+		}
+	}
+}
+
 // randomTree builds a random YAML-representable tree.
 func randomTree(r *rand.Rand, depth int) any {
 	if depth <= 0 {
