@@ -47,6 +47,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "dataset sampling seed")
 		fleet    = flag.String("models", "", "multi-model fleet spec alias=hf-name:weight,... — bench each model through one routing endpoint (HPC platforms)")
 		pool     = flag.Int("pool-nodes", 0, "shared node pool arbitrated across the fleet's models (0 = no arbitration)")
+		prefixOn = flag.Bool("prefix-cache", true, "automatic prefix caching in the engine (vLLM --enable-prefix-caching); bench prompts are unique, so this mainly matters with real multi-turn traffic")
 	)
 	flag.Parse()
 
@@ -117,7 +118,7 @@ func main() {
 		if len(fleetEntries) > 0 {
 			failure = benchFleet(p, s, d, pf, fleetEntries, benchFleetConfig{
 				tp: *tp, maxLen: *maxLen, replicas: *replicas, policy: *policy,
-				sloP95: *sloP95, priority: *priority,
+				sloP95: *sloP95, priority: *priority, noPrefixCache: !*prefixOn,
 				autoscale: pol, poolNodes: *pool, prompts: *prompts, seed: *seed, points: points,
 			})
 			return
@@ -140,6 +141,7 @@ func main() {
 			MaxModelLen: *maxLen, Offline: true,
 			Replicas: *replicas, RoutePolicy: *policy, Autoscale: pol,
 			SLOTargetP95: *sloP95, PriorityClass: *priority,
+			DisablePrefixCache: !*prefixOn,
 		})
 		if err != nil {
 			failure = err
@@ -202,6 +204,7 @@ type benchFleetConfig struct {
 	policy               string
 	sloP95               time.Duration
 	priority             string
+	noPrefixCache        bool
 	autoscale            *autoscale.Policy
 	poolNodes            int
 	prompts              int
@@ -217,6 +220,7 @@ func benchFleet(p *sim.Proc, s *site.Site, d *core.Deployer, pf core.Platform, e
 		TensorParallel: bc.tp, MaxModelLen: bc.maxLen, Offline: true,
 		Replicas: bc.replicas, RoutePolicy: bc.policy, Autoscale: bc.autoscale,
 		SLOTargetP95: bc.sloP95, PriorityClass: bc.priority,
+		DisablePrefixCache: bc.noPrefixCache,
 	}, entries)
 	if err != nil {
 		return err

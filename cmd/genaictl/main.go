@@ -110,6 +110,7 @@ type deployOpts struct {
 	priority         *string
 	models           *string
 	poolNodes        *int
+	prefixCache      *bool
 }
 
 func deployFlags(fs *flag.FlagSet) *deployOpts {
@@ -130,6 +131,7 @@ func deployFlags(fs *flag.FlagSet) *deployOpts {
 	o.priority = fs.String("priority", "", "default priority class for unlabeled requests: interactive (default) or batch")
 	o.models = fs.String("models", "", "multi-model fleet spec: alias=hf-name[:weight][:p95=dur][:class=name][:policy=name],... (e.g. \"chat=meta-llama/Llama-3.1-8B-Instruct:2:p95=30s,code=Qwen/Qwen2.5-Coder-7B-Instruct:1:class=batch\")")
 	o.poolNodes = fs.Int("pool-nodes", 0, "shared node pool arbitrated across the fleet's models (0 = no arbitration)")
+	o.prefixCache = fs.Bool("prefix-cache", true, "automatic prefix caching in the engine (vLLM --enable-prefix-caching); multi-turn sessions routed to their replica skip cached prefill")
 	return o
 }
 
@@ -168,6 +170,7 @@ func (o *deployOpts) config(m *llm.ModelSpec, pol *autoscale.Policy) core.Deploy
 		MaxModelLen: *o.maxLen, Offline: true, Persistent: *o.persistent,
 		Replicas: *o.replicas, RoutePolicy: *o.policy, Autoscale: pol,
 		SLOTargetP95: *o.sloP95, PriorityClass: *o.priority,
+		DisablePrefixCache: !*o.prefixCache,
 	}
 }
 

@@ -108,14 +108,36 @@ func main() {
 		}
 
 		// --- Act 1: multi-turn session affinity -------------------------
+		// A real conversation: every turn re-sends the whole history plus a
+		// fresh question and folds the answer back in, so the prompt grows
+		// and — because affinity pins the session to one replica — each
+		// turn's shared prefix is already resident in that engine's prefix
+		// cache and skips prefill.
 		fmt.Println("--- act 1: one conversation, sequential turns ---")
 		before := backendRequests()
 		const turns = 12
+		history := []vllm.ChatMessage{}
 		for i := 0; i < turns; i++ {
-			resp, err := client.Do(p, ask(chat, "alice", "", 64))
+			history = append(history, vllm.ChatMessage{
+				Role: "user",
+				Content: fmt.Sprintf("Turn %d: tell me more about the cluster — its scheduler, "+
+					"its filesystems, its container runtimes, and how the GPU partitions are laid out.", i),
+			})
+			body, _ := json.Marshal(vllm.ChatRequest{
+				Model: chat, Messages: history, MaxTokens: 64, SessionID: "alice",
+			})
+			resp, err := client.Do(p, &vhttp.Request{
+				Method: "POST", URL: fleet.BaseURL + "/v1/chat/completions",
+				Header: map[string]string{"Content-Type": "application/json"},
+				Body:   body,
+			})
 			if err != nil || resp.Status != 200 {
 				failure = fmt.Errorf("turn %d failed: %v %v", i, err, resp)
 				return
+			}
+			var cr vllm.ChatResponse
+			if json.Unmarshal(resp.Body, &cr) == nil && len(cr.Choices) > 0 {
+				history = append(history, cr.Choices[0].Message)
 			}
 			p.Sleep(10 * time.Second) // think time between turns
 		}
@@ -219,6 +241,24 @@ func main() {
 		fmt.Printf("  slo: objective %s, breaker sheds %d, p95 now %.1fs\n\n",
 			sloP95, slo.Sheds, slo.P95M/1000)
 
+		// End-of-run engine telemetry: what the gateway's typed probes saw
+		// last on each replica — the prefix-cache payoff of session
+		// affinity and the KV residency behind it.
+		fmt.Println("--- per-replica engine telemetry (typed /telemetry probes) ---")
+		hitSeen := false
+		for _, model := range fleet.Models() {
+			for _, b := range fleet.Deployment(model).Gateway().Backends() {
+				snap := b.Telemetry()
+				fmt.Printf("  %-8s %-12s prefix hit rate %5.1f%%  kv usage %5.1f%% (%d/%d blocks, %d reclaimable cache)\n",
+					model, b.Name, snap.PrefixHitRate()*100, snap.KVUsage()*100,
+					snap.KVBlocksUsed, snap.KVBlocksTotal, snap.KVBlocksCached)
+				if snap.PrefixHits > 0 {
+					hitSeen = true
+				}
+			}
+		}
+		fmt.Println()
+
 		totalInteractiveFailed := failed[chat+"/interactive"] + failed[bulk+"/"] + failed[chat+"/batch"]
 		switch {
 		case totalInteractiveFailed > 0:
@@ -227,6 +267,8 @@ func main() {
 			failure = fmt.Errorf("act 3: the SLO breaker never shed batch traffic")
 		case slo.Sheds == 0:
 			failure = fmt.Errorf("act 3: gateway SLO status shows no sheds")
+		case !hitSeen:
+			failure = fmt.Errorf("no replica reported prefix-cache hits; session affinity bought no engine-level reuse")
 		default:
 			st := gw.Stats()
 			fmt.Printf("scheduling layer held the line: %d requests through the %s gateway, "+

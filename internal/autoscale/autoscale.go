@@ -55,6 +55,14 @@ type Policy struct {
 	// RateHalflife is the EWMA halflife smoothing the request-rate and
 	// p95-latency signals (default 1m).
 	RateHalflife time.Duration
+	// SLOTargetP95 is the per-model latency objective shared with the
+	// gateway's SLO admission breaker. While the smoothed p95 breaches it,
+	// the controller raises its demand signal and scales up ahead of the
+	// queue-depth path — scale first, shed only if scaling cannot keep up.
+	// A continuous-batching engine absorbs load into ever-larger batches,
+	// so a replica set can be slow without ever showing a deep waiting
+	// queue; the latency tail is the earlier signal. 0 disables.
+	SLOTargetP95 time.Duration
 }
 
 // WithDefaults returns the policy with zero-valued knobs resolved.
@@ -212,8 +220,8 @@ func (a *Autoscaler) tick(p *sim.Proc) {
 	newArrivals := reqs - a.prevRequests
 	a.prevRequests = reqs
 
-	target, reason := a.desired(now, cur, load, holding, newArrivals)
-	demand := a.demand(load, holding)
+	target, reason := a.desired(now, cur, load, holding, newArrivals, p95)
+	demand := a.demand(load, holding, p95)
 	if a.Arbiter != nil {
 		if granted := a.Arbiter.Grant(cur, target, demand); granted != target {
 			reason = fmt.Sprintf("pool arbitration: granted %d of %d (%s)", granted, target, reason)
@@ -255,11 +263,16 @@ func (a *Autoscaler) tick(p *sim.Proc) {
 // demand is the replica count the current load justifies, ignoring
 // cooldowns and stabilization — the pool arbiter's fair-share signal. A
 // member coasting on its scale-down cooldown wants its current size but
-// demands only what its queues support; the difference is reclaimable.
-func (a *Autoscaler) demand(load, holding int) int {
+// demands only what its queues support; the difference is reclaimable. An
+// SLO breach raises demand past what the queues show: the pool must not
+// reclaim from — and should grant to — a member missing its objective.
+func (a *Autoscaler) demand(load, holding int, p95Millis float64) int {
 	n := ceilDiv(load, a.pol.TargetQueueDepth)
 	if n < 1 && (load > 0 || holding > 0) {
 		n = 1
+	}
+	if a.sloBreached(p95Millis) && n <= a.Scaler.CurrentReplicas() {
+		n = a.Scaler.CurrentReplicas() + 1
 	}
 	if n < a.pol.MinReplicas {
 		n = a.pol.MinReplicas
@@ -270,8 +283,15 @@ func (a *Autoscaler) demand(load, holding int) int {
 	return n
 }
 
+// sloBreached reports whether the smoothed p95 is past the policy's
+// latency objective.
+func (a *Autoscaler) sloBreached(p95Millis float64) bool {
+	return a.pol.SLOTargetP95 > 0 &&
+		p95Millis > float64(a.pol.SLOTargetP95)/float64(time.Millisecond)
+}
+
 // desired computes the next replica target from the sampled signals.
-func (a *Autoscaler) desired(now time.Time, cur, load, holding, newArrivals int) (int, string) {
+func (a *Autoscaler) desired(now time.Time, cur, load, holding, newArrivals int, p95Millis float64) (int, string) {
 	pol := a.pol
 
 	idle := load == 0 && holding == 0 && newArrivals == 0
@@ -294,6 +314,28 @@ func (a *Autoscaler) desired(now time.Time, cur, load, holding, newArrivals int)
 			return a.clamp(ceilDiv(demand, pol.TargetQueueDepth), 1), "cold start: demand with zero replicas"
 		}
 		return 0, "idle at zero"
+	}
+
+	// SLO breach: the latency tail crosses the objective before the queue
+	// depths do (continuous batching hides overload in batch size, not
+	// queue length). Grow one replica per cooldown window until the tail
+	// recovers or the ceiling is hit — past the ceiling only the gateway's
+	// admission breaker is left, which is exactly the intended order:
+	// scale first, shed only if scaling cannot keep up.
+	if a.sloBreached(p95Millis) && cur < pol.MaxReplicas {
+		if !a.lastUp.IsZero() && now.Sub(a.lastUp) < pol.ScaleUpCooldown {
+			return cur, "slo breach: scale-up in cooldown"
+		}
+		// Size for the queues when they justify more (a burst that breaches
+		// both signals must not grow slower than the queue path alone
+		// would); grow by one even when they do not — shallow queues with a
+		// breached tail are continuous batching hiding the overload.
+		n := ceilDiv(load, pol.TargetQueueDepth)
+		if n <= cur {
+			n = cur + 1
+		}
+		return a.clamp(n, cur), fmt.Sprintf("p95 %.0fms breaches SLO %s; scaling before shedding",
+			p95Millis, pol.SLOTargetP95)
 	}
 
 	per := float64(load) / float64(cur)
@@ -323,7 +365,9 @@ func (a *Autoscaler) desired(now time.Time, cur, load, holding, newArrivals int)
 	if floor < 1 {
 		floor = 1
 	}
-	if per < pol.ScaleDownThreshold && cur > floor {
+	// Never shrink while the latency objective is breached (possible at
+	// MaxReplicas with shallow queues: the engines are slow, not idle).
+	if per < pol.ScaleDownThreshold && cur > floor && !a.sloBreached(p95Millis) {
 		if !a.lastDown.IsZero() && now.Sub(a.lastDown) < pol.ScaleDownCooldown {
 			return cur, "scale-down in cooldown"
 		}

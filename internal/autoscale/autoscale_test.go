@@ -9,6 +9,7 @@ import (
 	"repro/internal/ingress"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vhttp"
 )
 
@@ -29,9 +30,8 @@ func (r *fakeReplica) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 			return vhttp.Text(200, "ok")
 		}
 		return vhttp.Text(500, "unhealthy")
-	case "/metrics":
-		return vhttp.Text(200, fmt.Sprintf(
-			"vllm:num_requests_waiting %d\nvllm:num_requests_running 0\n", r.waiting))
+	case telemetry.Path:
+		return vhttp.JSON(200, telemetry.Snapshot{Waiting: r.waiting}.Encode())
 	}
 	if r.latency > 0 {
 		p.Sleep(r.latency)
@@ -50,7 +50,8 @@ type fakeScaler struct {
 	nextID    int
 	launchDur time.Duration
 	history   []int
-	waiting   int // queue depth reported by every replica
+	waiting   int           // queue depth reported by every replica
+	latency   time.Duration // per-request service time of new replicas
 }
 
 func (s *fakeScaler) CurrentReplicas() int { return len(s.replicas) }
@@ -63,7 +64,7 @@ func (s *fakeScaler) ScaleTo(p *sim.Proc, n int) error {
 		}
 		id := s.nextID
 		s.nextID++
-		r := &fakeReplica{name: fmt.Sprintf("r%d", id), up: true, waiting: s.waiting}
+		r := &fakeReplica{name: fmt.Sprintf("r%d", id), up: true, waiting: s.waiting, latency: s.latency}
 		host := fmt.Sprintf("node%d", id)
 		s.net.Listen(host, 8000, r, vhttp.ListenOptions{Up: func() bool { return r.up }})
 		s.replicas = append(s.replicas, r)
@@ -138,6 +139,52 @@ func TestScaleUpOnQueueDepth(t *testing.T) {
 	st := as.Status()
 	if st.ScaleUps != 1 || st.Current != 4 {
 		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestScaleUpOnSLOBreachBeforeQueues(t *testing.T) {
+	// Slow replicas, shallow queues: the latency objective is breached
+	// while per-replica load never crosses the queue-depth threshold, so
+	// only the SLO path can grow the set. One replica per cooldown window
+	// until the ceiling.
+	pol := Policy{MinReplicas: 2, MaxReplicas: 4, TargetQueueDepth: 8,
+		Interval: 10 * time.Second, ScaleUpCooldown: 30 * time.Second,
+		RateHalflife: 15 * time.Second, SLOTargetP95: time.Second}
+	eng, net, _, sc, as := fixture(t, pol, 2)
+	sc.latency = 3 * time.Second
+	for _, r := range sc.replicas {
+		r.latency = 3 * time.Second
+	}
+
+	// Open-loop trickle: one request every 2s, each taking 3s — about 1.5
+	// in flight across two replicas, far below the queue threshold.
+	stop := false
+	eng.Go("load", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: "user"}
+		for i := 0; !stop; i++ {
+			p.Sleep(2 * time.Second)
+			eng.Go(fmt.Sprintf("req-%d", i), func(rp *sim.Proc) {
+				c.Get(rp, "http://gw:8000/v1/chat/completions")
+			})
+		}
+	})
+	eng.RunFor(5 * time.Minute)
+	if got := sc.CurrentReplicas(); got != 4 {
+		t.Fatalf("replicas = %d, want the SLO path to reach the ceiling 4 (status %+v)", got, as.Status())
+	}
+	st := as.Status()
+	if st.Load >= 8 {
+		t.Fatalf("load = %d; the queue-depth path should never have triggered", st.Load)
+	}
+	if st.Demand < 4 {
+		t.Fatalf("demand = %d, want the breach to keep demand at the ceiling", st.Demand)
+	}
+	// At the ceiling with the objective still breached, the set must not
+	// shrink even though per-replica load is under the down threshold.
+	eng.RunFor(5 * time.Minute)
+	stop = true
+	if got := sc.CurrentReplicas(); got != 4 {
+		t.Fatalf("replicas after sustained breach = %d, want 4 (no shrink mid-breach)", got)
 	}
 }
 

@@ -43,11 +43,22 @@ type HTTPTarget struct {
 	BaseURL string // e.g. "http://hops15:8000"
 	Model   string
 	APIKey  string
+
+	seq int // per-target request counter making every prompt unique
 }
 
 // Do implements Target.
 func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, error) {
 	content := vllm.SynthesizeText(max(prompt-4, 1))
+	// Tag each prompt unique (same length, different bytes): throughput
+	// benchmarks measure prefill+decode compute, and two same-length
+	// synthesized prompts would otherwise be identical and served from the
+	// engine's prefix cache — real harnesses randomize prompts for exactly
+	// this reason.
+	t.seq++
+	if tag := fmt.Sprintf("benchmark request %d ", t.seq); len(tag) < len(content) {
+		content = tag + content[len(tag):]
+	}
 	body, _ := json.Marshal(vllm.ChatRequest{
 		Model:     t.Model,
 		Messages:  []vllm.ChatMessage{{Role: "user", Content: content}},

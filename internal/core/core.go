@@ -191,6 +191,11 @@ type DeployConfig struct {
 	// Model.Name. Aliases let one set of weights serve under several
 	// fleet entries ("chat", "chat-large") with distinct scaling policies.
 	ServedName string
+	// DisablePrefixCache turns off the engine's automatic prefix caching
+	// (vLLM's --no-enable-prefix-caching). Caching is on by default:
+	// multi-turn sessions routed back to their replica skip the prefill of
+	// every prompt block already resident in the engine's KV cache.
+	DisablePrefixCache bool
 	// IngressHost exposes the service externally on Kubernetes.
 	IngressHost string
 
@@ -237,6 +242,9 @@ func (cfg *DeployConfig) ServeArgs(modelArg string) []string {
 	}
 	if cfg.MaxModelLen > 0 {
 		args = append(args, fmt.Sprintf("--max-model-len=%d", cfg.MaxModelLen))
+	}
+	if cfg.DisablePrefixCache {
+		args = append(args, "--no-enable-prefix-caching")
 	}
 	if cfg.Port > 0 && cfg.Port != 8000 {
 		args = append(args, fmt.Sprintf("--port=%d", cfg.Port))

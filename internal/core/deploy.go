@@ -105,6 +105,13 @@ func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platf
 	if cfg.Autoscale != nil {
 		// Deploy validated the policy already; only resolve defaults here.
 		resolved := cfg.Autoscale.WithDefaults()
+		// The gateway's SLO breaker and the autoscaler share the latency
+		// objective: a p95 breach raises the scaling demand signal before
+		// the queue-depth path sees it (scale first, shed only if scaling
+		// cannot keep up).
+		if resolved.SLOTargetP95 <= 0 {
+			resolved.SLOTargetP95 = cfg.SLOTargetP95
+		}
 		pol = &resolved
 	}
 	single := cfg

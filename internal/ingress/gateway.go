@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vhttp"
 	"repro/internal/vllm"
 )
@@ -21,7 +22,8 @@ const (
 	PolicyRoundRobin Policy = "round-robin"
 	// PolicyLeastLoaded routes to the replica with the smallest load score:
 	// gateway-tracked in-flight requests plus the waiting/running queue
-	// depths last scraped from the replica's /metrics endpoint.
+	// depths from the replica's last telemetry snapshot; score ties break
+	// toward the replica with more KV headroom.
 	PolicyLeastLoaded Policy = "least-loaded"
 	// PolicySession pins requests sharing a session key (X-Session-Key
 	// header, or the body's session_id/user field) to one replica via
@@ -54,8 +56,11 @@ type Backend struct {
 	draining bool // drain requested: no new requests, detach when idle
 	drained  *sim.Signal
 	inflight int // requests the gateway currently has outstanding here
-	waiting  int // vllm:num_requests_waiting at the last scrape
-	running  int // vllm:num_requests_running at the last scrape
+	// snap is the replica's typed engine snapshot from the last probe —
+	// the structured load signal that replaced the Prometheus text scrape.
+	snap    telemetry.Snapshot
+	waiting int // snap.Waiting at the last scrape
+	running int // snap.Running at the last scrape
 	// scrapeInflight records inflight at the last scrape: requests the
 	// gateway already had outstanding then are part of the scraped queue
 	// depths, so admission must not count them twice.
@@ -76,8 +81,13 @@ func (b *Backend) Draining() bool { return b.draining }
 // Requests returns how many requests the gateway has sent this backend.
 func (b *Backend) Requests() int { return b.requests }
 
-// QueueDepth returns the waiting/running depths from the last /metrics scrape.
+// QueueDepth returns the waiting/running depths from the last telemetry
+// scrape.
 func (b *Backend) QueueDepth() (waiting, running int) { return b.waiting, b.running }
+
+// Telemetry returns the replica's last typed engine snapshot (the zero
+// value before the first successful probe).
+func (b *Backend) Telemetry() telemetry.Snapshot { return b.snap }
 
 // load is the least-loaded routing score.
 func (b *Backend) load() int { return b.inflight + b.waiting + b.running }
@@ -106,8 +116,20 @@ func (v backendView) Key() string { return v.b.Name }
 func (v backendView) Score() int { return v.b.load() }
 
 // Pressure implements sched.Backend: the scraped waiting depth plus
-// requests forwarded since that scrape — the PR 1 admission estimate.
-func (v backendView) Pressure() int { return v.b.waiting + v.b.inflight - v.b.scrapeInflight }
+// requests forwarded since that scrape — the PR 1 admission estimate,
+// clamped at zero: requests that complete between scrapes shrink inflight
+// below its scrape-time level, and a negative pressure would make the
+// replica look emptier than idle to admission and spill decisions.
+func (v backendView) Pressure() int {
+	p := v.b.waiting + v.b.inflight - v.b.scrapeInflight
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Telemetry implements sched.Backend.
+func (v backendView) Telemetry() telemetry.Snapshot { return v.b.snap }
 
 // GatewayStats counts gateway-level outcomes.
 type GatewayStats struct {
@@ -188,6 +210,11 @@ type Gateway struct {
 	// pressure estimate, not the load score. Only meaningful with
 	// PolicySession.
 	SessionSpillDepth int
+	// SessionKVSpill is the affine replica's telemetry KV pressure above
+	// which a session spills regardless of queue depth
+	// (0 = sched.DefaultKVSpillPressure; >= 1 disables). Only meaningful
+	// with PolicySession.
+	SessionKVSpill float64
 	// Admitter overrides the MaxWaiting/SLOTargetP95-derived admission
 	// chain (advanced use; nil resolves in Start).
 	Admitter sched.Admitter
@@ -411,7 +438,11 @@ func (g *Gateway) Serviceable() bool {
 	return !g.stopped && (g.HealthyBackends() > 0 || g.HoldColdStart)
 }
 
-// probe refreshes one backend's health and queue depth.
+// probe refreshes one backend's health and its typed telemetry snapshot.
+// The steady-state load path consumes the structured Snapshot JSON — not
+// the Prometheus text exposition, which stays for external observability
+// only — so placement and scaling see the engine's full signal set
+// (KV usage, cache hit rates, class mix) rather than two scraped gauges.
 func (g *Gateway) probe(p *sim.Proc, b *Backend) {
 	client := &vhttp.Client{Net: g.Net, From: g.Host}
 	resp, err := client.Get(p, b.URL()+"/health")
@@ -423,15 +454,12 @@ func (g *Gateway) probe(p *sim.Proc, b *Backend) {
 	if !wasRoutable && b.routable() {
 		g.wakeHeld()
 	}
-	if mresp, err := client.Get(p, b.URL()+"/metrics"); err == nil && mresp.Status == 200 {
-		text := string(mresp.Body)
-		if v, ok := vllm.ParseMetric(text, "vllm:num_requests_waiting"); ok {
-			b.waiting = int(v)
+	if tresp, err := client.Get(p, b.URL()+telemetry.Path); err == nil && tresp.Status == 200 {
+		if snap, derr := telemetry.Decode(tresp.Body); derr == nil {
+			b.snap = snap
+			b.waiting, b.running = snap.Waiting, snap.Running
+			b.scrapeInflight = b.inflight
 		}
-		if v, ok := vllm.ParseMetric(text, "vllm:num_requests_running"); ok {
-			b.running = int(v)
-		}
-		b.scrapeInflight = b.inflight
 	}
 }
 
@@ -461,9 +489,11 @@ func (g *Gateway) picker() sched.Picker {
 		if g.session == nil {
 			g.session = &sched.Session{}
 		}
-		// Re-sync the threshold every pick so post-Start changes to
-		// SessionSpillDepth take effect (only the spill counter persists).
+		// Re-sync the thresholds every pick so post-Start changes to
+		// SessionSpillDepth / SessionKVSpill take effect (only the spill
+		// counter persists).
 		g.session.SpillDepth = g.SessionSpillDepth
+		g.session.KVSpillPressure = g.SessionKVSpill
 		return g.session
 	default:
 		if g.rr == nil {
@@ -718,15 +748,17 @@ func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) 
 // status renders the control-plane view of the replica set.
 func (g *Gateway) status() *vhttp.Response {
 	type backendStatus struct {
-		Name     string `json:"name"`
-		URL      string `json:"url"`
-		Healthy  bool   `json:"healthy"`
-		Draining bool   `json:"draining"`
-		Inflight int    `json:"inflight"`
-		Waiting  int    `json:"waiting"`
-		Running  int    `json:"running"`
-		Requests int    `json:"requests"`
-		Failures int    `json:"failures"`
+		Name     string  `json:"name"`
+		URL      string  `json:"url"`
+		Healthy  bool    `json:"healthy"`
+		Draining bool    `json:"draining"`
+		Inflight int     `json:"inflight"`
+		Waiting  int     `json:"waiting"`
+		Running  int     `json:"running"`
+		Requests int     `json:"requests"`
+		Failures int     `json:"failures"`
+		KVUsage  float64 `json:"kv_usage,omitempty"`
+		HitRate  float64 `json:"prefix_hit_rate,omitempty"`
 	}
 	out := struct {
 		Model     string          `json:"model,omitempty"`
@@ -746,6 +778,7 @@ func (g *Gateway) status() *vhttp.Response {
 			Name: b.Name, URL: b.URL(), Healthy: b.healthy, Draining: b.draining,
 			Inflight: b.inflight, Waiting: b.waiting, Running: b.running,
 			Requests: b.requests, Failures: b.failures,
+			KVUsage: b.snap.KVUsage(), HitRate: b.snap.PrefixHitRate(),
 		})
 	}
 	if g.AutoscaleStatus != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vhttp"
 )
 
@@ -30,9 +31,8 @@ func (r *replica) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 			return vhttp.Text(200, "ok")
 		}
 		return vhttp.Text(500, "unhealthy")
-	case "/metrics":
-		return vhttp.Text(200, fmt.Sprintf(
-			"vllm:num_requests_waiting %d\nvllm:num_requests_running 0\n", r.waiting))
+	case telemetry.Path:
+		return vhttp.JSON(200, telemetry.Snapshot{Waiting: r.waiting}.Encode())
 	}
 	if r.latency > 0 {
 		p.Sleep(r.latency)

@@ -3,10 +3,12 @@
 // ranges, a shared node pool), scripted open-loop load phases, fault
 // events, and expected routing/scaling outcomes — executed by one driver
 // against a real Router, real per-model Gateways, and real Autoscalers
-// drawing from a real Pool. Only the replicas are fakes (instant model
-// "engines" with configurable latency and cold-start time), so the suite
+// drawing from a real Pool. Replicas are fakes by default (instant model
+// "engines" with configurable latency and cold-start time) so the suite
 // covers the same control-plane topology as examples/multimodel
-// deterministically in go test.
+// deterministically in go test; scenarios asserting engine-level effects
+// (prefix-cache hits, prefill-dependent TTFT) set `engine: true` and run
+// real vllm.Engine replicas instead.
 //
 // The file lives in package ingress_test so it can compose internal/ingress
 // with internal/autoscale (which imports ingress) without a cycle.
@@ -15,15 +17,21 @@ package ingress_test
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/hw"
 	"repro/internal/ingress"
+	"repro/internal/llm"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vhttp"
+	"repro/internal/vllm"
 )
 
 // scenarioModel is one model's row in a scenario's fleet spec.
@@ -50,6 +58,25 @@ type scenarioModel struct {
 	// sessions > 0 tags the model's requests with that many distinct
 	// session keys (round-robin), exercising session-affinity routing.
 	sessions int
+
+	// engine replaces the instant fake replicas with real vllm.Engine
+	// instances behind vllm.APIServers, so scenarios observe genuine
+	// engine-level effects (prefix-cache hits, prefill-dependent TTFT).
+	engine bool
+	// kvBlocks pins the engine KV size (--num-gpu-blocks-override).
+	kvBlocks int
+	// maxModelLen is the engine context limit (engine replicas only).
+	maxModelLen int
+	// conv > 0 drives that many multi-turn conversations against the
+	// model: convTurns sequential turns each, every turn re-sending the
+	// whole history plus a fresh convWords-token user message and folding
+	// the convReply-token answer back in. Turns across conversations are
+	// strictly interleaved (conv 0 turn 0, conv 1 turn 0, …), so replica
+	// placement — and with it cache locality — is deterministic per policy.
+	conv      int
+	convTurns int
+	convWords int // tokens per user turn (approximate, 4 chars/token)
+	convReply int // max_tokens per answer
 }
 
 // scenarioPhase is one scripted load segment: per-model mean open-loop
@@ -115,7 +142,7 @@ type fakeReplica struct {
 	latency  time.Duration
 	slowdown time.Duration
 	up       bool
-	queue    int // in-service requests, reported as running in /metrics
+	queue    int // in-service requests, reported as running in telemetry
 }
 
 func (r *fakeReplica) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
@@ -125,9 +152,8 @@ func (r *fakeReplica) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 			return vhttp.Text(200, "ok")
 		}
 		return vhttp.Text(500, "unhealthy")
-	case "/metrics":
-		return vhttp.Text(200, fmt.Sprintf(
-			"vllm:num_requests_waiting 0\nvllm:num_requests_running %d\n", r.queue))
+	case telemetry.Path:
+		return vhttp.JSON(200, telemetry.Snapshot{Running: r.queue}.Encode())
 	}
 	// Service time degrades with the queue already on the engine, so
 	// sustained overload shows up in the gateway's rolling p95.
@@ -141,6 +167,101 @@ func (r *fakeReplica) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	}
 	body, _ := json.Marshal(map[string]string{"model": r.model, "replica": r.name})
 	return vhttp.JSON(200, body)
+}
+
+// scenarioScaler is what the harness drives: autoscale.Scaler plus the
+// pool-accounting and fault hooks. Implemented by fakeScaler (instant
+// latency-model replicas) and engineScaler (real vllm engines).
+type scenarioScaler interface {
+	autoscale.Scaler
+	Occupied() int
+	crash()
+}
+
+// engineScaler launches real vllm.Engine replicas (behind vllm.APIServer)
+// against the model's gateway — the replica shape scenarios use when the
+// expected win lives inside the engine (prefix caching, KV pressure).
+type engineScaler struct {
+	eng       *sim.Engine
+	net       *vhttp.Net
+	gw        *ingress.Gateway
+	model     scenarioModel
+	replicas  []*engineReplica
+	all       []*vllm.Engine // every engine ever launched (cumulative stats)
+	nextID    int
+	portBase  int
+	launching int
+}
+
+type engineReplica struct {
+	name   string
+	host   string
+	port   int
+	engine *vllm.Engine
+}
+
+func (s *engineScaler) CurrentReplicas() int { return len(s.replicas) }
+func (s *engineScaler) Occupied() int        { return len(s.replicas) + s.launching }
+
+func (s *engineScaler) ScaleTo(p *sim.Proc, n int) error {
+	for len(s.replicas) < n {
+		name := fmt.Sprintf("%s-%d", s.model.name, s.nextID)
+		port := s.portBase + s.nextID
+		s.nextID++
+		s.launching++
+		p.Sleep(s.model.coldStart)
+		s.launching--
+		eng, err := vllm.New(s.eng, vllm.Config{
+			Model: llm.Llama318B, GPU: hw.H100SXM, TensorParallel: 1,
+			MaxModelLen:          s.model.maxModelLen,
+			NumGPUBlocksOverride: s.model.kvBlocks,
+		})
+		if err != nil {
+			return err
+		}
+		eng.Run()
+		srv := &vllm.APIServer{Engine: eng, ServedName: s.model.name, Replica: name}
+		host := "node-" + name
+		up := func() bool { crashed, _ := eng.Crashed(); return !crashed }
+		if err := s.net.Listen(host, port, srv, vhttp.ListenOptions{Up: up}); err != nil {
+			return err
+		}
+		r := &engineReplica{name: name, host: host, port: port, engine: eng}
+		s.replicas = append(s.replicas, r)
+		s.all = append(s.all, eng)
+		s.gw.AddBackend(name, host, port)
+	}
+	for len(s.replicas) > n {
+		victim := s.replicas[len(s.replicas)-1]
+		s.replicas = s.replicas[:len(s.replicas)-1]
+		if sig := s.gw.RemoveBackend(victim.name); sig != nil {
+			p.WaitTimeout(sig, 10*time.Minute)
+		}
+		victim.engine.Stop()
+		s.net.Unlisten(victim.host, victim.port)
+	}
+	return nil
+}
+
+func (s *engineScaler) crash() {
+	if len(s.replicas) == 0 {
+		return
+	}
+	victim := s.replicas[len(s.replicas)-1]
+	s.replicas = s.replicas[:len(s.replicas)-1]
+	victim.engine.Crash(fmt.Errorf("scenario: injected crash"))
+	s.gw.RemoveBackend(victim.name)
+	s.net.Unlisten(victim.host, victim.port)
+}
+
+// prefix totals the prefix-cache counters across every engine launched.
+func (s *engineScaler) prefix() (hits, misses int64) {
+	for _, e := range s.all {
+		st := e.Stats()
+		hits += st.PrefixHits
+		misses += st.PrefixMisses
+	}
+	return hits, misses
 }
 
 // fakeScaler implements autoscale.Scaler by launching and draining fake
@@ -223,7 +344,7 @@ func (s *fakeScaler) crash() {
 type modelRig struct {
 	spec   scenarioModel
 	gw     *ingress.Gateway
-	scaler *fakeScaler
+	scaler scenarioScaler
 	as     *autoscale.Autoscaler
 
 	sent      int
@@ -236,13 +357,25 @@ type modelRig struct {
 	preempt   int // pool-arbitration shrinks observed
 	// sessionHits maps session key -> replica names that served it.
 	sessionHits map[string]map[string]bool
+	// ttft collects per-request time-to-first-token (ms) from the
+	// X-Request-Ttft-Micros header (engine-backed conversations).
+	ttft metrics.Dist
 }
 
-// runScenario executes one table entry end to end.
-func runScenario(t *testing.T, sc scenario) {
+// scenarioResult carries the per-model measurements a comparison test
+// reads back (mean TTFT in ms, cumulative prefix-cache block hit rate).
+type scenarioResult struct {
+	meanTTFT map[string]float64
+	hitRate  map[string]float64
+}
+
+// runScenario executes one table entry end to end and returns the
+// measurements comparison tests consume.
+func runScenario(t *testing.T, sc scenario) *scenarioResult {
 	t.Helper()
 	eng := sim.NewEngine(1)
 	net := vhttp.NewNet(netsim.New(eng))
+	result := &scenarioResult{meanTTFT: map[string]float64{}, hitRate: map[string]float64{}}
 
 	router := &ingress.Router{Net: net, Host: "fleet", Port: 8000}
 	if err := router.Start(eng); err != nil {
@@ -269,10 +402,16 @@ func runScenario(t *testing.T, sc scenario) {
 			HealthInterval: 10 * time.Second,
 			HoldColdStart:  true, ColdStartWait: 20 * time.Minute,
 		}
+		var scaler scenarioScaler
+		if m.engine {
+			scaler = &engineScaler{eng: eng, net: net, gw: gw, model: m, portBase: 9000 + 100*i}
+		} else {
+			scaler = &fakeScaler{net: net, gw: gw, model: m, portBase: 9000 + 100*i}
+		}
 		rig := &modelRig{
 			spec:        m,
 			gw:          gw,
-			scaler:      &fakeScaler{net: net, gw: gw, model: m, portBase: 9000 + 100*i},
+			scaler:      scaler,
 			sessionHits: map[string]map[string]bool{},
 		}
 		rig.as = &autoscale.Autoscaler{
@@ -365,6 +504,20 @@ func runScenario(t *testing.T, sc scenario) {
 		client := &vhttp.Client{Net: net, From: "user"}
 		inflight := eng.NewGroup()
 		rng := eng.Rand()
+
+		// Closed-loop multi-turn conversations (engine-backed models) run
+		// alongside the phase script on their own process per model.
+		for _, rig := range rigs {
+			if rig.spec.conv == 0 {
+				continue
+			}
+			rig := rig
+			inflight.Add(1)
+			eng.Go("conversations-"+rig.spec.name, func(cp *sim.Proc) {
+				defer inflight.Finish()
+				runConversations(cp, rig, client, router.Endpoint())
+			})
+		}
 		for _, ph := range sc.phases {
 			end := p.Now().Add(ph.dur)
 			total := 0.0
@@ -532,6 +685,16 @@ func runScenario(t *testing.T, sc scenario) {
 		if m := sc.expect.wantHeld; m != "" && !rigByName[m].held {
 			t.Errorf("%s: no request was ever cold-start held", m)
 		}
+
+		// Measurements for comparison tests, read while replicas live.
+		for _, rig := range rigs {
+			result.meanTTFT[rig.spec.name] = rig.ttft.Mean()
+			if es, ok := rig.scaler.(*engineScaler); ok {
+				if hits, misses := es.prefix(); hits+misses > 0 {
+					result.hitRate[rig.spec.name] = float64(hits) / float64(hits+misses)
+				}
+			}
+		}
 	})
 
 	for i := 0; i < 5000 && !done; i++ {
@@ -539,6 +702,45 @@ func runScenario(t *testing.T, sc scenario) {
 	}
 	if !done {
 		t.Fatal("scenario did not finish within the simulated time budget")
+	}
+	return result
+}
+
+// runConversations drives a model's multi-turn conversations: strictly
+// interleaved sequential turns (conv 0, conv 1, … per round), each turn
+// re-sending the whole history with a fresh user message and folding the
+// assistant's reply back in — the workload where session-affine routing
+// turns into engine-level prefix-cache hits.
+func runConversations(p *sim.Proc, rig *modelRig, client *vhttp.Client, base string) {
+	m := rig.spec
+	histories := make([][]vllm.ChatMessage, m.conv)
+	for turn := 0; turn < m.convTurns; turn++ {
+		for ci := 0; ci < m.conv; ci++ {
+			content := fmt.Sprintf("conversation %d turn %d: ", ci, turn) +
+				vllm.SynthesizeText(m.convWords)
+			histories[ci] = append(histories[ci], vllm.ChatMessage{Role: "user", Content: content})
+			body, _ := json.Marshal(vllm.ChatRequest{
+				Model: m.name, Messages: histories[ci], MaxTokens: m.convReply,
+				SessionID: fmt.Sprintf("%s-conv-%d", m.name, ci),
+			})
+			rig.sent++
+			resp, err := client.Do(p, &vhttp.Request{
+				Method: "POST", URL: base + "/v1/chat/completions", Body: body,
+			})
+			if err != nil || resp.Status != 200 {
+				rig.failed++
+				continue
+			}
+			if us, perr := strconv.ParseInt(resp.Header["X-Request-Ttft-Micros"], 10, 64); perr == nil {
+				rig.ttft.Add(float64(us) / 1000) // ms
+			}
+			var cr vllm.ChatResponse
+			if json.Unmarshal(resp.Body, &cr) == nil && len(cr.Choices) > 0 {
+				histories[ci] = append(histories[ci], vllm.ChatMessage{
+					Role: "assistant", Content: cr.Choices[0].Message.Content,
+				})
+			}
+		}
 	}
 }
 
@@ -679,5 +881,52 @@ func TestScenarios(t *testing.T) {
 	for _, sc := range scenarios {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) { runScenario(t, sc) })
+	}
+}
+
+// TestScenarioPrefixCacheSessionVsRoundRobin runs the same multi-turn
+// conversation load twice against real vllm engines — once with
+// session-affine routing, once round-robin — and asserts the engine-level
+// win session affinity exists for: prefix-cache hits only when
+// conversations return to their replica, and a measurably lower mean TTFT
+// because cached prompt blocks skip prefill.
+//
+// The load is deterministic: 11 conversations × 2 strictly interleaved
+// turns over 2 replicas. With an odd conversation count, round-robin
+// placement alternates every conversation's replica each turn, so its
+// second turn always lands where nothing of its history is cached — zero
+// hits — while session routing pins it back onto its warm replica.
+func TestScenarioPrefixCacheSessionVsRoundRobin(t *testing.T) {
+	mkScenario := func(name string, policy ingress.Policy) scenario {
+		return scenario{
+			name:      name,
+			poolNodes: 0,
+			models: []scenarioModel{{
+				name: "chat", weight: 1, initial: 2, min: 2, max: 2,
+				coldStart: 30 * time.Second,
+				policy:    policy,
+				engine:    true, kvBlocks: 2048, maxModelLen: 4096,
+				conv: 11, convTurns: 2, convWords: 800, convReply: 48,
+			}},
+			expect: expect{finalMin: map[string]int{"chat": 2}},
+		}
+	}
+	session := runScenario(t, mkScenario("prefix-cache-session", ingress.PolicySession))
+	rr := runScenario(t, mkScenario("prefix-cache-round-robin", ingress.PolicyRoundRobin))
+	t.Logf("hit rate: session %.3f vs round-robin %.3f; mean TTFT: session %.2fms vs round-robin %.2fms",
+		session.hitRate["chat"], rr.hitRate["chat"], session.meanTTFT["chat"], rr.meanTTFT["chat"])
+
+	if got := session.hitRate["chat"]; got < 0.25 {
+		t.Errorf("session-affine hit rate = %.3f, want >= 0.25 (affinity should land turns on warm replicas)", got)
+	}
+	if got := rr.hitRate["chat"]; got != 0 {
+		t.Errorf("round-robin hit rate = %.3f, want exactly 0 (alternating placement never revisits a warm replica)", got)
+	}
+	st, rt := session.meanTTFT["chat"], rr.meanTTFT["chat"]
+	if st <= 0 || rt <= 0 {
+		t.Fatalf("missing TTFT measurements: session %.2fms, round-robin %.2fms", st, rt)
+	}
+	if st >= 0.95*rt {
+		t.Errorf("session mean TTFT %.2fms not measurably below round-robin %.2fms (want < 95%%)", st, rt)
 	}
 }

@@ -27,16 +27,20 @@ func (p *RoundRobin) Pick(candidates []Backend, _ *Request) Backend {
 	return b
 }
 
-// LeastLoaded routes to the replica with the smallest load score, ties
-// resolving to the earliest-registered candidate — PR 1's least-loaded
-// policy, extracted.
+// LeastLoaded routes to the replica with the smallest load score. Ties
+// resolve on KV pressure from the replicas' telemetry snapshots — equal
+// queue depths hide very different cache states on a continuous-batching
+// engine, and the replica with more KV headroom absorbs the request
+// without evicting reusable prefix blocks (or, worse, preempting). Equal
+// pressure falls back to the earliest-registered candidate, PR 1's rule.
 type LeastLoaded struct{}
 
 // Pick implements Picker.
 func (LeastLoaded) Pick(candidates []Backend, _ *Request) Backend {
 	var best Backend
 	for _, b := range candidates {
-		if best == nil || b.Score() < best.Score() {
+		if best == nil || b.Score() < best.Score() ||
+			(b.Score() == best.Score() && b.Telemetry().KVPressure() < best.Telemetry().KVPressure()) {
 			best = b
 		}
 	}
@@ -57,12 +61,24 @@ const DefaultSpillDepth = 8
 // order. Keyless requests fall back to least-loaded, and a session whose
 // affine replica is past SpillDepth spills to the least-loaded other
 // replica (a cache hit is not worth queueing behind a saturated engine).
+// DefaultKVSpillPressure is the affine replica's KV pressure (fraction of
+// blocks held by live sequences, reclaimable cache excluded) above which a
+// session spills even with a short queue: past this point the engine is
+// about to evict the very prefix blocks the session came back for — or
+// preempt — so the cache hit the affinity was buying no longer exists.
+const DefaultKVSpillPressure = 0.9
+
 type Session struct {
 	// SpillDepth is the affine replica's load score (Score: in-flight plus
 	// scraped queue depths — the saturation measure that still works when
 	// a continuous-batching engine absorbs every request into its running
 	// batch) above which the session spills (0 = DefaultSpillDepth).
 	SpillDepth int
+	// KVSpillPressure is the affine replica's telemetry KV pressure above
+	// which the session spills regardless of queue depth
+	// (0 = DefaultKVSpillPressure; >= 1 disables the check). Replicas that
+	// have never reported telemetry read as zero pressure.
+	KVSpillPressure float64
 
 	fallback LeastLoaded
 	spills   int
@@ -84,7 +100,16 @@ func (s *Session) Pick(candidates []Backend, req *Request) Backend {
 	if spill <= 0 {
 		spill = DefaultSpillDepth
 	}
-	if affine.Score() > spill && len(candidates) > 1 {
+	kvSpill := s.KVSpillPressure
+	if kvSpill <= 0 {
+		kvSpill = DefaultKVSpillPressure
+	}
+	// kvSpill >= 1 disables the KV check outright: pressure can reach
+	// exactly 1.0 on a saturated engine, so a threshold of 1.0 must not
+	// trip either.
+	saturated := affine.Score() > spill ||
+		(kvSpill < 1 && affine.Telemetry().KVPressure() >= kvSpill)
+	if saturated && len(candidates) > 1 {
 		others := make([]Backend, 0, len(candidates)-1)
 		for _, b := range candidates {
 			if b != affine {

@@ -23,6 +23,8 @@ package sched
 import (
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // Class is a request's priority class. Higher values dequeue first from
@@ -144,10 +146,14 @@ type Backend interface {
 	// Key is the backend's stable identity, the consistent-hashing site.
 	Key() string
 	// Score is the routing load score (lower routes first): gateway
-	// in-flight plus the queue depths last scraped from /metrics.
+	// in-flight plus the queue depths from the last telemetry scrape.
 	Score() int
 	// Pressure estimates the backend's waiting queue for admission and
 	// spill decisions: the last scraped waiting depth plus requests
-	// forwarded since that scrape.
+	// forwarded since that scrape (never negative).
 	Pressure() int
+	// Telemetry is the replica's last typed engine snapshot. The zero
+	// value (KVBlocksTotal == 0) means "never scraped" — pickers treat
+	// absent KV information as no signal, not as an empty cache.
+	Telemetry() telemetry.Snapshot
 }

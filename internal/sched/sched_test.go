@@ -4,17 +4,21 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 type fakeBackend struct {
 	key      string
 	score    int
 	pressure int
+	snap     telemetry.Snapshot
 }
 
-func (b *fakeBackend) Key() string   { return b.key }
-func (b *fakeBackend) Score() int    { return b.score }
-func (b *fakeBackend) Pressure() int { return b.pressure }
+func (b *fakeBackend) Key() string                   { return b.key }
+func (b *fakeBackend) Score() int                    { return b.score }
+func (b *fakeBackend) Pressure() int                 { return b.pressure }
+func (b *fakeBackend) Telemetry() telemetry.Snapshot { return b.snap }
 
 func backends(n int) []Backend {
 	out := make([]Backend, n)
@@ -206,6 +210,71 @@ func TestSessionSpillOnSaturation(t *testing.T) {
 	a.score = 50
 	if got := s.Pick([]Backend{a}, req).Key(); got != "a" {
 		t.Fatalf("sole saturated replica pick = %s", got)
+	}
+}
+
+func TestLeastLoadedTieBreaksOnKVPressure(t *testing.T) {
+	full := telemetry.Snapshot{KVBlocksTotal: 100, KVBlocksUsed: 90, KVBlocksCached: 5}
+	roomy := telemetry.Snapshot{KVBlocksTotal: 100, KVBlocksUsed: 40, KVBlocksCached: 30}
+	cands := []Backend{
+		&fakeBackend{key: "a", score: 2, snap: full},
+		&fakeBackend{key: "b", score: 2, snap: roomy},
+	}
+	if got := (LeastLoaded{}).Pick(cands, nil).Key(); got != "b" {
+		t.Fatalf("tie pick = %s, want the replica with KV headroom", got)
+	}
+	// A lower score still outranks better KV headroom.
+	cands[0].(*fakeBackend).score = 1
+	if got := (LeastLoaded{}).Pick(cands, nil).Key(); got != "a" {
+		t.Fatalf("score pick = %s, want the lower-score replica", got)
+	}
+	// Without telemetry, ties keep PR 1's earliest-registered rule.
+	plain := []Backend{
+		&fakeBackend{key: "a", score: 2},
+		&fakeBackend{key: "b", score: 2},
+	}
+	if got := (LeastLoaded{}).Pick(plain, nil).Key(); got != "a" {
+		t.Fatalf("telemetry-less tie pick = %s, want the earliest", got)
+	}
+}
+
+func TestSessionSpillsOnKVPressure(t *testing.T) {
+	a := &fakeBackend{key: "a"}
+	b := &fakeBackend{key: "b", score: 1}
+	cands := []Backend{a, b}
+	s := &Session{SpillDepth: 10}
+	key := ""
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("k-%d", i)
+		if Affine(cands, key).Key() == "a" {
+			break
+		}
+	}
+	req := &Request{SessionKey: key}
+	// Short queue, but the engine's KV is nearly all held by live
+	// sequences: the warm cache the session came back for is gone, so the
+	// pick spills despite Score being far under SpillDepth.
+	a.snap = telemetry.Snapshot{KVBlocksTotal: 100, KVBlocksUsed: 95, KVBlocksCached: 2}
+	if got := s.Pick(cands, req).Key(); got != "b" {
+		t.Fatalf("KV-pressed pick = %s, want spill to b", got)
+	}
+	if s.Spills() != 1 {
+		t.Fatalf("spills = %d, want 1", s.Spills())
+	}
+	// Heavy residency that is mostly reclaimable cache is NOT pressure:
+	// the session stays affine.
+	a.snap = telemetry.Snapshot{KVBlocksTotal: 100, KVBlocksUsed: 95, KVBlocksCached: 80}
+	if got := s.Pick(cands, req).Key(); got != "a" {
+		t.Fatalf("cache-resident pick = %s, want the affine replica", got)
+	}
+	// KVSpillPressure >= 1 disables the check — including exactly 1.0,
+	// which a fully saturated engine's pressure can equal.
+	a.snap = telemetry.Snapshot{KVBlocksTotal: 100, KVBlocksUsed: 100}
+	for _, off := range []float64{1.0, 1.1} {
+		s.KVSpillPressure = off
+		if got := s.Pick(cands, req).Key(); got != "a" {
+			t.Fatalf("KVSpillPressure=%g pick = %s, want the affine replica (check disabled)", off, got)
+		}
 	}
 }
 

@@ -1,0 +1,116 @@
+// Package telemetry defines the typed cross-layer load signal the serving
+// stack exchanges: a Snapshot of one replica's engine-level state — queue
+// depths, KV-block usage, prefix-cache effectiveness, per-priority-class
+// occupancy, and the rolling latency tail — serialized as JSON on a
+// replica-local endpoint and consumed by the ingress gateway, the
+// scheduling layer's pickers, and the autoscaler.
+//
+// Before this package, the gateway string-scraped two counters out of the
+// Prometheus text exposition on every probe round, and everything richer
+// the engine knew (cache pressure, hit rates, class mix, tail latency)
+// was invisible to placement and scaling decisions. The related HPC
+// experience reports (CSCS's Cray EX ML-platform evolution, the adaptive-
+// containerization survey) make the same point this package encodes:
+// adaptive placement needs structured workload telemetry, not scraped
+// strings. The text /metrics surface remains for external observability;
+// this is the machine-to-machine path.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Path is the replica-local HTTP endpoint serving the Snapshot as JSON.
+const Path = "/telemetry"
+
+// Snapshot is one replica's engine-level state at a probe instant. The
+// zero value means "never scraped" — consumers treat KVBlocksTotal == 0 as
+// absent KV information rather than an empty cache.
+type Snapshot struct {
+	// Model is the served model name; Replica the instance identity.
+	Model   string `json:"model,omitempty"`
+	Replica string `json:"replica,omitempty"`
+
+	// Waiting and Running are the engine scheduler's queue depths.
+	Waiting int `json:"waiting"`
+	Running int `json:"running"`
+	// RunningByClass breaks Running+Waiting down by priority class name
+	// ("interactive", "batch"); requests that carried no class are counted
+	// under "unset".
+	RunningByClass map[string]int `json:"running_by_class,omitempty"`
+
+	// KV-block accounting. Used counts every resident block (including
+	// cached ones); Cached counts resident blocks no live sequence
+	// references — prefix-cache content that is reclaimable on demand.
+	KVBlocksTotal  int `json:"kv_blocks_total"`
+	KVBlocksUsed   int `json:"kv_blocks_used"`
+	KVBlocksCached int `json:"kv_blocks_cached"`
+
+	// Prefix-cache counters (cumulative since engine start). Hits and
+	// Misses count full prompt blocks looked up at admission; Evictions
+	// counts cached blocks reclaimed to make room; CachedTokens totals the
+	// prefill tokens skipped.
+	PrefixHits      int64 `json:"prefix_hits"`
+	PrefixMisses    int64 `json:"prefix_misses"`
+	PrefixEvictions int64 `json:"prefix_evictions"`
+	CachedTokens    int64 `json:"cached_tokens"`
+
+	// P95Millis is the rolling p95 of request end-to-end latency observed
+	// at the replica (milliseconds; 0 with no completed samples).
+	P95Millis float64 `json:"p95_ms"`
+
+	// Cumulative outcome counters.
+	Completed int   `json:"completed"`
+	Failed    int   `json:"failed"`
+	TokensOut int64 `json:"tokens_out"`
+}
+
+// KVUsage is the fraction of KV blocks resident (cached content included);
+// 0 when no KV information is present.
+func (s Snapshot) KVUsage() float64 {
+	if s.KVBlocksTotal <= 0 {
+		return 0
+	}
+	return float64(s.KVBlocksUsed) / float64(s.KVBlocksTotal)
+}
+
+// KVPressure is the fraction of KV blocks live sequences hold — resident
+// minus reclaimable cache. This is the saturation measure placement should
+// fear: past ~1.0 the engine preempts. 0 when no KV information exists.
+func (s Snapshot) KVPressure() float64 {
+	if s.KVBlocksTotal <= 0 {
+		return 0
+	}
+	hard := s.KVBlocksUsed - s.KVBlocksCached
+	if hard < 0 {
+		hard = 0
+	}
+	return float64(hard) / float64(s.KVBlocksTotal)
+}
+
+// PrefixHitRate is the cumulative block hit rate of the prefix cache
+// (hits / lookups), 0 before any lookup.
+func (s Snapshot) PrefixHitRate() float64 {
+	total := s.PrefixHits + s.PrefixMisses
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.PrefixHits) / float64(total)
+}
+
+// Encode renders the snapshot as JSON.
+func (s Snapshot) Encode() []byte {
+	b, _ := json.Marshal(s)
+	return b
+}
+
+// Decode parses a Snapshot from JSON, rejecting bodies that are not a
+// telemetry object.
+func Decode(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: bad snapshot: %w", err)
+	}
+	return s, nil
+}

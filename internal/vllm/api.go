@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vhttp"
 )
 
@@ -115,6 +116,7 @@ func SynthesizeText(n int) string {
 type APIServer struct {
 	Engine     *Engine
 	ServedName string // --served-model-name
+	Replica    string // instance identity stamped into telemetry snapshots
 	APIKey     string // optional bearer token
 	// DefaultMaxTokens bounds generation when the request omits max_tokens.
 	DefaultMaxTokens int
@@ -142,6 +144,12 @@ func (a *APIServer) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 
 	case req.Path == "/metrics":
 		return vhttp.Text(200, a.renderMetrics())
+
+	case req.Path == telemetry.Path:
+		snap := a.Engine.Telemetry()
+		snap.Model = a.servedName()
+		snap.Replica = a.Replica
+		return vhttp.JSON(200, snap.Encode())
 
 	case req.Path == "/v1/chat/completions" && req.Method == "POST":
 		return a.chat(p, req)
@@ -185,7 +193,11 @@ func (a *APIServer) chat(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	if maxNew <= 0 {
 		maxNew = a.defaultMax()
 	}
-	r := a.Engine.Submit(prompt, maxNew)
+	r := a.Engine.SubmitOpts(SubmitOptions{
+		Prompt: prompt, MaxNew: maxNew,
+		PromptHashes: ChatPromptHashes(a.Engine.Config().BlockSize, cr.Messages),
+		Class:        cr.Priority,
+	})
 	p.Wait(r.Done())
 	if r.Err != nil {
 		return jsonErr(500, r.Err.Error())
@@ -226,7 +238,10 @@ func (a *APIServer) completions(p *sim.Proc, req *vhttp.Request) *vhttp.Response
 	if maxNew <= 0 {
 		maxNew = a.defaultMax()
 	}
-	r := a.Engine.Submit(prompt, maxNew)
+	r := a.Engine.SubmitOpts(SubmitOptions{
+		Prompt: prompt, MaxNew: maxNew,
+		PromptHashes: TextPromptHashes(a.Engine.Config().BlockSize, cr.Prompt),
+	})
 	p.Wait(r.Done())
 	if r.Err != nil {
 		return jsonErr(500, r.Err.Error())
@@ -259,12 +274,17 @@ func (a *APIServer) renderMetrics() string {
 	fmt.Fprintf(&b, "vllm:num_preemptions_total %d\n", st.Preemptions)
 	fmt.Fprintf(&b, "vllm:gpu_cache_usage_perc %.4f\n",
 		float64(a.Engine.KV().UsedBlocks())/float64(max(1, a.Engine.KV().TotalBlocks())))
+	fmt.Fprintf(&b, "vllm:prefix_cache_hits_total %d\n", st.PrefixHits)
+	fmt.Fprintf(&b, "vllm:prefix_cache_queries_total %d\n", st.PrefixHits+st.PrefixMisses)
+	fmt.Fprintf(&b, "vllm:prefix_cache_evictions_total %d\n", st.PrefixEvictions)
 	return b.String()
 }
 
 // ParseMetric extracts one gauge from a Prometheus-flavored text exposition
-// (the /metrics surface above). Consumers like the ingress gateway use it to
-// read per-replica queue depth without coupling to the engine in-process.
+// (the /metrics surface above). External observability tooling reads the
+// text surface; the serving stack itself consumes the typed
+// telemetry.Snapshot from /telemetry instead — the gateway's steady-state
+// load path no longer string-parses metrics.
 func ParseMetric(text, name string) (float64, bool) {
 	for _, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)

@@ -13,7 +13,9 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/llm"
+	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config mirrors the vLLM serve flags that matter to capacity and speed.
@@ -30,6 +32,14 @@ type Config struct {
 	MaxNumSeqs       int     // --max-num-seqs (default 1024)
 	BlockSize        int     // tokens per KV block (default 16)
 	MaxBatchedTokens int     // per-step prefill token budget (default 8192)
+	// NoPrefixCache disables automatic prefix caching (vLLM's
+	// --no-enable-prefix-caching; the zero value matches vLLM v1's
+	// default-on behaviour).
+	NoPrefixCache bool
+	// NumGPUBlocksOverride pins the KV block count instead of deriving it
+	// from GPU memory (vLLM's --num-gpu-blocks-override; 0 = computed).
+	// Still subject to the max-model-len fit gate.
+	NumGPUBlocksOverride int
 }
 
 func (c *Config) withDefaults() Config {
@@ -109,9 +119,26 @@ type Request struct {
 	FirstToken time.Time
 	Finished   time.Time
 	Generated  int
-	Err        error
+	// CachedTokens is how many prompt tokens were served from the prefix
+	// cache instead of being prefilled (0 without a cache hit).
+	CachedTokens int
+	Err          error
 
 	done *sim.Signal
+}
+
+// SubmitOptions carries the optional request attributes beyond the token
+// counts: the prompt's prefix-block hashes (enabling automatic prefix
+// caching) and the scheduling class (telemetry accounting).
+type SubmitOptions struct {
+	Prompt int
+	MaxNew int
+	// PromptHashes are the chained per-full-block keys of the prompt (see
+	// ChatPromptHashes); nil bypasses the prefix cache.
+	PromptHashes []uint64
+	// Class is the request's priority class name ("interactive", "batch",
+	// "" = unset), surfaced in the telemetry snapshot's class breakdown.
+	Class string
 }
 
 // Done fires when the request finishes (successfully or with Err set).
@@ -148,6 +175,8 @@ type sequence struct {
 	prefillDone   int
 	state         seqState
 	preempted     int
+	hashes        []uint64 // prompt prefix-block keys (nil = uncacheable)
+	class         string   // priority class name for telemetry
 }
 
 // Stats aggregates engine counters.
@@ -161,6 +190,13 @@ type Stats struct {
 	PeakRunning  int
 	LeakedBlocks int
 	BusyTime     time.Duration
+	// Prefix-cache counters (zero with caching disabled): full prompt
+	// blocks hit/missed at admission, cached blocks evicted for room, and
+	// prefill tokens skipped.
+	PrefixHits      int64
+	PrefixMisses    int64
+	PrefixEvictions int64
+	CachedTokens    int64
 }
 
 // Faults injects the failure modes from §3.5 and §3.3.
@@ -182,6 +218,7 @@ type Engine struct {
 	cfg    Config
 	perf   Params
 	kv     *KVCache
+	idx    *PrefixIndex // nil when prefix caching is disabled
 	faults Faults
 
 	waiting []*sequence
@@ -194,7 +231,8 @@ type Engine struct {
 	crashErr error
 	onCrash  []func(error)
 
-	stats Stats
+	stats     Stats
+	latencies metrics.Rolling // completed request latencies (ms)
 }
 
 // New validates capacity and builds an engine (not yet processing; call Run).
@@ -204,11 +242,22 @@ func New(simEng *sim.Engine, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.NumGPUBlocksOverride > 0 {
+		blocks = c.NumGPUBlocksOverride
+		if needed := (c.MaxModelLen + c.BlockSize - 1) / c.BlockSize; blocks < needed {
+			return nil, &CapacityError{fmt.Sprintf(
+				"ValueError: --num-gpu-blocks-override=%d cannot hold one max_model_len (%d) sequence (%d blocks needed)",
+				blocks, c.MaxModelLen, needed)}
+		}
+	}
 	e := &Engine{
 		sim:  simEng,
 		cfg:  c,
 		perf: LookupParams(c.Model, c.GPU, c.TensorParallel, c.PipelineParallel, c.GPUsPerNode),
 		kv:   NewKVCache(blocks, c.BlockSize),
+	}
+	if !c.NoPrefixCache {
+		e.idx = NewPrefixIndex(e.kv)
 	}
 	return e, nil
 }
@@ -219,8 +268,75 @@ func (e *Engine) Config() Config { return e.cfg }
 // KV exposes the block allocator (tests, metrics endpoints).
 func (e *Engine) KV() *KVCache { return e.kv }
 
-// Stats returns a snapshot of engine counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Prefix exposes the prefix-cache index (nil with caching disabled).
+func (e *Engine) Prefix() *PrefixIndex { return e.idx }
+
+// Stats returns a snapshot of engine counters, prefix-cache counters
+// folded in.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	if e.idx != nil {
+		ps := e.idx.Stats()
+		st.PrefixHits = ps.Hits
+		st.PrefixMisses = ps.Misses
+		st.PrefixEvictions = ps.Evictions
+		st.CachedTokens = ps.CachedTokens
+	}
+	return st
+}
+
+// LatencyP95 returns the rolling p95 of completed request latencies.
+func (e *Engine) LatencyP95() time.Duration {
+	return time.Duration(e.latencies.Quantile(e.sim.Now(), 0.95) * float64(time.Millisecond))
+}
+
+// Telemetry assembles the engine's typed load snapshot — the structured
+// signal the gateway, pickers, and autoscaler consume in place of scraping
+// the Prometheus text surface. Identity fields (model, replica) are the
+// serving layer's to fill.
+func (e *Engine) Telemetry() telemetry.Snapshot {
+	st := e.Stats()
+	snap := telemetry.Snapshot{
+		Waiting:         len(e.waiting),
+		Running:         len(e.running),
+		RunningByClass:  e.ClassCounts(),
+		KVBlocksTotal:   e.kv.TotalBlocks(),
+		KVBlocksUsed:    e.kv.UsedBlocks(),
+		PrefixHits:      st.PrefixHits,
+		PrefixMisses:    st.PrefixMisses,
+		PrefixEvictions: st.PrefixEvictions,
+		CachedTokens:    st.CachedTokens,
+		P95Millis:       float64(e.LatencyP95()) / float64(time.Millisecond),
+		Completed:       st.Completed,
+		Failed:          st.Failed,
+		TokensOut:       st.TokensOut,
+	}
+	if e.idx != nil {
+		snap.KVBlocksCached = e.idx.Evictable()
+	}
+	return snap
+}
+
+// ClassCounts breaks the queued and running sequences down by priority
+// class name ("" is reported as "unset").
+func (e *Engine) ClassCounts() map[string]int {
+	if len(e.waiting) == 0 && len(e.running) == 0 {
+		return nil
+	}
+	out := make(map[string]int)
+	count := func(seqs []*sequence) {
+		for _, s := range seqs {
+			cls := s.class
+			if cls == "" {
+				cls = "unset"
+			}
+			out[cls]++
+		}
+	}
+	count(e.running)
+	count(e.waiting)
+	return out
+}
 
 // Perf returns the active step-time coefficients.
 func (e *Engine) Perf() Params { return e.perf }
@@ -282,7 +398,7 @@ func (e *Engine) Crash(err error) {
 		s.req.Err = err
 		s.req.Finished = e.sim.Now()
 		s.state = seqDone
-		e.kv.Release(s.id)
+		e.releaseSeq(s)
 		e.stats.Failed++
 		s.req.done.Fire()
 	}
@@ -302,11 +418,18 @@ func (e *Engine) Crash(err error) {
 
 // Submit enqueues a request. Must be called from the simulation loop.
 func (e *Engine) Submit(prompt, maxNew int) *Request {
+	return e.SubmitOpts(SubmitOptions{Prompt: prompt, MaxNew: maxNew})
+}
+
+// SubmitOpts enqueues a request with full attributes: prompts carrying
+// prefix-block hashes participate in automatic prefix caching. Must be
+// called from the simulation loop.
+func (e *Engine) SubmitOpts(o SubmitOptions) *Request {
 	e.seqNum++
 	req := &Request{
 		ID:      fmt.Sprintf("req-%d", e.seqNum),
-		Prompt:  prompt,
-		MaxNew:  maxNew,
+		Prompt:  o.Prompt,
+		MaxNew:  o.MaxNew,
 		Arrived: e.sim.Now(),
 		done:    e.sim.NewSignal(),
 	}
@@ -316,16 +439,22 @@ func (e *Engine) Submit(prompt, maxNew int) *Request {
 		req.done.Fire()
 		return req
 	}
-	if maxNew <= 0 {
+	if o.MaxNew <= 0 {
 		req.MaxNew = 1
 	}
-	if prompt+req.MaxNew > e.cfg.MaxModelLen {
-		req.Err = fmt.Errorf("vllm: prompt+max_tokens (%d) exceeds max_model_len (%d)", prompt+req.MaxNew, e.cfg.MaxModelLen)
+	if o.Prompt+req.MaxNew > e.cfg.MaxModelLen {
+		req.Err = fmt.Errorf("vllm: prompt+max_tokens (%d) exceeds max_model_len (%d)", o.Prompt+req.MaxNew, e.cfg.MaxModelLen)
 		req.Finished = e.sim.Now()
 		req.done.Fire()
 		return req
 	}
-	s := &sequence{req: req, id: req.ID, prefillTarget: prompt}
+	s := &sequence{req: req, id: req.ID, prefillTarget: o.Prompt, class: o.Class}
+	if e.idx != nil && len(o.PromptHashes) > 0 {
+		// Only full prompt blocks carry keys; ignore malformed extras.
+		if max := o.Prompt / e.cfg.BlockSize; len(o.PromptHashes) <= max {
+			s.hashes = o.PromptHashes
+		}
+	}
 	e.waiting = append(e.waiting, s)
 	if e.idleSig != nil {
 		e.idleSig.Fire()
@@ -368,14 +497,12 @@ func (e *Engine) step(p *sim.Proc) {
 	}
 
 	// 3. Admit from the waiting queue while budget, seq slots and KV blocks
-	// allow. Blocks for the full (re)compute target are reserved up front.
+	// allow. Blocks for the full (re)compute target are reserved up front;
+	// leading prompt blocks already resident in the prefix cache are shared
+	// instead of reallocated, and their tokens skip prefill entirely.
 	for len(e.waiting) > 0 && budget > 0 && len(e.running) < e.cfg.MaxNumSeqs {
 		s := e.waiting[0]
-		need := e.kv.BlocksForTokens(s.prefillTarget + 1)
-		if !e.kv.CanAllocate(need) {
-			break
-		}
-		if err := e.kv.Allocate(s.id, need); err != nil {
+		if !e.admitKV(s) {
 			break
 		}
 		e.waiting = e.waiting[1:]
@@ -391,19 +518,20 @@ func (e *Engine) step(p *sim.Proc) {
 	}
 
 	// 4. Grow KV for decoding sequences, preempting the lowest-priority
-	// (most recently admitted) sequence when blocks run out.
+	// (most recently admitted) sequence when blocks run out. Unreferenced
+	// prefix-cache blocks are reclaimed before any preemption.
 	for _, s := range e.running {
 		if s.state != seqRunning || s.prefillDone < s.prefillTarget {
 			continue
 		}
 		tokens := s.prefillTarget + (s.req.Generated) + 1
-		if _, err := e.kv.EnsureTokens(s.id, tokens); err != nil {
+		if err := e.ensureSeqTokens(s, tokens); err != nil {
 			if !e.preemptFor(s) {
 				// Nothing left to evict: this request cannot proceed.
 				e.failSeq(s, fmt.Errorf("vllm: KV cache exhausted for %s", s.id))
 				continue
 			}
-			if _, err := e.kv.EnsureTokens(s.id, tokens); err != nil {
+			if err := e.ensureSeqTokens(s, tokens); err != nil {
 				e.failSeq(s, fmt.Errorf("vllm: KV cache exhausted for %s", s.id))
 			}
 		}
@@ -460,8 +588,9 @@ func (e *Engine) step(p *sim.Proc) {
 		if s.req.Generated >= s.req.MaxNew {
 			s.state = seqDone
 			s.req.Finished = now
-			e.kv.Release(s.id)
+			e.releaseSeq(s)
 			e.stats.Completed++
+			e.latencies.Observe(now, float64(now.Sub(s.req.Arrived))/float64(time.Millisecond))
 			s.req.done.Fire()
 			if e.faults.CrashAfterCompleted > 0 && e.stats.Completed >= e.faults.CrashAfterCompleted {
 				e.Crash(errors.New("vllm: RayWorkerDied: pipeline stage worker lost (NCCL watchdog timeout)"))
@@ -482,6 +611,68 @@ func (e *Engine) step(p *sim.Proc) {
 	}
 }
 
+// admitKV reserves s's KV for its full (re)compute target, sharing leading
+// prompt blocks already resident in the prefix cache and registering the
+// rest as new cache content. Returns false — with every reservation rolled
+// back — when the allocator cannot hold the remainder even after evicting
+// reusable cache blocks.
+func (e *Engine) admitKV(s *sequence) bool {
+	total := e.kv.BlocksForTokens(s.prefillTarget + 1)
+	hit, limit := 0, 0
+	if e.idx != nil && len(s.hashes) > 0 {
+		// At least one prompt token is always computed (the logits source),
+		// so a fully cached prompt still prefills its final block.
+		limit = (s.prefillTarget - 1) / e.cfg.BlockSize
+		if limit > len(s.hashes) {
+			limit = len(s.hashes)
+		}
+		hit = e.idx.Acquire(s.id, s.hashes, limit)
+	}
+	if need := total - hit; need > 0 {
+		if e.idx != nil {
+			e.idx.EnsureFree(need)
+		}
+		if err := e.kv.Allocate(s.id, need); err != nil {
+			if e.idx != nil {
+				e.idx.Abort(s.id, hit, limit)
+			}
+			return false
+		}
+	}
+	if e.idx != nil && len(s.hashes) > 0 {
+		e.idx.Register(s.id, s.hashes, hit)
+	}
+	if cached := hit * e.cfg.BlockSize; cached > 0 {
+		s.prefillDone = cached
+		s.req.CachedTokens = cached
+		e.idx.noteCachedTokens(cached)
+	}
+	return true
+}
+
+// ensureSeqTokens grows s's private allocation to cover tokens of total
+// sequence KV, discounting the prefix-cache blocks s references and
+// reclaiming unreferenced cache blocks before reporting exhaustion.
+func (e *Engine) ensureSeqTokens(s *sequence, tokens int) error {
+	if e.idx != nil {
+		tokens -= e.idx.Refs(s.id) * e.cfg.BlockSize
+		if need := e.kv.BlocksForTokens(tokens) - e.kv.Holding(s.id); need > 0 {
+			e.idx.EnsureFree(need)
+		}
+	}
+	_, err := e.kv.EnsureTokens(s.id, tokens)
+	return err
+}
+
+// releaseSeq returns s's private blocks to the allocator and drops its
+// prefix-cache references (shared blocks stay resident as reusable cache).
+func (e *Engine) releaseSeq(s *sequence) {
+	e.kv.Release(s.id)
+	if e.idx != nil {
+		e.idx.Release(s.id)
+	}
+}
+
 // preemptFor evicts the most recently admitted running sequence other than
 // favored, returning it to the head of the waiting queue for recompute.
 func (e *Engine) preemptFor(favored *sequence) bool {
@@ -490,7 +681,7 @@ func (e *Engine) preemptFor(favored *sequence) bool {
 		if victim == favored || victim.state != seqRunning {
 			continue
 		}
-		e.kv.Release(victim.id)
+		e.releaseSeq(victim)
 		victim.state = seqWaiting
 		victim.preempted++
 		// Recompute: the prompt plus everything generated so far must be
@@ -509,7 +700,7 @@ func (e *Engine) failSeq(s *sequence, err error) {
 	s.state = seqDone
 	s.req.Err = err
 	s.req.Finished = e.sim.Now()
-	e.kv.Release(s.id)
+	e.releaseSeq(s)
 	e.stats.Failed++
 	s.req.done.Fire()
 }

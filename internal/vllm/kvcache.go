@@ -88,6 +88,41 @@ func (kv *KVCache) EnsureTokens(seqID string, tokens int) (int, error) {
 	return need, nil
 }
 
+// Transfer moves n blocks of held ownership from one owner to another
+// without touching the free list — how the prefix index promotes a
+// sequence's freshly computed prompt blocks into shared cache ownership.
+func (kv *KVCache) Transfer(from, to string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("kvcache: negative transfer %d", n)
+	}
+	if kv.held[from] < n {
+		return fmt.Errorf("kvcache: transfer %d from %q holding %d", n, from, kv.held[from])
+	}
+	kv.held[from] -= n
+	if kv.held[from] == 0 {
+		delete(kv.held, from)
+	}
+	kv.held[to] += n
+	return nil
+}
+
+// ReleaseN frees n of the blocks held by owner (the prefix index's
+// one-block-at-a-time eviction path; Release drops a whole sequence).
+func (kv *KVCache) ReleaseN(owner string, n int) error {
+	if n < 0 || kv.held[owner] < n {
+		return fmt.Errorf("kvcache: release %d from %q holding %d", n, owner, kv.held[owner])
+	}
+	kv.held[owner] -= n
+	if kv.held[owner] == 0 {
+		delete(kv.held, owner)
+	}
+	kv.free += n
+	if kv.free > kv.totalBlocks {
+		panic("kvcache: double free")
+	}
+	return nil
+}
+
 // Release frees every block held by seqID.
 func (kv *KVCache) Release(seqID string) int {
 	n := kv.held[seqID]

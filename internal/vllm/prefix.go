@@ -1,0 +1,297 @@
+package vllm
+
+import (
+	"container/list"
+)
+
+// Automatic prefix caching, vLLM-style: every full block of a prompt is
+// keyed by a rolling hash chained over the block's tokens and everything
+// before them, so a block key identifies the block's content AND its whole
+// prefix. Sequences whose prompts share a prefix share the physical KV
+// blocks (ref-counted); a new request whose leading blocks are already
+// resident skips their prefill compute entirely — the Tpf term of the
+// step-time model — which is where session-affine routing turns from a
+// placement nicety into a measurable TTFT win. Blocks released by their
+// last referencing sequence stay resident as reusable cache and are
+// LRU-evicted only when the allocator needs room.
+
+// prefixOwner is the KVCache ownership key for cache-resident blocks. The
+// NUL prefix keeps it out of the "req-N" sequence ID namespace.
+const prefixOwner = "\x00prefix-cache"
+
+// PrefixStats counts cache effectiveness (cumulative).
+type PrefixStats struct {
+	// Hits and Misses count full prompt blocks looked up at admission.
+	Hits   int64
+	Misses int64
+	// Evictions counts cached blocks reclaimed to make allocation room.
+	Evictions int64
+	// CachedTokens totals the prefill tokens skipped via cache hits.
+	CachedTokens int64
+}
+
+// prefixBlock is one cache-resident KV block.
+type prefixBlock struct {
+	hash uint64
+	refs int
+	// elem is the block's LRU position while unreferenced (nil otherwise).
+	elem *list.Element
+}
+
+// PrefixIndex is the hash→block map over a KVCache. It owns the cache-
+// resident blocks (held in the KVCache under prefixOwner) and tracks, per
+// sequence, which cached blocks the sequence references so release and
+// preemption deref them correctly.
+type PrefixIndex struct {
+	kv     *KVCache
+	byHash map[uint64]*prefixBlock
+	// lru holds unreferenced cached blocks, oldest at the front; values
+	// are *prefixBlock.
+	lru   *list.List
+	seqs  map[string][]*prefixBlock
+	stats PrefixStats
+}
+
+// NewPrefixIndex builds an empty index over kv.
+func NewPrefixIndex(kv *KVCache) *PrefixIndex {
+	return &PrefixIndex{
+		kv:     kv,
+		byHash: make(map[uint64]*prefixBlock),
+		lru:    list.New(),
+		seqs:   make(map[string][]*prefixBlock),
+	}
+}
+
+// Stats returns the cumulative counters.
+func (x *PrefixIndex) Stats() PrefixStats { return x.stats }
+
+// CachedBlocks returns all cache-resident blocks (referenced or not).
+func (x *PrefixIndex) CachedBlocks() int { return x.kv.Holding(prefixOwner) }
+
+// Evictable returns the cache-resident blocks no sequence references —
+// the reclaimable-on-demand population.
+func (x *PrefixIndex) Evictable() int { return x.lru.Len() }
+
+// Refs returns how many cached blocks seqID currently references.
+func (x *PrefixIndex) Refs(seqID string) int { return len(x.seqs[seqID]) }
+
+// ref takes one reference on b, removing it from the LRU if it was
+// unreferenced.
+func (x *PrefixIndex) ref(b *prefixBlock) {
+	if b.refs == 0 && b.elem != nil {
+		x.lru.Remove(b.elem)
+		b.elem = nil
+	}
+	b.refs++
+}
+
+// Lookup reports how many leading blocks of hashes (at most limit) are
+// cached, without referencing them.
+func (x *PrefixIndex) Lookup(hashes []uint64, limit int) int {
+	if limit > len(hashes) {
+		limit = len(hashes)
+	}
+	n := 0
+	for n < limit {
+		if _, ok := x.byHash[hashes[n]]; !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Acquire references the longest cached chain prefix of hashes (capped at
+// limit blocks) on behalf of seqID and returns the block count. Hit and
+// miss counters cover every block up to limit — a miss is a full block the
+// sequence will now prefill itself.
+func (x *PrefixIndex) Acquire(seqID string, hashes []uint64, limit int) int {
+	if limit < 0 {
+		limit = 0
+	}
+	if limit > len(hashes) {
+		limit = len(hashes)
+	}
+	hit := 0
+	for hit < limit {
+		b, ok := x.byHash[hashes[hit]]
+		if !ok {
+			break
+		}
+		x.ref(b)
+		x.seqs[seqID] = append(x.seqs[seqID], b)
+		hit++
+	}
+	x.stats.Hits += int64(hit)
+	x.stats.Misses += int64(limit - hit)
+	return hit
+}
+
+// Register promotes seqID's freshly computed full prompt blocks into the
+// cache: for each hash from index `from` on, one block moves from the
+// sequence's private allocation into shared cache ownership, referenced by
+// the sequence. A hash that is already cached (a concurrent sequence
+// registered it first, or the acquire limit stopped short of a resident
+// block) is referenced instead and the duplicate private block is freed.
+func (x *PrefixIndex) Register(seqID string, hashes []uint64, from int) {
+	for i := from; i < len(hashes); i++ {
+		if b, ok := x.byHash[hashes[i]]; ok {
+			x.ref(b)
+			x.seqs[seqID] = append(x.seqs[seqID], b)
+			// The sequence prefilled this block privately; the shared copy
+			// supersedes it.
+			if x.kv.Holding(seqID) > 0 {
+				x.kv.ReleaseN(seqID, 1)
+			}
+			continue
+		}
+		if err := x.kv.Transfer(seqID, prefixOwner, 1); err != nil {
+			// The sequence holds fewer private blocks than prompt hashes —
+			// nothing left to promote (short final allocations under an
+			// acquire cap); stop quietly.
+			return
+		}
+		b := &prefixBlock{hash: hashes[i], refs: 1}
+		x.byHash[hashes[i]] = b
+		x.seqs[seqID] = append(x.seqs[seqID], b)
+	}
+}
+
+// Abort rolls back a failed admission attempt: drops seqID's references
+// and un-counts the lookup Acquire recorded. The engine retries a blocked
+// head-of-queue sequence every step, and without the un-count those
+// retries would inflate the hit/miss counters far past actual traffic.
+func (x *PrefixIndex) Abort(seqID string, hit, limit int) {
+	x.Release(seqID)
+	x.stats.Hits -= int64(hit)
+	if limit > hit {
+		x.stats.Misses -= int64(limit - hit)
+	}
+}
+
+// Release drops every cache reference seqID holds. Blocks reaching zero
+// references stay resident and join the LRU tail as reusable cache. The
+// walk is in reverse chain order so the deepest blocks sit closest to the
+// eviction front: evicting a chain tail leaves its prefix reusable,
+// evicting a head would orphan the whole tail.
+func (x *PrefixIndex) Release(seqID string) {
+	blocks := x.seqs[seqID]
+	for i := len(blocks) - 1; i >= 0; i-- {
+		b := blocks[i]
+		b.refs--
+		if b.refs == 0 {
+			b.elem = x.lru.PushBack(b)
+		}
+	}
+	delete(x.seqs, seqID)
+}
+
+// EnsureFree evicts unreferenced cached blocks (oldest first) until the
+// allocator has at least n free blocks, reporting whether it got there.
+func (x *PrefixIndex) EnsureFree(n int) bool {
+	for x.kv.FreeBlocks() < n {
+		front := x.lru.Front()
+		if front == nil {
+			return false
+		}
+		b := front.Value.(*prefixBlock)
+		x.lru.Remove(front)
+		b.elem = nil
+		delete(x.byHash, b.hash)
+		x.kv.ReleaseN(prefixOwner, 1)
+		x.stats.Evictions++
+	}
+	return true
+}
+
+// noteCachedTokens records prefill tokens skipped via cache hits.
+func (x *PrefixIndex) noteCachedTokens(n int) { x.stats.CachedTokens += int64(n) }
+
+// ---------------------------------------------------------------------------
+// Prompt hashing: the simulation has no real tokenizer, so prompts hash at
+// the same granularity the token estimator counts them — one hash per
+// estimated token, chained into per-block keys. Two prompts sharing a
+// message (or text) prefix produce identical leading block keys, which is
+// exactly the property automatic prefix caching needs.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h *= fnvPrime64 // separator round
+	return h
+}
+
+func fnvUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// chainBlocks folds a per-token hash stream into per-full-block chain
+// keys: block i's key covers its own tokens and, through the chain, every
+// token before it.
+func chainBlocks(tokens []uint64, blockSize int) []uint64 {
+	if blockSize <= 0 {
+		return nil
+	}
+	n := len(tokens) / blockSize
+	out := make([]uint64, 0, n)
+	h := uint64(fnvOffset64)
+	for i := 0; i < n; i++ {
+		for _, t := range tokens[i*blockSize : (i+1)*blockSize] {
+			h = fnvUint(h, t)
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// messageTokenHashes appends one hash per estimated token of the message
+// (EstimateTokens(content) + the per-message template overhead), each
+// derived from the message identity and the token's position.
+func messageTokenHashes(dst []uint64, m ChatMessage) []uint64 {
+	base := fnvString(fnvString(fnvOffset64, m.Role), m.Content)
+	n := EstimateTokens(m.Content) + 4
+	for j := 0; j < n; j++ {
+		dst = append(dst, fnvUint(base, uint64(j)))
+	}
+	return dst
+}
+
+// ChatPromptHashes derives the per-block prefix keys for a chat prompt.
+// The hash stream length equals the token count the API server charges for
+// the same messages, so block keys line up with KV block boundaries.
+func ChatPromptHashes(blockSize int, msgs []ChatMessage) []uint64 {
+	var tokens []uint64
+	for _, m := range msgs {
+		tokens = messageTokenHashes(tokens, m)
+	}
+	return chainBlocks(tokens, blockSize)
+}
+
+// TextPromptHashes derives per-block prefix keys for a raw completion
+// prompt: one hash per estimated token, keyed by the token's 4-character
+// span so texts sharing a literal prefix share leading blocks.
+func TextPromptHashes(blockSize int, text string) []uint64 {
+	n := EstimateTokens(text)
+	tokens := make([]uint64, 0, n)
+	for j := 0; j < n; j++ {
+		lo := j * 4
+		hi := lo + 4
+		if hi > len(text) {
+			hi = len(text)
+		}
+		tokens = append(tokens, fnvString(fnvOffset64, text[lo:hi]))
+	}
+	return chainBlocks(tokens, blockSize)
+}

@@ -1,0 +1,388 @@
+package vllm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// tokenStream builds a deterministic per-token hash stream of n tokens from
+// a seed, where streams with the same seed share every token.
+func tokenStream(seed uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = fnvUint(seed, uint64(i))
+	}
+	return out
+}
+
+func TestPrefixAcquireShareRelease(t *testing.T) {
+	kv := NewKVCache(100, 16)
+	idx := NewPrefixIndex(kv)
+	hashes := chainBlocks(tokenStream(1, 64), 16) // 4 full blocks
+
+	// First sequence: nothing cached yet — 4 misses, all blocks private,
+	// then promoted by Register.
+	if hit := idx.Acquire("a", hashes, 4); hit != 0 {
+		t.Fatalf("cold acquire hit %d, want 0", hit)
+	}
+	if err := kv.Allocate("a", 5); err != nil { // 4 prompt blocks + decode slot
+		t.Fatal(err)
+	}
+	idx.Register("a", hashes, 0)
+	if kv.Holding("a") != 1 || idx.CachedBlocks() != 4 || idx.Refs("a") != 4 {
+		t.Fatalf("after register: private=%d cached=%d refs=%d", kv.Holding("a"), idx.CachedBlocks(), idx.Refs("a"))
+	}
+
+	// Second sequence shares the chain: 4 hits, zero extra prompt blocks.
+	if hit := idx.Acquire("b", hashes, 4); hit != 4 {
+		t.Fatalf("warm acquire hit %d, want 4", hit)
+	}
+	if st := idx.Stats(); st.Hits != 4 || st.Misses != 4 {
+		t.Fatalf("stats = %+v, want 4 hits / 4 misses", st)
+	}
+	if idx.Evictable() != 0 {
+		t.Fatal("referenced blocks must not be evictable")
+	}
+
+	// Releases deref; only when the last reference drops do blocks join
+	// the evictable population — and they stay resident.
+	idx.Release("a")
+	kv.Release("a")
+	if idx.Evictable() != 0 {
+		t.Fatalf("blocks still referenced by b: evictable = %d", idx.Evictable())
+	}
+	idx.Release("b")
+	if idx.Evictable() != 4 || idx.CachedBlocks() != 4 {
+		t.Fatalf("after final release: evictable=%d cached=%d", idx.Evictable(), idx.CachedBlocks())
+	}
+	if kv.FreeBlocks() != 96 {
+		t.Fatalf("free = %d, want 96 (4 blocks resident as cache)", kv.FreeBlocks())
+	}
+
+	// A third sequence still hits the resident-but-unreferenced chain.
+	if hit := idx.Acquire("c", hashes, 4); hit != 4 {
+		t.Fatalf("post-release acquire hit %d, want 4", hit)
+	}
+	if idx.Evictable() != 0 {
+		t.Fatal("re-acquired blocks must leave the evictable population")
+	}
+	idx.Release("c")
+}
+
+func TestPrefixEvictionIsLRUAndTailFirst(t *testing.T) {
+	kv := NewKVCache(8, 16)
+	idx := NewPrefixIndex(kv)
+	old := chainBlocks(tokenStream(1, 64), 16)   // 4 blocks
+	young := chainBlocks(tokenStream(2, 64), 16) // 4 blocks
+
+	admit := func(seq string, hashes []uint64) {
+		t.Helper()
+		hit := idx.Acquire(seq, hashes, len(hashes))
+		need := len(hashes) - hit
+		if !idx.EnsureFree(need) {
+			t.Fatalf("cannot free %d blocks for %s", need, seq)
+		}
+		if err := kv.Allocate(seq, need); err != nil {
+			t.Fatal(err)
+		}
+		idx.Register(seq, hashes, hit)
+	}
+	admit("a", old)
+	idx.Release("a")
+	admit("b", young)
+	idx.Release("b")
+	if idx.CachedBlocks() != 8 || kv.FreeBlocks() != 0 {
+		t.Fatalf("cache not full: cached=%d free=%d", idx.CachedBlocks(), kv.FreeBlocks())
+	}
+
+	// Making room for 2 blocks must evict from the OLD chain (LRU), tail
+	// block first, leaving its head prefix reusable.
+	if !idx.EnsureFree(2) {
+		t.Fatal("eviction failed with 8 unreferenced blocks")
+	}
+	if st := idx.Stats(); st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if got := idx.Lookup(old, 4); got != 2 {
+		t.Fatalf("old chain lookup = %d blocks, want 2 (tail evicted first)", got)
+	}
+	if got := idx.Lookup(young, 4); got != 4 {
+		t.Fatalf("young chain lookup = %d blocks, want 4 (untouched)", got)
+	}
+}
+
+func TestPrefixRegisterDedupesConcurrentChains(t *testing.T) {
+	kv := NewKVCache(20, 16)
+	idx := NewPrefixIndex(kv)
+	hashes := chainBlocks(tokenStream(7, 32), 16) // 2 blocks
+
+	// a computes and registers the chain.
+	idx.Acquire("a", hashes, 1) // capped acquire: block 1 not eligible
+	kv.Allocate("a", 3)
+	idx.Register("a", hashes, 0)
+	// b acquired under the same cap before a registered — simulate by
+	// acquiring with limit 1 (hit) and allocating block 1 privately, then
+	// registering: the duplicate must be dropped, not double-cached.
+	if hit := idx.Acquire("b", hashes, 1); hit != 1 {
+		t.Fatalf("b acquire = %d, want 1", hit)
+	}
+	kv.Allocate("b", 2) // private copy of block 1 + decode slot
+	idx.Register("b", hashes, 1)
+	if idx.CachedBlocks() != 2 {
+		t.Fatalf("cached = %d, want 2 (no duplicate block)", idx.CachedBlocks())
+	}
+	if kv.Holding("b") != 1 {
+		t.Fatalf("b private = %d, want 1 (duplicate freed)", kv.Holding("b"))
+	}
+	if idx.Refs("b") != 2 {
+		t.Fatalf("b refs = %d, want 2", idx.Refs("b"))
+	}
+	idx.Release("a")
+	kv.Release("a")
+	idx.Release("b")
+	kv.Release("b")
+	if kv.FreeBlocks()+idx.CachedBlocks() != kv.TotalBlocks() {
+		t.Fatalf("conservation: free=%d cached=%d total=%d", kv.FreeBlocks(), idx.CachedBlocks(), kv.TotalBlocks())
+	}
+}
+
+func TestPrefixAbortRollsBackStats(t *testing.T) {
+	kv := NewKVCache(8, 16)
+	idx := NewPrefixIndex(kv)
+	hashes := chainBlocks(tokenStream(3, 64), 16) // 4 blocks
+	hit := idx.Acquire("a", hashes, 4)
+	kv.Allocate("a", 5)
+	idx.Register("a", hashes, hit)
+	idx.Release("a")
+	kv.Release("a")
+	before := idx.Stats()
+
+	// A blocked admission retried every engine step: each attempt acquires
+	// and aborts. The counters must not drift — only successful admissions
+	// count toward hit/miss telemetry.
+	for i := 0; i < 50; i++ {
+		h := idx.Acquire("b", hashes, 4)
+		idx.Abort("b", h, 4)
+	}
+	if got := idx.Stats(); got != before {
+		t.Fatalf("aborted attempts moved the counters: %+v -> %+v", before, got)
+	}
+	if idx.Refs("b") != 0 || idx.Evictable() != idx.CachedBlocks() {
+		t.Fatalf("abort leaked references: refs=%d evictable=%d cached=%d",
+			idx.Refs("b"), idx.Evictable(), idx.CachedBlocks())
+	}
+}
+
+// TestPrefixIndexInvariants drives random admit/release traffic over a
+// small space of shared token streams and checks conservation (free +
+// private + cached == total), refcount sanity, and that eviction never
+// touches a referenced block.
+func TestPrefixIndexInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := 8 + rng.Intn(120)
+		kv := NewKVCache(total, 16)
+		idx := NewPrefixIndex(kv)
+		type seqState struct{ id string }
+		var live []seqState
+		seqN := 0
+		// A handful of stream families; prompts are random-length prefixes
+		// of a family, so chains share blocks across sequences.
+		families := make([][]uint64, 4)
+		for i := range families {
+			families[i] = tokenStream(uint64(i+1), 16*10)
+		}
+		for op := 0; op < 200; op++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				// Admit.
+				fam := families[rng.Intn(len(families))]
+				blocks := 1 + rng.Intn(10)
+				hashes := chainBlocks(fam[:blocks*16], 16)
+				seqN++
+				id := fmt.Sprintf("s-%d", seqN)
+				hit := idx.Acquire(id, hashes, len(hashes))
+				need := len(hashes) - hit + 1 // + decode slot
+				idx.EnsureFree(need)
+				if !kv.CanAllocate(need) {
+					idx.Release(id)
+					continue
+				}
+				if err := kv.Allocate(id, need); err != nil {
+					t.Logf("seed %d: allocate after CanAllocate: %v", seed, err)
+					return false
+				}
+				idx.Register(id, hashes, hit)
+				live = append(live, seqState{id: id})
+			} else {
+				// Release a random live sequence.
+				i := rng.Intn(len(live))
+				kv.Release(live[i].id)
+				idx.Release(live[i].id)
+				live = append(live[:i], live[i+1:]...)
+			}
+			private := 0
+			refs := 0
+			for _, s := range live {
+				private += kv.Holding(s.id)
+				refs += idx.Refs(s.id)
+			}
+			if kv.FreeBlocks()+private+idx.CachedBlocks() != kv.TotalBlocks() {
+				t.Logf("seed %d op %d: conservation: free=%d private=%d cached=%d total=%d",
+					seed, op, kv.FreeBlocks(), private, idx.CachedBlocks(), kv.TotalBlocks())
+				return false
+			}
+			if idx.Evictable() > idx.CachedBlocks() {
+				t.Logf("seed %d: evictable %d > cached %d", seed, idx.Evictable(), idx.CachedBlocks())
+				return false
+			}
+			if refs < idx.CachedBlocks()-idx.Evictable() {
+				// Every non-evictable cached block is referenced at least once.
+				t.Logf("seed %d: refs %d < referenced blocks %d", seed, refs, idx.CachedBlocks()-idx.Evictable())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPromptHashesSharePrefixes(t *testing.T) {
+	turn1 := []ChatMessage{{Role: "user", Content: "tell me about the cluster, in detail, with history"}}
+	turn2 := append(append([]ChatMessage{}, turn1...),
+		ChatMessage{Role: "assistant", Content: "the cluster has 48 nodes of four H100 GPUs each and a Lustre filesystem"},
+		ChatMessage{Role: "user", Content: "and how do I get an account on it?"})
+	h1 := ChatPromptHashes(16, turn1)
+	h2 := ChatPromptHashes(16, turn2)
+	if len(h2) <= len(h1) {
+		t.Fatalf("longer conversation must have more blocks: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("block %d diverged despite shared message prefix", i)
+		}
+	}
+	// Different content diverges from the first block.
+	other := ChatPromptHashes(16, []ChatMessage{{Role: "user", Content: "tell me about the OTHER cluster, in detail, with history"}})
+	if len(other) > 0 && len(h1) > 0 && other[0] == h1[0] {
+		t.Fatal("different prompts must not share block keys")
+	}
+	// Raw-text prompts share literal prefixes too. The diverging spans are
+	// long enough to land inside a full block (only full blocks get keys).
+	ta := TextPromptHashes(16, string(make([]byte, 200))+strings.Repeat("a", 100))
+	tb := TextPromptHashes(16, string(make([]byte, 200))+strings.Repeat("b", 100))
+	if ta[0] != tb[0] {
+		t.Fatal("texts sharing a 200-byte prefix must share the first block")
+	}
+	if ta[len(ta)-1] == tb[len(tb)-1] {
+		t.Fatal("diverging tails must produce different final block keys")
+	}
+}
+
+func TestEnginePrefixCacheHitSpeedsUpTTFT(t *testing.T) {
+	run := func(disable bool) (first, second *Request) {
+		cfg := hopsScoutConfig()
+		cfg.NoPrefixCache = disable
+		se, e := newEngine(t, cfg)
+		msgs := []ChatMessage{{Role: "user", Content: SynthesizeText(2000)}}
+		prompt := EstimateTokens(msgs[0].Content) + 4
+		hashes := ChatPromptHashes(e.Config().BlockSize, msgs)
+		se.Go("client", func(p *sim.Proc) {
+			first = e.SubmitOpts(SubmitOptions{Prompt: prompt, MaxNew: 8, PromptHashes: hashes})
+			p.Wait(first.Done())
+			second = e.SubmitOpts(SubmitOptions{Prompt: prompt, MaxNew: 8, PromptHashes: hashes})
+			p.Wait(second.Done())
+		})
+		se.Run()
+		return first, second
+	}
+
+	first, second := run(false)
+	if first.Err != nil || second.Err != nil {
+		t.Fatal(first.Err, second.Err)
+	}
+	if first.CachedTokens != 0 {
+		t.Fatalf("cold request served %d cached tokens", first.CachedTokens)
+	}
+	if second.CachedTokens == 0 {
+		t.Fatal("identical re-submission hit nothing")
+	}
+	if second.TTFT() >= first.TTFT() {
+		t.Fatalf("cached TTFT %v not below cold TTFT %v", second.TTFT(), first.TTFT())
+	}
+
+	_, secondOff := run(true)
+	if secondOff.CachedTokens != 0 {
+		t.Fatal("NoPrefixCache engine must not serve cached tokens")
+	}
+	if second.TTFT() >= secondOff.TTFT() {
+		t.Fatalf("prefix cache should beat the uncached engine: %v vs %v", second.TTFT(), secondOff.TTFT())
+	}
+}
+
+func TestEngineStatsAndTelemetryCarryPrefixCounters(t *testing.T) {
+	se, e := newEngine(t, hopsScoutConfig())
+	msgs := []ChatMessage{{Role: "user", Content: SynthesizeText(500)}}
+	prompt := EstimateTokens(msgs[0].Content) + 4
+	hashes := ChatPromptHashes(e.Config().BlockSize, msgs)
+	se.Go("client", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			r := e.SubmitOpts(SubmitOptions{Prompt: prompt, MaxNew: 4, PromptHashes: hashes, Class: "interactive"})
+			p.Wait(r.Done())
+		}
+	})
+	se.Run()
+	st := e.Stats()
+	if st.PrefixHits == 0 || st.CachedTokens == 0 {
+		t.Fatalf("stats carry no cache activity: %+v", st)
+	}
+	snap := e.Telemetry()
+	if snap.PrefixHits != st.PrefixHits || snap.CachedTokens != st.CachedTokens {
+		t.Fatalf("telemetry disagrees with stats: %+v vs %+v", snap, st)
+	}
+	if snap.PrefixHitRate() <= 0 {
+		t.Fatal("hit rate should be positive after warm re-submissions")
+	}
+	// After the last request finishes, its prompt blocks stay resident as
+	// reclaimable cache: used but evictable.
+	if snap.KVBlocksCached == 0 || snap.KVBlocksUsed < snap.KVBlocksCached {
+		t.Fatalf("cache residency not visible: %+v", snap)
+	}
+	if snap.KVPressure() != 0 {
+		t.Fatalf("idle engine should report zero KV pressure, got %g", snap.KVPressure())
+	}
+}
+
+func BenchmarkPrefixAcquireRegister(b *testing.B) {
+	kv := NewKVCache(1<<16, 16)
+	idx := NewPrefixIndex(kv)
+	hashes := chainBlocks(tokenStream(1, 16*128), 16) // 128-block prompt
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("s-%d", i)
+		hit := idx.Acquire(id, hashes, len(hashes))
+		kv.Allocate(id, len(hashes)-hit+1)
+		idx.Register(id, hashes, hit)
+		kv.Release(id)
+		idx.Release(id)
+	}
+}
+
+func BenchmarkChatPromptHashes(b *testing.B) {
+	msgs := []ChatMessage{
+		{Role: "system", Content: SynthesizeText(200)},
+		{Role: "user", Content: SynthesizeText(800)},
+		{Role: "assistant", Content: SynthesizeText(300)},
+		{Role: "user", Content: SynthesizeText(100)},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ChatPromptHashes(16, msgs)
+	}
+}

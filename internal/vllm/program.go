@@ -37,6 +37,8 @@ type ServeArgs struct {
 	MaxModelLen      int
 	GPUMemUtil       float64
 	MaxNumSeqs       int
+	NoPrefixCache    bool // --no-enable-prefix-caching (default: caching on)
+	GPUBlocksOvr     int  // --num-gpu-blocks-override
 	DisableLogReqs   bool
 	OverrideGenCfg   string
 }
@@ -73,7 +75,7 @@ func ParseServeArgs(args []string) (*ServeArgs, error) {
 			switch normFlag(name) {
 			case "host", "port", "served-model-name", "tensor-parallel-size",
 				"pipeline-parallel-size", "max-model-len", "gpu-memory-utilization",
-				"max-num-seqs", "override-generation-config":
+				"max-num-seqs", "num-gpu-blocks-override", "override-generation-config":
 				val = args[i+1]
 				i++
 			}
@@ -119,6 +121,16 @@ func ParseServeArgs(args []string) (*ServeArgs, error) {
 				return nil, fmt.Errorf("vllm: bad --max-num-seqs %q", val)
 			}
 			sa.MaxNumSeqs = n
+		case "num-gpu-blocks-override":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("vllm: bad --num-gpu-blocks-override %q", val)
+			}
+			sa.GPUBlocksOvr = n
+		case "enable-prefix-caching":
+			sa.NoPrefixCache = false
+		case "no-enable-prefix-caching":
+			sa.NoPrefixCache = true
 		case "disable-log-requests":
 			sa.DisableLogReqs = true
 		case "override-generation-config":
@@ -234,12 +246,14 @@ func (sp *ServerProgram) Run(ctx *cruntime.ExecContext) error {
 	// 6. Capacity plan (the OOM and max-model-len gates).
 	cfg := Config{
 		Model: model, GPU: gpuModel,
-		TensorParallel:   args.TensorParallel,
-		PipelineParallel: args.PipelineParallel,
-		GPUsPerNode:      gpusPerNode,
-		MaxModelLen:      args.MaxModelLen,
-		GPUMemUtil:       args.GPUMemUtil,
-		MaxNumSeqs:       args.MaxNumSeqs,
+		TensorParallel:       args.TensorParallel,
+		PipelineParallel:     args.PipelineParallel,
+		GPUsPerNode:          gpusPerNode,
+		MaxModelLen:          args.MaxModelLen,
+		GPUMemUtil:           args.GPUMemUtil,
+		MaxNumSeqs:           args.MaxNumSeqs,
+		NoPrefixCache:        args.NoPrefixCache,
+		NumGPUBlocksOverride: args.GPUBlocksOvr,
 	}
 	engine, err := New(ctx.Proc.Engine(), cfg)
 	if err != nil {
@@ -267,7 +281,7 @@ func (sp *ServerProgram) Run(ctx *cruntime.ExecContext) error {
 
 	// 8. Serve.
 	sp.Engine = engine
-	sp.Server = &APIServer{Engine: engine, ServedName: args.ServedModelName}
+	sp.Server = &APIServer{Engine: engine, ServedName: args.ServedModelName, Replica: ctx.Hostname}
 	engine.Run()
 	if ray != nil {
 		ray.OnWorkerLost(func(err error) {
