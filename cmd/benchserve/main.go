@@ -48,6 +48,8 @@ func main() {
 		fleet    = flag.String("models", "", "multi-model fleet spec alias=hf-name:weight,... — bench each model through one routing endpoint (HPC platforms)")
 		pool     = flag.Int("pool-nodes", 0, "shared node pool arbitrated across the fleet's models (0 = no arbitration)")
 		prefixOn = flag.Bool("prefix-cache", true, "automatic prefix caching in the engine (vLLM --enable-prefix-caching); bench prompts are unique, so this mainly matters with real multi-turn traffic")
+		stream   = flag.Bool("stream", false, "request SSE streaming (stream: true); TTFT and inter-token latency measured at the client as chunks arrive")
+		artifact = flag.String("artifact", "", "write sweep results as a JSON artifact to this path (e.g. BENCH_streaming.json)")
 	)
 	flag.Parse()
 
@@ -120,6 +122,7 @@ func main() {
 				tp: *tp, maxLen: *maxLen, replicas: *replicas, policy: *policy,
 				sloP95: *sloP95, priority: *priority, noPrefixCache: !*prefixOn,
 				autoscale: pol, poolNodes: *pool, prompts: *prompts, seed: *seed, points: points,
+				stream: *stream, artifact: *artifact,
 			})
 			return
 		}
@@ -158,6 +161,7 @@ func main() {
 		target := &bench.HTTPTarget{
 			Client:  &vhttp.Client{Net: s.Net, From: site.LoginHops},
 			BaseURL: dp.BaseURL,
+			Stream:  *stream,
 		}
 		results := bench.Sweep(p, target, bench.Config{
 			Name: *platform, Dataset: ds, NumPrompts: *prompts, Seed: *seed,
@@ -189,6 +193,13 @@ func main() {
 		}
 		series := bench.ToSeries(label, results)
 		fmt.Println(metrics.DatFile("output token throughput vs max concurrency", []metrics.Series{series}))
+		if *artifact != "" {
+			if err := bench.WriteArtifact(*artifact, label, *stream, results); err != nil {
+				failure = err
+				return
+			}
+			fmt.Printf("# wrote %s\n", *artifact)
+		}
 	})
 	for i := 0; i < 100000 && !done; i++ {
 		s.Eng.RunFor(10 * time.Minute)
@@ -210,6 +221,8 @@ type benchFleetConfig struct {
 	prompts              int
 	seed                 int64
 	points               []int
+	stream               bool
+	artifact             string
 }
 
 // benchFleet deploys a multi-model fleet and sweeps each model through the
@@ -234,11 +247,13 @@ func benchFleet(p *sim.Proc, s *site.Site, d *core.Deployer, pf core.Platform, e
 		len(fl.Models()), pf.Name, fl.BaseURL, bc.poolNodes)
 	ds := sharegpt.Synthesize(bc.seed, 4000)
 	var series []metrics.Series
+	var all []*bench.Result
 	for _, name := range fl.Models() {
 		target := &bench.HTTPTarget{
 			Client:  &vhttp.Client{Net: s.Net, From: site.LoginHops},
 			BaseURL: fl.BaseURL,
 			Model:   name,
+			Stream:  bc.stream,
 		}
 		results := bench.Sweep(p, target, bench.Config{
 			Name: name, Dataset: ds, NumPrompts: bc.prompts, Seed: bc.seed,
@@ -247,6 +262,7 @@ func benchFleet(p *sim.Proc, s *site.Site, d *core.Deployer, pf core.Platform, e
 		for _, r := range results {
 			fmt.Println(r)
 		}
+		all = append(all, results...)
 		series = append(series, bench.ToSeries(name, results))
 	}
 	rst := fl.Router().Stats()
@@ -257,6 +273,12 @@ func benchFleet(p *sim.Proc, s *site.Site, d *core.Deployer, pf core.Platform, e
 			name, st.Requests, st.Retries, st.Rejected, st.Errors, st.Held)
 	}
 	fmt.Println(metrics.DatFile("output token throughput vs max concurrency (per model)", series))
+	if bc.artifact != "" {
+		if err := bench.WriteArtifact(bc.artifact, "fleet", bc.stream, all); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", bc.artifact)
+	}
 	return nil
 }
 

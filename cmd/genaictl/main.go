@@ -199,6 +199,7 @@ func runDeploy(args []string) {
 	fs := flag.NewFlagSet("deploy", flag.ExitOnError)
 	opts := deployFlags(fs)
 	query := fs.String("query", "", "send one chat completion after deploying")
+	stream := fs.Bool("stream", false, "stream the -query response over SSE, reporting time to first token")
 	fs.Parse(args)
 	pol, err := opts.validate()
 	fatalIf(err)
@@ -264,6 +265,7 @@ func runDeploy(args []string) {
 			client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
 			body, _ := json.Marshal(vllm.ChatRequest{
 				Messages: []vllm.ChatMessage{{Role: "user", Content: *query}}, MaxTokens: 64,
+				Stream: *stream,
 			})
 			t0 := p.Now()
 			resp, err := client.Do(p, &vhttp.Request{Method: "POST", URL: dp.BaseURL + "/v1/chat/completions", Body: body})
@@ -271,10 +273,34 @@ func runDeploy(args []string) {
 				failure = err
 				return
 			}
-			var cr vllm.ChatResponse
-			json.Unmarshal(resp.Body, &cr)
-			fmt.Printf("  query answered in %s: %d completion tokens\n",
-				p.Now().Sub(t0).Round(time.Millisecond), cr.Usage.CompletionTokens)
+			if resp.Stream != nil {
+				// Consume the SSE body chunk by chunk; the first delta's
+				// arrival is the client-observed time to first token.
+				tokens, ttft := 0, time.Duration(0)
+				for {
+					c, ok := resp.Stream.Next(p)
+					if !ok {
+						break
+					}
+					if payload, isEvent := vllm.ParseSSE(c.Data); isEvent && string(payload) != "[DONE]" {
+						if tokens == 0 {
+							ttft = p.Now().Sub(t0)
+						}
+						tokens++
+					}
+				}
+				if err := resp.Stream.Err(); err != nil {
+					failure = fmt.Errorf("stream truncated: %w", err)
+					return
+				}
+				fmt.Printf("  query streamed: first token in %s, %d chunks, done in %s\n",
+					ttft.Round(time.Millisecond), tokens, p.Now().Sub(t0).Round(time.Millisecond))
+			} else {
+				var cr vllm.ChatResponse
+				json.Unmarshal(resp.Body, &cr)
+				fmt.Printf("  query answered in %s: %d completion tokens\n",
+					p.Now().Sub(t0).Round(time.Millisecond), cr.Usage.CompletionTokens)
+			}
 		}
 		dp.Stop()
 	})

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ArtifactPoint is one sweep point flattened for the JSON artifact.
+type ArtifactPoint struct {
+	Name        string `json:"name"`
+	Concurrency int    `json:"concurrency"`
+	Completed   int    `json:"completed"`
+	Failed      int    `json:"failed"`
+
+	DurationS         float64 `json:"duration_s"`
+	RequestThroughput float64 `json:"request_throughput_rps"`
+	OutputThroughput  float64 `json:"output_throughput_tps"`
+
+	TTFTMeanMs   float64 `json:"ttft_mean_ms"`
+	TTFTMedianMs float64 `json:"ttft_median_ms"`
+	TTFTP99Ms    float64 `json:"ttft_p99_ms"`
+	TPOTMeanMs   float64 `json:"tpot_mean_ms"`
+	ITLMeanMs    float64 `json:"itl_mean_ms,omitempty"`
+	ITLP99Ms     float64 `json:"itl_p99_ms,omitempty"`
+	E2EMeanMs    float64 `json:"e2e_mean_ms"`
+
+	Crashed bool `json:"crashed,omitempty"`
+}
+
+// Artifact is the machine-readable benchmark record (BENCH_*.json): the
+// performance trajectory CI archives per commit so regressions and
+// re-anchors have numbers to diff against.
+type Artifact struct {
+	Label   string          `json:"label"`
+	Streams bool            `json:"streaming"`
+	Points  []ArtifactPoint `json:"points"`
+}
+
+// NewArtifact flattens sweep results into an artifact.
+func NewArtifact(label string, streaming bool, results []*Result) *Artifact {
+	a := &Artifact{Label: label, Streams: streaming}
+	for _, r := range results {
+		a.Points = append(a.Points, ArtifactPoint{
+			Name: r.Name, Concurrency: r.Concurrency,
+			Completed: r.Completed, Failed: r.Failed,
+			DurationS:         r.Duration.Seconds(),
+			RequestThroughput: r.RequestThroughput,
+			OutputThroughput:  r.OutputThroughput,
+			TTFTMeanMs:        r.TTFT.Mean(),
+			TTFTMedianMs:      r.TTFT.Median(),
+			TTFTP99Ms:         r.TTFT.P99(),
+			TPOTMeanMs:        r.TPOT.Mean(),
+			ITLMeanMs:         r.ITL.Mean(),
+			ITLP99Ms:          r.ITL.P99(),
+			E2EMeanMs:         r.E2E.Mean(),
+			Crashed:           r.Crashed,
+		})
+	}
+	return a
+}
+
+// WriteArtifact renders sweep results as indented JSON at path.
+func WriteArtifact(path, label string, streaming bool, results []*Result) error {
+	body, err := json.MarshalIndent(NewArtifact(label, streaming, results), "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode artifact: %w", err)
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o644)
+}

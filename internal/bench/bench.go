@@ -18,22 +18,30 @@ import (
 	"repro/internal/vllm"
 )
 
+// Outcome describes one completed request.
+type Outcome struct {
+	Generated int           // output tokens produced
+	TTFT      time.Duration // time to first token (0 if unknown)
+	// ITL holds the inter-token gaps observed by a streaming client (nil
+	// for buffered targets, which see the whole body at once).
+	ITL []time.Duration
+}
+
 // Target abstracts where requests go: directly into an engine, or over the
 // (virtual) network through the OpenAI API like the real benchmark container.
 type Target interface {
-	// Do issues one request and blocks until completion, returning the
-	// generated token count and the time to first token (0 if unknown).
-	Do(p *sim.Proc, promptTokens, maxNewTokens int) (generated int, ttft time.Duration, err error)
+	// Do issues one request and blocks until completion.
+	Do(p *sim.Proc, promptTokens, maxNewTokens int) (Outcome, error)
 }
 
 // EngineTarget drives a vllm.Engine in-process.
 type EngineTarget struct{ Engine *vllm.Engine }
 
 // Do implements Target.
-func (t *EngineTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, error) {
+func (t *EngineTarget) Do(p *sim.Proc, prompt, maxNew int) (Outcome, error) {
 	r := t.Engine.Submit(prompt, maxNew)
 	p.Wait(r.Done())
-	return r.Generated, r.TTFT(), r.Err
+	return Outcome{Generated: r.Generated, TTFT: r.TTFT()}, r.Err
 }
 
 // HTTPTarget sends OpenAI chat completions to a base URL, as the
@@ -43,12 +51,16 @@ type HTTPTarget struct {
 	BaseURL string // e.g. "http://hops15:8000"
 	Model   string
 	APIKey  string
+	// Stream requests SSE delivery (`stream: true`) and measures TTFT at
+	// the first delta's arrival — the client-observed number, not the
+	// server-reported header — plus per-gap inter-token latencies.
+	Stream bool
 
 	seq int // per-target request counter making every prompt unique
 }
 
 // Do implements Target.
-func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, error) {
+func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (Outcome, error) {
 	content := vllm.SynthesizeText(max(prompt-4, 1))
 	// Tag each prompt unique (same length, different bytes): throughput
 	// benchmarks measure prefill+decode compute, and two same-length
@@ -63,6 +75,7 @@ func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, er
 		Model:     t.Model,
 		Messages:  []vllm.ChatMessage{{Role: "user", Content: content}},
 		MaxTokens: maxNew,
+		Stream:    t.Stream,
 	})
 	req := &vhttp.Request{
 		Method: "POST",
@@ -73,20 +86,27 @@ func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, er
 	if t.APIKey != "" {
 		req.Header["Authorization"] = "Bearer " + t.APIKey
 	}
+	start := p.Now()
 	resp, err := t.Client.Do(p, req)
 	if err != nil {
-		return 0, 0, err
+		return Outcome{}, err
 	}
 	if resp.Status != 200 {
 		var er vllm.ErrorResponse
 		if json.Unmarshal(resp.Body, &er) == nil && er.Error.Message != "" {
-			return 0, 0, fmt.Errorf("http %d: %s", resp.Status, er.Error.Message)
+			return Outcome{}, fmt.Errorf("http %d: %s", resp.Status, er.Error.Message)
 		}
-		return 0, 0, fmt.Errorf("http %d", resp.Status)
+		return Outcome{}, fmt.Errorf("http %d", resp.Status)
+	}
+	if resp.Stream != nil {
+		return t.consumeStream(p, resp.Stream, start)
+	}
+	if t.Stream {
+		return Outcome{}, fmt.Errorf("requested stream=true but got a buffered response")
 	}
 	var cr vllm.ChatResponse
 	if err := json.Unmarshal(resp.Body, &cr); err != nil {
-		return 0, 0, fmt.Errorf("bad response: %w", err)
+		return Outcome{}, fmt.Errorf("bad response: %w", err)
 	}
 	var ttft time.Duration
 	if v := resp.Header["X-Request-Ttft-Micros"]; v != "" {
@@ -94,7 +114,51 @@ func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, er
 		fmt.Sscanf(v, "%d", &us)
 		ttft = time.Duration(us) * time.Microsecond
 	}
-	return cr.Usage.CompletionTokens, ttft, nil
+	return Outcome{Generated: cr.Usage.CompletionTokens, TTFT: ttft}, nil
+}
+
+// consumeStream pulls SSE chunks as the engine produces them, timing the
+// first content delta (TTFT as a client would see it) and every gap
+// between deltas. A truncated stream — the backend died after the first
+// byte, which the gateway deliberately does not retry — fails the request.
+func (t *HTTPTarget) consumeStream(p *sim.Proc, stream vhttp.ChunkReader, start time.Time) (Outcome, error) {
+	var out Outcome
+	tokens := 0
+	last := start
+	for {
+		c, ok := stream.Next(p)
+		if !ok {
+			break
+		}
+		payload, isEvent := vllm.ParseSSE(c.Data)
+		if !isEvent || string(payload) == "[DONE]" {
+			continue
+		}
+		var chunk vllm.ChatChunk
+		if json.Unmarshal(payload, &chunk) != nil {
+			continue
+		}
+		if chunk.Usage != nil {
+			out.Generated = chunk.Usage.CompletionTokens
+		}
+		if len(chunk.Choices) > 0 && chunk.Choices[0].Delta.Content != "" {
+			now := p.Now()
+			if tokens == 0 {
+				out.TTFT = now.Sub(start)
+			} else {
+				out.ITL = append(out.ITL, now.Sub(last))
+			}
+			last = now
+			tokens++
+		}
+	}
+	if err := stream.Err(); err != nil {
+		return Outcome{}, fmt.Errorf("stream truncated after %d tokens: %w", tokens, err)
+	}
+	if out.Generated == 0 {
+		out.Generated = tokens
+	}
+	return out, nil
 }
 
 // Config parameterizes one benchmark run.
@@ -129,6 +193,7 @@ type Result struct {
 
 	TTFT metrics.Dist // ms
 	TPOT metrics.Dist // ms (per output token after the first)
+	ITL  metrics.Dist // ms (client-observed inter-token gaps; streaming only)
 	E2E  metrics.Dist // ms
 
 	Crashed  bool
@@ -153,6 +218,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "Median TTFT (ms):                 %.2f\n", r.TTFT.Median())
 	fmt.Fprintf(&b, "P99 TTFT (ms):                    %.2f\n", r.TTFT.P99())
 	fmt.Fprintf(&b, "Mean TPOT (ms):                   %.2f\n", r.TPOT.Mean())
+	if r.ITL.N() > 0 {
+		fmt.Fprintf(&b, "Mean ITL (ms):                    %.2f\n", r.ITL.Mean())
+		fmt.Fprintf(&b, "P99 ITL (ms):                     %.2f\n", r.ITL.P99())
+	}
 	fmt.Fprintf(&b, "Mean E2EL (ms):                   %.2f\n", r.E2E.Mean())
 	if r.Crashed {
 		fmt.Fprintf(&b, "!! RUN ABORTED: %s\n", r.CrashMsg)
@@ -198,7 +267,7 @@ func Run(p *sim.Proc, target Target, cfg Config) *Result {
 				e := entries[next]
 				next++
 				reqStart := wp.Now()
-				gen, ttft, err := target.Do(wp, e.PromptTokens, e.OutputTokens)
+				out, err := target.Do(wp, e.PromptTokens, e.OutputTokens)
 				if err != nil {
 					res.Failed++
 					if cfg.ContinueOnError {
@@ -214,14 +283,17 @@ func Run(p *sim.Proc, target Target, cfg Config) *Result {
 				}
 				res.Completed++
 				res.InputTokens += int64(e.PromptTokens)
-				res.OutputTokens += int64(gen)
-				if ttft > 0 {
-					res.TTFT.AddDuration(ttft)
+				res.OutputTokens += int64(out.Generated)
+				if out.TTFT > 0 {
+					res.TTFT.AddDuration(out.TTFT)
+				}
+				for _, gap := range out.ITL {
+					res.ITL.AddDuration(gap)
 				}
 				lat := wp.Now().Sub(reqStart)
 				res.E2E.AddDuration(lat)
-				if gen > 1 && ttft > 0 {
-					res.TPOT.Add(float64(lat-ttft) / float64(time.Millisecond) / float64(gen-1))
+				if out.Generated > 1 && out.TTFT > 0 {
+					res.TPOT.Add(float64(lat-out.TTFT) / float64(time.Millisecond) / float64(out.Generated-1))
 				}
 				end = wp.Now()
 			}

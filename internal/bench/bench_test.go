@@ -193,10 +193,10 @@ type flakyTarget struct {
 	count int
 }
 
-func (f *flakyTarget) Do(p *sim.Proc, prompt, maxNew int) (int, time.Duration, error) {
+func (f *flakyTarget) Do(p *sim.Proc, prompt, maxNew int) (Outcome, error) {
 	f.count++
 	if f.count%f.n == 0 {
-		return 0, 0, fmt.Errorf("http 503: all replicas past waiting-queue threshold")
+		return Outcome{}, fmt.Errorf("http 503: all replicas past waiting-queue threshold")
 	}
 	return f.inner.Do(p, prompt, maxNew)
 }

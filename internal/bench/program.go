@@ -28,6 +28,7 @@ func (bp *ContainerProgram) Run(ctx *cruntime.ExecContext) error {
 	cfg := Config{NumPrompts: 1000, MaxConcurrency: 1, Seed: 0}
 	baseURL, model := "", ""
 	datasetName := "sharegpt"
+	stream := false
 	get := func(i int, name string) (string, int, error) {
 		arg := args[i]
 		if eq := strings.Index(arg, "="); eq >= 0 {
@@ -73,6 +74,9 @@ func (bp *ContainerProgram) Run(ctx *cruntime.ExecContext) error {
 				s, err = strconv.ParseInt(val, 10, 64)
 				cfg.Seed = s
 			}
+		case "--stream":
+			// Valueless flag, like the real script's store_true arguments.
+			stream = true
 		case "--backend", "--endpoint", "--dataset-path":
 			_, i, err = get(i, name)
 		}
@@ -95,6 +99,7 @@ func (bp *ContainerProgram) Run(ctx *cruntime.ExecContext) error {
 		Client:  &vhttp.Client{Net: ctx.Net, From: ctx.Hostname},
 		BaseURL: baseURL,
 		Model:   model,
+		Stream:  stream,
 	}
 	res := Run(ctx.Proc, target, cfg)
 	bp.Result = res

@@ -1,0 +1,76 @@
+package ingress
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/vhttp"
+)
+
+// Allocation budgets for the request-path hot spots, enforced in CI. The
+// numbers are ceilings for the current implementation (pick is alloc-free
+// after the viewScratch reuse; dispatch-decision pays only for the JSON
+// body parse) — a regression past them means a per-request allocation
+// crept back into the data plane.
+const (
+	pickAllocBudget     = 0
+	dispatchAllocBudget = 9
+)
+
+func requireAllocBudget(t *testing.T, name string, budget float64, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("alloc counts are distorted by the race detector")
+	}
+	got := testing.AllocsPerRun(200, fn)
+	if got > budget {
+		t.Fatalf("%s: %.1f allocs/op, budget %.0f", name, got, budget)
+	}
+	t.Logf("%s: %.1f allocs/op (budget %.0f)", name, got, budget)
+}
+
+// TestRouterPickAllocBudget: the routing decision (model lookup + replica
+// pick) must not allocate — the candidate snapshot reuses the gateway's
+// scratch buffer.
+func TestRouterPickAllocBudget(t *testing.T) {
+	for _, policy := range []Policy{PolicyRoundRobin, PolicyLeastLoaded, PolicySession} {
+		router, names := benchFleet(4, 8, policy)
+		sreq := sched.Request{SessionKey: "budget-session", Class: sched.ClassInteractive}
+		i := 0
+		requireAllocBudget(t, "pick/"+string(policy), pickAllocBudget, func() {
+			gw := router.Gateway(names[i%4])
+			i++
+			if gw.pickFor(&sreq, nil) == nil {
+				t.Fatal("pick returned nil with healthy backends")
+			}
+		})
+	}
+}
+
+// TestRouterDispatchDecisionAllocBudget: the full router-side cost of one
+// inference request before the forward — scheduling-attribute extraction
+// from the JSON body plus the pick.
+func TestRouterDispatchDecisionAllocBudget(t *testing.T) {
+	router, names := benchFleet(4, 4, PolicyLeastLoaded)
+	reqs := make([]*vhttp.Request, len(names))
+	for i, name := range names {
+		reqs[i] = &vhttp.Request{
+			Method: "POST",
+			Path:   "/v1/chat/completions",
+			Body:   []byte(`{"model":"` + name + `","messages":[{"role":"user","content":"hi"}]}`),
+		}
+	}
+	i := 0
+	requireAllocBudget(t, "dispatch-decision", dispatchAllocBudget, func() {
+		req := reqs[i%len(reqs)]
+		i++
+		desc, err := sched.Describe(req.Header, req.Body)
+		if err != nil {
+			t.Fatal("describe failed")
+		}
+		gw := router.Gateway(desc.Model)
+		if gw == nil || gw.pickFrom(gw.views(nil), &desc) == nil {
+			t.Fatal("dispatch failed")
+		}
+	})
+}

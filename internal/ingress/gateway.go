@@ -138,6 +138,9 @@ type GatewayStats struct {
 	Rejected int // 503s from admission control (queue-depth and SLO sheds)
 	Errors   int // requests that failed on every attempted replica
 	Held     int // requests queued at the gateway waiting for a replica (cold start)
+
+	Streams          int // streamed (SSE) responses proxied through unbuffered
+	StreamsTruncated int // streams whose replica died mid-body (no retry: first byte was out)
 }
 
 // SLOStatus is the SLO admission breaker's observable state.
@@ -235,6 +238,14 @@ type Gateway struct {
 	backends []*Backend
 	stats    GatewayStats
 	holdq    sched.Queue // requests parked waiting for a routable replica
+	// client is the pooled transport shared by the probe loop and every
+	// forward; vhttp.Client carries no per-request state, so one instance
+	// replaces the old per-call allocation.
+	client *vhttp.Client
+	// viewScratch backs the candidate snapshot handed to admission and the
+	// picker. The request path consumes it fully before any park point, so
+	// reusing it across calls is safe and keeps the pick path alloc-free.
+	viewScratch []sched.Backend
 	// Policy-derived sched instances, created on first use so flipping
 	// Policy / MaxWaiting / SLOTargetP95 on a running gateway still takes
 	// effect (stateful ones persist: the round-robin cursor, the session
@@ -444,7 +455,7 @@ func (g *Gateway) Serviceable() bool {
 // only — so placement and scaling see the engine's full signal set
 // (KV usage, cache hit rates, class mix) rather than two scraped gauges.
 func (g *Gateway) probe(p *sim.Proc, b *Backend) {
-	client := &vhttp.Client{Net: g.Net, From: g.Host}
+	client := g.httpClient()
 	resp, err := client.Get(p, b.URL()+"/health")
 	wasRoutable := b.routable()
 	b.healthy = err == nil && resp.Status == 200
@@ -463,15 +474,27 @@ func (g *Gateway) probe(p *sim.Proc, b *Backend) {
 	}
 }
 
+// httpClient returns the gateway's pooled transport, created on first use.
+func (g *Gateway) httpClient() *vhttp.Client {
+	if g.client == nil {
+		g.client = &vhttp.Client{Net: g.Net, From: g.Host}
+	}
+	return g.client
+}
+
 // views builds the scheduling layer's view of the routable backends,
-// minus the excluded (just-failed) one.
+// minus the excluded (just-failed) one. The returned slice aliases a
+// scratch buffer: it is valid until the next views call, which can only
+// happen after the caller has finished admission and pick (no park point
+// sits between building and consuming the snapshot).
 func (g *Gateway) views(exclude *Backend) []sched.Backend {
-	out := make([]sched.Backend, 0, len(g.backends))
+	out := g.viewScratch[:0]
 	for _, b := range g.backends {
 		if b.routable() && b != exclude {
 			out = append(out, backendView{b})
 		}
 	}
+	g.viewScratch = out
 	return out
 }
 
@@ -575,17 +598,69 @@ func (g *Gateway) admit(p *sim.Proc, sreq *sched.Request, candidates []sched.Bac
 
 // forward sends the request to one backend, tracking in-flight load. A
 // draining backend detaches once its last in-flight request completes.
+// Streamed responses keep their in-flight slot until the consumer drains
+// the body — the replica is still generating after the headers return —
+// released by dispatch's watchedStream.
 func (g *Gateway) forward(p *sim.Proc, b *Backend, req *vhttp.Request) (*vhttp.Response, error) {
-	client := &vhttp.Client{Net: g.Net, From: g.Host}
 	inner := proxyRequest(req, b.URL())
 	b.inflight++
 	b.requests++
-	resp, err := client.Do(p, inner)
+	resp, err := g.httpClient().Do(p, inner)
+	if err == nil && resp.Stream != nil && resp.Status < 500 {
+		return resp, nil
+	}
+	g.release(b)
+	return resp, err
+}
+
+// release returns a backend's in-flight slot, detaching a drained backend
+// whose last request just completed.
+func (g *Gateway) release(b *Backend) {
 	b.inflight--
 	if b.draining && b.inflight == 0 {
 		g.detach(b)
 	}
-	return resp, err
+}
+
+// watchedStream observes a proxied stream's end without buffering it:
+// chunks pass straight through (zero-copy), and the done callback fires
+// when the consumer reaches end of stream, cleanly or truncated.
+type watchedStream struct {
+	src  vhttp.ChunkReader
+	done func(p *sim.Proc, err error)
+	fin  bool
+}
+
+// Next implements vhttp.ChunkReader.
+func (w *watchedStream) Next(p *sim.Proc) (vhttp.Chunk, bool) {
+	c, ok := w.src.Next(p)
+	if !ok && !w.fin {
+		w.fin = true
+		w.done(p, w.src.Err())
+	}
+	return c, ok
+}
+
+// Err implements vhttp.ChunkReader.
+func (w *watchedStream) Err() error { return w.src.Err() }
+
+// finishStream arranges end-of-body accounting for a streamed response:
+// the latency sample covers the whole body rather than time-to-headers,
+// the replica's in-flight slot releases when the stream drains, and a
+// truncated stream (replica died mid-generation) is charged as a backend
+// failure. Truncations are never retried — the first byte already reached
+// the client, so failover happens only on the buffered pre-first-byte
+// error path.
+func (g *Gateway) finishStream(b *Backend, resp *vhttp.Response, start time.Time) {
+	g.stats.Streams++
+	resp.Stream = &watchedStream{src: resp.Stream, done: func(p *sim.Proc, err error) {
+		g.release(b)
+		if err != nil {
+			b.failures++
+			g.stats.StreamsTruncated++
+		}
+		g.latencies.Observe(p.Now(), float64(p.Now().Sub(start))/float64(time.Millisecond))
+	}}
 }
 
 // hold parks a request until a backend becomes routable (cold start) or the
@@ -696,7 +771,11 @@ func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) 
 	}
 	resp, err := g.forward(p, b, req)
 	if err == nil && resp.Status < 500 {
-		g.latencies.Observe(p.Now(), float64(p.Now().Sub(start))/float64(time.Millisecond))
+		if resp.Stream != nil {
+			g.finishStream(b, resp, start)
+		} else {
+			g.latencies.Observe(p.Now(), float64(p.Now().Sub(start))/float64(time.Millisecond))
+		}
 		return resp
 	}
 	// First choice failed: a transport error means the replica endpoint is
@@ -739,6 +818,8 @@ func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) 
 	if resp2.Status >= 500 {
 		b2.failures++
 		g.stats.Errors++
+	} else if resp2.Stream != nil {
+		g.finishStream(b2, resp2, start)
 	} else {
 		g.latencies.Observe(p.Now(), float64(p.Now().Sub(start))/float64(time.Millisecond))
 	}

@@ -49,9 +49,11 @@ type SSHTunnel struct {
 
 // Open starts forwarding. It fails if the local port is taken.
 func (t *SSHTunnel) Open() error {
+	// One pooled client serves every request through the tunnel; Client
+	// carries no per-request state.
+	client := &vhttp.Client{Net: t.Net, From: t.LoginHost}
 	fwd := vhttp.ServiceFunc(func(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		// Two hops: user → login node → compute node.
-		client := &vhttp.Client{Net: t.Net, From: t.LoginHost}
 		inner := proxyRequest(req, fmt.Sprintf("http://%s:%d", t.TargetHost, t.TargetPort))
 		resp, err := client.Do(p, inner)
 		if err != nil {
@@ -109,8 +111,9 @@ func (c *CaL) AddRoute(r Route) error {
 		return fmt.Errorf("cal: port %d already routed", r.ExternalPort)
 	}
 	rr := r
+	// Pooled: one client per route, not one per proxied request.
+	client := &vhttp.Client{Net: c.Net, From: c.GatewayHost}
 	proxy := vhttp.ServiceFunc(func(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
-		client := &vhttp.Client{Net: c.Net, From: c.GatewayHost}
 		inner := proxyRequest(req, fmt.Sprintf("http://%s:%d", rr.TargetHost, rr.TargetPort))
 		resp, err := client.Do(p, inner)
 		if err != nil {

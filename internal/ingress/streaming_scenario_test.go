@@ -1,0 +1,130 @@
+// End-to-end streaming acceptance: a real vllm.Engine behind vllm.APIServer,
+// fronted by an unbound per-model Gateway and the multi-model Router — the
+// full data plane a stream:true request crosses. Lives in package
+// ingress_test to compose with internal/vllm without import gymnastics.
+package ingress_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/ingress"
+	"repro/internal/llm"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+)
+
+// TestScenarioStreamingTTFTBeatsBuffered: on a long generation through
+// router and gateway, the streamed client sees its first token while the
+// buffered client is still waiting for the whole body — streamed TTFT must
+// be a small fraction of the buffered end-to-end latency.
+func TestScenarioStreamingTTFTBeatsBuffered(t *testing.T) {
+	se := sim.NewEngine(1)
+	net := vhttp.NewNet(netsim.New(se))
+	eng, err := vllm.New(se, vllm.Config{
+		Model: llm.Llama318B, GPU: hw.H100SXM, TensorParallel: 1, MaxModelLen: 65536,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	const model = "chat"
+	srv := &vllm.APIServer{Engine: eng, ServedName: model, Replica: "r0"}
+	if err := net.Listen("node1", 8000, srv, vhttp.ListenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	gw := &ingress.Gateway{Net: net, Host: "fleet", Model: model, Unbound: true}
+	gw.AddBackend("r0", "node1", 8000)
+	if err := gw.Start(se); err != nil {
+		t.Fatal(err)
+	}
+	router := &ingress.Router{Net: net, Host: "fleet", Port: 8000}
+	if err := router.AddModel(model, gw); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Start(se); err != nil {
+		t.Fatal(err)
+	}
+
+	const maxNew = 512
+	ask := func(stream bool) []byte {
+		b, _ := json.Marshal(vllm.ChatRequest{
+			Model:     model,
+			Messages:  []vllm.ChatMessage{{Role: "user", Content: "Write a very long story."}},
+			MaxTokens: maxNew,
+			Stream:    stream,
+		})
+		return b
+	}
+	var bufferedE2E, streamTTFT, streamE2E time.Duration
+	var streamTokens int
+	failed := false
+	se.Go("client", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: "laptop"}
+		// Buffered baseline: the whole body arrives at once.
+		t0 := p.Now()
+		resp, err := c.Do(p, &vhttp.Request{
+			Method: "POST", URL: "http://fleet:8000/v1/chat/completions", Body: ask(false),
+		})
+		if err != nil || resp.Status != 200 {
+			t.Errorf("buffered request: %v %+v", err, resp)
+			failed = true
+			return
+		}
+		bufferedE2E = p.Now().Sub(t0)
+		// Streamed: same generation length, TTFT at the first SSE chunk.
+		t1 := p.Now()
+		resp, err = c.Do(p, &vhttp.Request{
+			Method: "POST", URL: "http://fleet:8000/v1/chat/completions", Body: ask(true),
+		})
+		if err != nil || resp.Status != 200 || resp.Stream == nil {
+			t.Errorf("streamed request: %v %+v", err, resp)
+			failed = true
+			return
+		}
+		for {
+			ch, ok := resp.Stream.Next(p)
+			if !ok {
+				break
+			}
+			if streamTTFT == 0 {
+				streamTTFT = p.Now().Sub(t1)
+			}
+			if payload, isEvent := vllm.ParseSSE(ch.Data); isEvent && string(payload) != "[DONE]" {
+				streamTokens++
+			}
+		}
+		if err := resp.Stream.Err(); err != nil {
+			t.Errorf("stream truncated: %v", err)
+			failed = true
+			return
+		}
+		streamE2E = p.Now().Sub(t1)
+	})
+	se.RunFor(time.Hour)
+	if failed {
+		t.FailNow()
+	}
+	if streamTokens != maxNew+1 { // content deltas + finish chunk
+		t.Fatalf("stream events = %d, want %d", streamTokens, maxNew+1)
+	}
+	// The headline claim: first token long before the buffered client would
+	// have seen anything. 512 decode steps dominate the buffered E2E, so a
+	// 4x margin is conservative.
+	if streamTTFT <= 0 || streamTTFT*4 >= bufferedE2E {
+		t.Fatalf("streamed TTFT %v does not beat buffered E2E %v", streamTTFT, bufferedE2E)
+	}
+	// Streaming must not slow completion down materially.
+	if streamE2E > bufferedE2E*3/2 {
+		t.Fatalf("streamed E2E %v much slower than buffered %v", streamE2E, bufferedE2E)
+	}
+	if st := gw.Stats(); st.Streams != 1 || st.StreamsTruncated != 0 || st.Retries != 0 {
+		t.Fatalf("gateway stats = %+v", st)
+	}
+	t.Logf("buffered E2E %v vs streamed TTFT %v (%.1fx earlier), streamed E2E %v",
+		bufferedE2E, streamTTFT, float64(bufferedE2E)/float64(streamTTFT), streamE2E)
+}

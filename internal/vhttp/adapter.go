@@ -7,15 +7,27 @@ import (
 	"repro/internal/sim"
 )
 
+// maxStdBodyBytes caps request bodies accepted over the real-HTTP bridge.
+// Bodies past the cap are rejected with 413, never silently truncated.
+const maxStdBodyBytes = 64 << 20
+
 // StdHandler exposes a virtual Service over a real net/http server. The
 // engine must be running in realtime mode (Engine.RunRealtime); each real
 // request is injected into the simulation as a fresh process and the caller
-// blocks until the virtual handler completes.
+// blocks until the virtual handler completes. Streamed virtual responses
+// are written chunk by chunk and flushed, so `curl -N` against a simulated
+// SSE endpoint observes real incremental delivery.
 func StdHandler(eng *sim.Engine, svc Service, fromHost string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		// Read one byte past the cap so overflow is detectable: forwarding a
+		// silently truncated body would corrupt uploads (and their JSON).
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxStdBodyBytes+1))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxStdBodyBytes {
+			http.Error(w, "request body exceeds 64 MiB", http.StatusRequestEntityTooLarge)
 			return
 		}
 		vreq := &Request{
@@ -32,9 +44,26 @@ func StdHandler(eng *sim.Engine, svc Service, fromHost string) http.Handler {
 			vreq.Header[k] = r.Header.Get(k)
 		}
 		respCh := make(chan *Response, 1)
+		// Chunks cross from the simulation goroutine to the real HTTP
+		// goroutine over a buffered channel; the buffer absorbs bursts so a
+		// slow real-world reader rarely stalls the engine.
+		chunkCh := make(chan []byte, 256)
 		eng.Inject(func() {
 			eng.Go("std-http", func(p *sim.Proc) {
-				respCh <- svc.Serve(p, vreq)
+				resp := svc.Serve(p, vreq)
+				respCh <- resp
+				if resp != nil && resp.Stream != nil {
+					for {
+						c, ok := resp.Stream.Next(p)
+						if !ok {
+							break
+						}
+						// Copy: the producer may reuse chunk buffers, and the
+						// real goroutine reads after the sim moves on.
+						chunkCh <- append([]byte(nil), c.Data...)
+					}
+				}
+				close(chunkCh)
 			})
 		})
 		resp := <-respCh
@@ -45,6 +74,25 @@ func StdHandler(eng *sim.Engine, svc Service, fromHost string) http.Handler {
 			w.Header().Set(k, v)
 		}
 		w.WriteHeader(resp.Status)
+		if resp.Stream != nil {
+			fl, _ := w.(http.Flusher)
+			for data := range chunkCh {
+				if _, err := w.Write(data); err != nil {
+					// Client went away: drain the channel so the sim process
+					// is not blocked on a full buffer forever.
+					for range chunkCh {
+					}
+					return
+				}
+				if fl != nil {
+					fl.Flush()
+				}
+			}
+			return
+		}
+		// Non-streamed responses still produce a closed (empty) chunkCh.
+		for range chunkCh {
+		}
 		if _, err := w.Write(resp.Body); err != nil {
 			return
 		}

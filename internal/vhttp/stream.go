@@ -1,0 +1,152 @@
+package vhttp
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Chunk is one piece of a streamed response body: an SSE event, a token
+// delta, a file segment. Data travels by reference through every proxy hop
+// (zero-copy); Size inflates the bandwidth accounting for bodies whose
+// literal bytes are not materialized.
+type Chunk struct {
+	Data []byte
+	Size int64 // simulated size; effective size is max(len(Data), Size)
+}
+
+// Bytes returns the effective chunk size used for bandwidth accounting.
+func (c Chunk) Bytes() int64 {
+	if int64(len(c.Data)) > c.Size {
+		return int64(len(c.Data))
+	}
+	return c.Size
+}
+
+// ChunkReader is the consumer side of a streamed response body. Exactly one
+// process may consume a stream; proxies hand the same reader (wrapped for
+// their hop's bandwidth metering) downstream rather than buffering.
+type ChunkReader interface {
+	// Next blocks the calling process until a chunk is available, returning
+	// ok=false at end of stream. After a false return, Err distinguishes a
+	// clean close (nil) from a truncated stream.
+	Next(p *sim.Proc) (c Chunk, ok bool)
+	// Err is the stream's terminal error: non-nil once the producer failed
+	// the stream (the body is truncated), nil while open or after Close.
+	Err() error
+}
+
+// BodyStream is the producer side of a chunked body: the engine's decode
+// loop (or any service handler) pushes chunks as they exist, the consumer
+// pulls them in virtual time. Push and Close never block, so they are safe
+// to call from event callbacks (a token callback on the engine loop).
+type BodyStream struct {
+	queue  []Chunk
+	wake   *sim.Signal // armed by a parked reader, fired by producer events
+	closed bool
+	err    error
+}
+
+// NewBodyStream returns an open, empty stream.
+func NewBodyStream() *BodyStream { return &BodyStream{} }
+
+// Push appends a chunk and wakes a parked reader. Pushing after Close or
+// Fail is a no-op (the terminal state already reached the consumer).
+func (s *BodyStream) Push(c Chunk) {
+	if s.closed {
+		return
+	}
+	s.queue = append(s.queue, c)
+	s.fireWake()
+}
+
+// Close marks a clean end of stream: the reader drains queued chunks, then
+// Next returns false with Err() == nil.
+func (s *BodyStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.fireWake()
+}
+
+// Fail terminates the stream abnormally: queued chunks are dropped and the
+// reader sees an immediate end of stream with Err() == err. This is the
+// truncated-body path — a backend dying mid-generation.
+func (s *BodyStream) Fail(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.err = err
+	s.queue = nil
+	s.fireWake()
+}
+
+// Closed reports whether the producer has finished (cleanly or not).
+func (s *BodyStream) Closed() bool { return s.closed }
+
+func (s *BodyStream) fireWake() {
+	if s.wake != nil {
+		w := s.wake
+		s.wake = nil
+		w.Fire()
+	}
+}
+
+// Next implements ChunkReader.
+func (s *BodyStream) Next(p *sim.Proc) (Chunk, bool) {
+	for {
+		if len(s.queue) > 0 {
+			c := s.queue[0]
+			s.queue = s.queue[1:]
+			return c, true
+		}
+		if s.closed {
+			return Chunk{}, false
+		}
+		sig := p.Engine().NewSignal()
+		s.wake = sig
+		p.Wait(sig)
+	}
+}
+
+// Err implements ChunkReader.
+func (s *BodyStream) Err() error { return s.err }
+
+// meteredStream charges each chunk against one hop's netsim route as the
+// consumer pulls it. Client.Do wraps every streamed response in one of
+// these, so a stream proxied through N hops accumulates N per-chunk
+// transfer charges while the chunk bytes themselves pass by reference.
+type meteredStream struct {
+	src   ChunkReader
+	net   *Net
+	route []*netsim.Link
+}
+
+// Next implements ChunkReader.
+func (m *meteredStream) Next(p *sim.Proc) (Chunk, bool) {
+	c, ok := m.src.Next(p)
+	if ok {
+		if sz := c.Bytes(); sz > m.net.MeterThreshold && len(m.route) > 0 {
+			m.net.fabric.Transfer(p, float64(sz), m.route, netsim.StartOptions{})
+		}
+	}
+	return c, ok
+}
+
+// Err implements ChunkReader.
+func (m *meteredStream) Err() error { return m.src.Err() }
+
+// DrainStream reads a stream to its end, concatenating chunk data. It
+// returns the stream's terminal error alongside whatever arrived before the
+// truncation — the caller decides whether a partial body is usable.
+func DrainStream(p *sim.Proc, r ChunkReader) ([]byte, error) {
+	var out []byte
+	for {
+		c, ok := r.Next(p)
+		if !ok {
+			return out, r.Err()
+		}
+		out = append(out, c.Data...)
+	}
+}

@@ -1,0 +1,239 @@
+package vhttp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestStreamOrderingAndClose: chunks arrive in push order, Next returns
+// false after Close, and Err stays nil on a clean end.
+func TestStreamOrderingAndClose(t *testing.T) {
+	e, _ := newTestNet(t)
+	s := NewBodyStream()
+	var got []string
+	e.Go("producer", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			s.Push(Chunk{Data: []byte(fmt.Sprintf("c%d", i))})
+			p.Sleep(time.Second)
+		}
+		s.Close()
+	})
+	e.Go("consumer", func(p *sim.Proc) {
+		for {
+			c, ok := s.Next(p)
+			if !ok {
+				return
+			}
+			got = append(got, string(c.Data))
+		}
+	})
+	e.Run()
+	if want := "c0 c1 c2 c3 c4"; strings.Join(got, " ") != want {
+		t.Fatalf("chunks = %v, want %s", got, want)
+	}
+	if s.Err() != nil {
+		t.Fatalf("clean close has Err = %v", s.Err())
+	}
+}
+
+// TestStreamChunksMetered: each chunk pulled through Client.Do is charged
+// against the route, so a streamed body takes bandwidth-bound virtual time.
+func TestStreamChunksMetered(t *testing.T) {
+	e, n := newTestNet(t)
+	wire := n.Fabric().AddLink("wire", 100, 0) // 100 B/s
+	n.RouteFn = func(from, to string) []*netsim.Link { return []*netsim.Link{wire} }
+	n.BaseLatency = 0
+	n.Listen("api", 8000, ServiceFunc(func(p *sim.Proc, req *Request) *Response {
+		s := NewBodyStream()
+		for i := 0; i < 5; i++ {
+			s.Push(Chunk{Size: 100}) // 5 × 100 B
+		}
+		s.Close()
+		return &Response{Status: 200, Stream: s}
+	}), ListenOptions{})
+	var elapsed time.Duration
+	var total int64
+	e.Go("client", func(p *sim.Proc) {
+		c := &Client{Net: n, From: "node1"}
+		resp, err := c.Get(p, "http://api:8000/stream")
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		start := p.Now()
+		for {
+			ch, ok := resp.Stream.Next(p)
+			if !ok {
+				break
+			}
+			total += ch.Bytes()
+		}
+		elapsed = p.Now().Sub(start)
+	})
+	e.Run()
+	if total != 500 {
+		t.Fatalf("drained %d bytes, want 500", total)
+	}
+	// 500 B at 100 B/s = 5 s.
+	if got := elapsed.Seconds(); got < 4.9 || got > 5.2 {
+		t.Fatalf("stream took %.2fs, want ~5s", got)
+	}
+}
+
+// TestStreamTruncation: Fail drops undelivered chunks and surfaces the
+// error on the reader.
+func TestStreamTruncation(t *testing.T) {
+	e, _ := newTestNet(t)
+	s := NewBodyStream()
+	errBackend := errors.New("engine crashed")
+	var got []string
+	var finalErr error
+	e.Go("producer", func(p *sim.Proc) {
+		s.Push(Chunk{Data: []byte("a")})
+		p.Sleep(time.Second)
+		s.Push(Chunk{Data: []byte("b")})
+		p.Sleep(time.Second)
+		s.Fail(errBackend)
+		// Terminal state is sticky: these must all be no-ops.
+		s.Push(Chunk{Data: []byte("late")})
+		s.Close()
+		s.Fail(errors.New("other"))
+	})
+	e.Go("consumer", func(p *sim.Proc) {
+		for {
+			c, ok := s.Next(p)
+			if !ok {
+				finalErr = s.Err()
+				return
+			}
+			got = append(got, string(c.Data))
+		}
+	})
+	e.Run()
+	if strings.Join(got, "") != "ab" {
+		t.Fatalf("chunks = %v, want a b", got)
+	}
+	if finalErr != errBackend {
+		t.Fatalf("Err = %v, want %v", finalErr, errBackend)
+	}
+}
+
+// TestDrainStream concatenates chunk bytes and reports the terminal error.
+func TestDrainStream(t *testing.T) {
+	e, _ := newTestNet(t)
+	clean, dirty := NewBodyStream(), NewBodyStream()
+	clean.Push(Chunk{Data: []byte("hello ")})
+	clean.Push(Chunk{Data: []byte("world")})
+	clean.Close()
+	dirty.Push(Chunk{Data: []byte("partial")})
+	errCut := errors.New("cut")
+	var body, partial []byte
+	var err1, err2 error
+	e.Go("drain", func(p *sim.Proc) {
+		body, err1 = DrainStream(p, clean)
+		dirty.Fail(errCut) // queued chunk is dropped
+		partial, err2 = DrainStream(p, dirty)
+	})
+	e.Run()
+	if string(body) != "hello world" || err1 != nil {
+		t.Fatalf("clean drain = %q/%v", body, err1)
+	}
+	if len(partial) != 0 || err2 != errCut {
+		t.Fatalf("dirty drain = %q/%v, want empty/%v", partial, err2, errCut)
+	}
+}
+
+// TestStdHandlerStreaming: a streamed virtual response crosses the
+// real-HTTP bridge chunk by chunk and reassembles in order.
+func TestStdHandlerStreaming(t *testing.T) {
+	e, _ := newTestNet(t)
+	svc := ServiceFunc(func(p *sim.Proc, req *Request) *Response {
+		s := NewBodyStream()
+		p.Engine().Go("producer", func(pp *sim.Proc) {
+			for i := 0; i < 8; i++ {
+				s.Push(Chunk{Data: []byte(fmt.Sprintf("data: t%d\n\n", i))})
+				pp.Sleep(10 * time.Millisecond)
+			}
+			s.Close()
+		})
+		resp := &Response{Status: 200, Stream: s}
+		resp.SetHeader("Content-Type", "text/event-stream")
+		return resp
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.RunRealtime(ctx, 1e9)
+
+	ts := httptest.NewServer(StdHandler(e, svc, "gateway"))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var want bytes.Buffer
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&want, "data: t%d\n\n", i)
+	}
+	if string(body) != want.String() {
+		t.Fatalf("body = %q, want %q", body, want.String())
+	}
+}
+
+// TestStdHandlerOversizeBody: bodies past the 64 MiB cap are rejected with
+// 413 instead of being silently truncated and forwarded.
+func TestStdHandlerOversizeBody(t *testing.T) {
+	e, _ := newTestNet(t)
+	var sawBytes int = -1
+	svc := ServiceFunc(func(p *sim.Proc, req *Request) *Response {
+		sawBytes = len(req.Body)
+		return Text(200, "ok")
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go e.RunRealtime(ctx, 1e9)
+
+	ts := httptest.NewServer(StdHandler(e, svc, "gateway"))
+	defer ts.Close()
+
+	over := bytes.Repeat([]byte("x"), maxStdBodyBytes+1)
+	resp, err := http.Post(ts.URL+"/upload", "application/octet-stream", bytes.NewReader(over))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	if sawBytes != -1 {
+		t.Fatalf("oversize body reached the handler (%d bytes)", sawBytes)
+	}
+
+	// At the cap exactly: accepted whole.
+	ok := bytes.Repeat([]byte("y"), 1<<20)
+	resp2, err := http.Post(ts.URL+"/upload", "application/octet-stream", bytes.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 || sawBytes != len(ok) {
+		t.Fatalf("status = %d, handler saw %d bytes, want 200/%d", resp2.StatusCode, sawBytes, len(ok))
+	}
+}

@@ -55,6 +55,12 @@ type Response struct {
 	Header map[string]string
 	Body   []byte
 	Size   int64
+	// Stream, when non-nil, carries the body as chunks delivered over
+	// virtual time instead of Body/Size: the handler returns as soon as the
+	// first byte exists and the consumer pulls the rest as it is produced.
+	// Client.Do wraps the reader for per-hop bandwidth metering; proxies
+	// pass it through without buffering (zero-copy).
+	Stream ChunkReader
 }
 
 // BodyBytes returns the effective body size used for bandwidth accounting.
@@ -252,7 +258,14 @@ func (c *Client) Do(p *sim.Proc, req *Request) (*Response, error) {
 	if resp == nil {
 		resp = Text(500, "nil response")
 	}
-	if sz := resp.BodyBytes(); sz > c.Net.MeterThreshold && len(route) > 0 {
+	if resp.Stream != nil {
+		// Chunked body: each chunk is charged against this hop's route as
+		// the consumer pulls it. The headers already cost BaseLatency above;
+		// chunks ride the established connection.
+		if len(route) > 0 {
+			resp.Stream = &meteredStream{src: resp.Stream, net: c.Net, route: route}
+		}
+	} else if sz := resp.BodyBytes(); sz > c.Net.MeterThreshold && len(route) > 0 {
 		c.Net.fabric.Transfer(p, float64(sz), route, netsim.StartOptions{})
 	}
 	return resp, nil

@@ -33,6 +33,11 @@ type ChatRequest struct {
 	// Priority is the request's scheduling class ("interactive" or
 	// "batch"); batch-class requests are shed first under an SLO breach.
 	Priority string `json:"priority,omitempty"`
+	// Stream requests OpenAI-style server-sent events: one
+	// chat.completion.chunk delta per generated token, terminated by a
+	// `data: [DONE]` event. TTFT is then the client-observed first-chunk
+	// time instead of whole-response time.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // ChatChoice is one completion alternative.
@@ -56,6 +61,55 @@ type ChatResponse struct {
 	Model   string       `json:"model"`
 	Choices []ChatChoice `json:"choices"`
 	Usage   Usage        `json:"usage"`
+}
+
+// ChatDelta is the incremental message fragment inside a streamed chunk.
+type ChatDelta struct {
+	Role    string `json:"role,omitempty"`
+	Content string `json:"content,omitempty"`
+}
+
+// ChatChunkChoice is one choice of a streamed chunk.
+type ChatChunkChoice struct {
+	Index        int       `json:"index"`
+	Delta        ChatDelta `json:"delta"`
+	FinishReason string    `json:"finish_reason,omitempty"`
+}
+
+// ChatChunk is one SSE event body of a streamed chat completion
+// (object "chat.completion.chunk").
+type ChatChunk struct {
+	ID      string            `json:"id"`
+	Object  string            `json:"object"`
+	Model   string            `json:"model"`
+	Choices []ChatChunkChoice `json:"choices"`
+	Usage   *Usage            `json:"usage,omitempty"`
+}
+
+// SSEData is the line prefix framing every server-sent event.
+const SSEData = "data: "
+
+// SSEDone is the stream terminator event.
+const SSEDone = SSEData + "[DONE]\n\n"
+
+// SSEEvent frames a JSON payload as one server-sent event.
+func SSEEvent(v any) []byte {
+	body, _ := json.Marshal(v)
+	out := make([]byte, 0, len(SSEData)+len(body)+2)
+	out = append(out, SSEData...)
+	out = append(out, body...)
+	return append(out, '\n', '\n')
+}
+
+// ParseSSE splits a raw SSE event back into its data payload, reporting
+// whether the event carried one. Used by streaming clients (the bench
+// harness, tests); real chunks always carry exactly one data line.
+func ParseSSE(raw []byte) (payload []byte, ok bool) {
+	s := strings.TrimSuffix(string(raw), "\n\n")
+	if !strings.HasPrefix(s, SSEData) {
+		return nil, false
+	}
+	return []byte(strings.TrimPrefix(s, SSEData)), true
 }
 
 // ErrorResponse mirrors the OpenAI error envelope.
@@ -104,12 +158,25 @@ func EstimateTokens(text string) int {
 
 // SynthesizeText produces placeholder completion text of about n tokens.
 func SynthesizeText(n int) string {
-	const words = "the model generated this simulated completion token stream for benchmarking purposes only "
 	var b strings.Builder
 	for b.Len() < n*4 {
-		b.WriteString(words)
+		b.WriteString(synthWords)
 	}
 	return b.String()[:n*4]
+}
+
+const synthWords = "the model generated this simulated completion token stream for benchmarking purposes only "
+
+// TokenText returns the n-th (1-based) token's text of the synthesized
+// completion, so a streamed response concatenates to the same body a
+// buffered SynthesizeText(total) call would produce.
+func TokenText(n int) string {
+	start := ((n - 1) * 4) % len(synthWords)
+	end := start + 4
+	if end <= len(synthWords) {
+		return synthWords[start:end]
+	}
+	return synthWords[start:] + synthWords[:end-len(synthWords)]
 }
 
 // APIServer exposes an Engine over the OpenAI-compatible HTTP surface.
@@ -193,11 +260,15 @@ func (a *APIServer) chat(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	if maxNew <= 0 {
 		maxNew = a.defaultMax()
 	}
-	r := a.Engine.SubmitOpts(SubmitOptions{
+	opts := SubmitOptions{
 		Prompt: prompt, MaxNew: maxNew,
 		PromptHashes: ChatPromptHashes(a.Engine.Config().BlockSize, cr.Messages),
 		Class:        cr.Priority,
-	})
+	}
+	if cr.Stream {
+		return a.chatStream(p, cr, prompt, opts)
+	}
+	r := a.Engine.SubmitOpts(opts)
 	p.Wait(r.Done())
 	if r.Err != nil {
 		return jsonErr(500, r.Err.Error())
@@ -216,6 +287,62 @@ func (a *APIServer) chat(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	// a response header so the benchmark can record the same metric.
 	out.SetHeader("X-Request-Ttft-Micros", fmt.Sprintf("%d", r.TTFT().Microseconds()))
 	return out
+}
+
+// chatStream serves `stream: true`: tokens are pushed into a chunked body
+// as the engine's decode loop produces them, one chat.completion.chunk SSE
+// event per token, closed with `data: [DONE]`.
+//
+// The handler waits for the FIRST token before returning the response
+// headers, which fixes the retry boundary: a request that dies before its
+// first token surfaces as a buffered 500 the gateway may retry on another
+// replica; once the first byte is out, a failure truncates the stream
+// (Err() on the reader) and is never silently retried.
+func (a *APIServer) chatStream(p *sim.Proc, cr ChatRequest, prompt int, opts SubmitOptions) *vhttp.Response {
+	stream := vhttp.NewBodyStream()
+	ready := p.Engine().NewSignal()
+	served := a.servedName()
+	id := ""
+	opts.OnToken = func(r *Request, n int) {
+		chunk := ChatChunk{
+			ID: id, Object: "chat.completion.chunk", Model: served,
+			Choices: []ChatChunkChoice{{Delta: ChatDelta{Content: TokenText(n)}}},
+		}
+		if n == 1 {
+			// The first delta also names the assistant role, per OpenAI.
+			chunk.Choices[0].Delta.Role = "assistant"
+		}
+		stream.Push(vhttp.Chunk{Data: SSEEvent(chunk)})
+		if n == 1 {
+			ready.Fire()
+		}
+	}
+	r := a.Engine.SubmitOpts(opts)
+	id = "chatcmpl-" + r.ID
+	r.Done().OnFire(func() {
+		if r.Err != nil {
+			stream.Fail(r.Err)
+		} else {
+			// Terminal chunk: empty delta, finish_reason, usage accounting.
+			stream.Push(vhttp.Chunk{Data: SSEEvent(ChatChunk{
+				ID: id, Object: "chat.completion.chunk", Model: served,
+				Choices: []ChatChunkChoice{{FinishReason: "stop"}},
+				Usage:   &Usage{PromptTokens: prompt, CompletionTokens: r.Generated, TotalTokens: prompt + r.Generated},
+			})})
+			stream.Push(vhttp.Chunk{Data: []byte(SSEDone)})
+			stream.Close()
+		}
+		ready.Fire()
+	})
+	p.Wait(ready)
+	if r.Err != nil && r.FirstToken.IsZero() {
+		// Failed before the first byte: a retryable buffered error.
+		return jsonErr(500, r.Err.Error())
+	}
+	resp := &vhttp.Response{Status: 200, Stream: stream}
+	resp.SetHeader("Content-Type", "text/event-stream")
+	resp.SetHeader("X-Request-Ttft-Micros", fmt.Sprintf("%d", r.TTFT().Microseconds()))
+	return resp
 }
 
 // completionRequest is the body of POST /v1/completions.

@@ -139,6 +139,13 @@ type SubmitOptions struct {
 	// Class is the request's priority class name ("interactive", "batch",
 	// "" = unset), surfaced in the telemetry snapshot's class breakdown.
 	Class string
+	// OnToken, when non-nil, is invoked from the engine loop each time the
+	// request produces a token (n = tokens generated so far, starting at 1
+	// for the first token emitted at prefill completion). This is the
+	// incremental-decode hook the streaming API rides: the callback runs on
+	// the scheduler's process and must not block or park — push into a
+	// vhttp.BodyStream, fire a signal, append to a slice.
+	OnToken func(r *Request, n int)
 }
 
 // Done fires when the request finishes (successfully or with Err set).
@@ -177,6 +184,14 @@ type sequence struct {
 	preempted     int
 	hashes        []uint64 // prompt prefix-block keys (nil = uncacheable)
 	class         string   // priority class name for telemetry
+	onToken       func(r *Request, n int)
+}
+
+// emitToken notifies the submitter of one newly generated token.
+func (s *sequence) emitToken() {
+	if s.onToken != nil {
+		s.onToken(s.req, s.req.Generated)
+	}
 }
 
 // Stats aggregates engine counters.
@@ -448,7 +463,7 @@ func (e *Engine) SubmitOpts(o SubmitOptions) *Request {
 		req.done.Fire()
 		return req
 	}
-	s := &sequence{req: req, id: req.ID, prefillTarget: o.Prompt, class: o.Class}
+	s := &sequence{req: req, id: req.ID, prefillTarget: o.Prompt, class: o.Class, onToken: o.OnToken}
 	if e.idx != nil && len(o.PromptHashes) > 0 {
 		// Only full prompt blocks carry keys; ignore malformed extras.
 		if max := o.Prompt / e.cfg.BlockSize; len(o.PromptHashes) <= max {
@@ -577,6 +592,7 @@ func (e *Engine) step(p *sim.Proc) {
 				s.req.Generated = 1
 				s.req.FirstToken = now
 				e.stats.TokensOut++
+				s.emitToken()
 			}
 		} else if s.prefillDone >= s.prefillTarget {
 			s.req.Generated++
@@ -584,6 +600,7 @@ func (e *Engine) step(p *sim.Proc) {
 			if s.req.FirstToken.IsZero() {
 				s.req.FirstToken = now
 			}
+			s.emitToken()
 		}
 		if s.req.Generated >= s.req.MaxNew {
 			s.state = seqDone

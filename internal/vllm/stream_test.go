@@ -1,0 +1,233 @@
+package vllm
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+)
+
+// postStream issues a stream:true chat completion and drains the SSE body
+// on the client's process, returning the raw events, the client-observed
+// TTFT, and the stream's terminal error.
+func postStream(se *sim.Engine, net *vhttp.Net, maxNew int) (resp *vhttp.Response, raw [][]byte, ttft time.Duration, streamErr error) {
+	body, _ := json.Marshal(ChatRequest{
+		Messages:  []ChatMessage{{Role: "user", Content: "Count to a thousand."}},
+		MaxTokens: maxNew,
+		Stream:    true,
+	})
+	se.Go("client", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net}
+		start := p.Now()
+		var err error
+		resp, err = c.Do(p, &vhttp.Request{
+			Method: "POST", URL: "http://hops15:8000/v1/chat/completions",
+			Header: map[string]string{"Content-Type": "application/json"},
+			Body:   body,
+		})
+		if err != nil || resp.Stream == nil {
+			return
+		}
+		for {
+			ch, ok := resp.Stream.Next(p)
+			if !ok {
+				break
+			}
+			if ttft == 0 {
+				ttft = p.Now().Sub(start)
+			}
+			raw = append(raw, ch.Data)
+		}
+		streamErr = resp.Stream.Err()
+	})
+	se.Run()
+	return resp, raw, ttft, streamErr
+}
+
+// collectSSE parses events out of a drained stream, separating content
+// chunks from the [DONE] terminator and rejecting malformed framing.
+func collectSSE(t *testing.T, raw [][]byte) (chunks []ChatChunk, sawDone bool) {
+	t.Helper()
+	for _, data := range raw {
+		payload, ok := ParseSSE(data)
+		if !ok {
+			t.Fatalf("not an SSE event: %q", data)
+		}
+		if string(payload) == "[DONE]" {
+			sawDone = true
+			continue
+		}
+		if sawDone {
+			t.Fatal("event after [DONE]")
+		}
+		var c ChatChunk
+		if err := json.Unmarshal(payload, &c); err != nil {
+			t.Fatalf("bad chunk %q: %v", payload, err)
+		}
+		chunks = append(chunks, c)
+	}
+	return chunks, sawDone
+}
+
+// TestChatStreamSSE: stream:true yields one delta per token in decode
+// order, a finish chunk carrying usage, and a [DONE] terminator; the
+// concatenated deltas equal the buffered completion text.
+func TestChatStreamSSE(t *testing.T) {
+	se, net, _ := apiFixture(t)
+	const maxNew = 24
+	resp, raw, ttft, streamErr := postStream(se, net, maxNew)
+	if resp == nil || resp.Status != 200 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Stream == nil {
+		t.Fatal("no stream on a stream:true response")
+	}
+	if streamErr != nil {
+		t.Fatalf("stream error: %v", streamErr)
+	}
+	if ct := resp.Header["Content-Type"]; ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if resp.Header["X-Request-Ttft-Micros"] == "" {
+		t.Fatal("TTFT header missing")
+	}
+	chunks, sawDone := collectSSE(t, raw)
+	if !sawDone {
+		t.Fatal("no [DONE] terminator")
+	}
+	// maxNew content deltas plus one finish chunk.
+	if len(chunks) != maxNew+1 {
+		t.Fatalf("chunks = %d, want %d", len(chunks), maxNew+1)
+	}
+	var text strings.Builder
+	for i, c := range chunks[:maxNew] {
+		if len(c.Choices) != 1 || c.Object != "chat.completion.chunk" {
+			t.Fatalf("chunk %d envelope = %+v", i, c)
+		}
+		delta := c.Choices[0].Delta
+		if i == 0 && delta.Role != "assistant" {
+			t.Fatalf("first delta role = %q", delta.Role)
+		}
+		if i > 0 && delta.Role != "" {
+			t.Fatalf("chunk %d repeats the role", i)
+		}
+		if delta.Content != TokenText(i+1) {
+			t.Fatalf("chunk %d content = %q, want %q", i, delta.Content, TokenText(i+1))
+		}
+		text.WriteString(delta.Content)
+	}
+	if text.String() != SynthesizeText(maxNew) {
+		t.Fatalf("streamed text diverges from buffered synthesis:\n%q\n%q", text.String(), SynthesizeText(maxNew))
+	}
+	fin := chunks[maxNew]
+	if fin.Choices[0].FinishReason != "stop" || fin.Choices[0].Delta.Content != "" {
+		t.Fatalf("finish chunk = %+v", fin)
+	}
+	if fin.Usage == nil || fin.Usage.CompletionTokens != maxNew {
+		t.Fatalf("finish usage = %+v", fin.Usage)
+	}
+	if ttft <= 0 {
+		t.Fatal("no client-observed TTFT")
+	}
+}
+
+// TestChatStreamTTFTBeforeCompletion: the first chunk arrives while decode
+// is still running — client-observed TTFT is a small fraction of the whole
+// response time on a long generation.
+func TestChatStreamTTFTBeforeCompletion(t *testing.T) {
+	se, net, _ := apiFixture(t)
+	const maxNew = 512
+	var ttft, total time.Duration
+	body, _ := json.Marshal(ChatRequest{
+		Messages:  []ChatMessage{{Role: "user", Content: "Write a long story."}},
+		MaxTokens: maxNew,
+		Stream:    true,
+	})
+	se.Go("client", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net}
+		start := p.Now()
+		resp, err := c.Do(p, &vhttp.Request{
+			Method: "POST", URL: "http://hops15:8000/v1/chat/completions", Body: body,
+		})
+		if err != nil || resp.Stream == nil {
+			t.Errorf("no stream: %v %+v", err, resp)
+			return
+		}
+		for {
+			if _, ok := resp.Stream.Next(p); !ok {
+				break
+			}
+			if ttft == 0 {
+				ttft = p.Now().Sub(start)
+			}
+		}
+		total = p.Now().Sub(start)
+	})
+	se.Run()
+	if ttft <= 0 || total <= 0 {
+		t.Fatalf("ttft=%v total=%v", ttft, total)
+	}
+	// 512 decode steps dominate: first token must land in well under half
+	// the full response time (it is roughly total/512 + prefill).
+	if ttft*2 >= total {
+		t.Fatalf("ttft %v not ahead of completion %v", ttft, total)
+	}
+}
+
+// TestChatStreamTruncatedOnCrash: an engine crash mid-generation truncates
+// the stream — the consumer keeps the tokens that arrived, sees a non-nil
+// Err, and never receives [DONE].
+func TestChatStreamTruncatedOnCrash(t *testing.T) {
+	se, net, api := apiFixture(t)
+	se.Go("saboteur", func(p *sim.Proc) {
+		p.Sleep(2 * time.Second)
+		api.Engine.Crash(errTest)
+	})
+	resp, raw, _, streamErr := postStream(se, net, 4096)
+	if resp == nil || resp.Status != 200 {
+		t.Fatalf("resp = %+v (the first byte preceded the crash)", resp)
+	}
+	if streamErr == nil {
+		t.Fatal("crash mid-stream must surface on Err")
+	}
+	chunks, sawDone := collectSSE(t, raw)
+	if sawDone {
+		t.Fatal("[DONE] on a truncated stream")
+	}
+	if len(chunks) == 0 || len(chunks) >= 4096 {
+		t.Fatalf("got %d chunks, want a partial prefix", len(chunks))
+	}
+}
+
+// TestChatStreamFailsBufferedBeforeFirstByte: a request that dies before
+// its first token returns a buffered 500 (retryable), not a stream.
+func TestChatStreamFailsBufferedBeforeFirstByte(t *testing.T) {
+	se, net, api := apiFixture(t)
+	api.Engine.Crash(errTest)
+	resp, raw, _, _ := postStream(se, net, 64)
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	if resp.Status != 500 {
+		t.Fatalf("status = %d, want 500", resp.Status)
+	}
+	if resp.Stream != nil || len(raw) != 0 {
+		t.Fatal("pre-first-byte failure must be buffered, not streamed")
+	}
+}
+
+// TestTokenTextMatchesSynthesize: the per-token text function and the
+// whole-body synthesizer agree for every prefix length, so streamed and
+// buffered clients see identical completions.
+func TestTokenTextMatchesSynthesize(t *testing.T) {
+	var b strings.Builder
+	for n := 1; n <= 100; n++ {
+		b.WriteString(TokenText(n))
+		if b.String() != SynthesizeText(n) {
+			t.Fatalf("divergence at %d tokens", n)
+		}
+	}
+}
