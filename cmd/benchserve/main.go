@@ -25,6 +25,7 @@ import (
 	"repro/internal/sharegpt"
 	"repro/internal/sim"
 	"repro/internal/site"
+	"repro/internal/telemetry"
 	"repro/internal/vhttp"
 )
 
@@ -50,6 +51,8 @@ func main() {
 		prefixOn = flag.Bool("prefix-cache", true, "automatic prefix caching in the engine (vLLM --enable-prefix-caching); bench prompts are unique, so this mainly matters with real multi-turn traffic")
 		stream   = flag.Bool("stream", false, "request SSE streaming (stream: true); TTFT and inter-token latency measured at the client as chunks arrive")
 		artifact = flag.String("artifact", "", "write sweep results as a JSON artifact to this path (e.g. BENCH_streaming.json)")
+		traceOn  = flag.Bool("trace", false, "sample request traces at the gateway during the sweep and print the slowest trace's stage waterfall (needs -replicas > 1)")
+		observe  = flag.String("observe-artifact", "", "write the post-run /observe fleet snapshot as JSON to this path (e.g. OBSERVE_fleet.json)")
 	)
 	flag.Parse()
 
@@ -122,7 +125,7 @@ func main() {
 				tp: *tp, maxLen: *maxLen, replicas: *replicas, policy: *policy,
 				sloP95: *sloP95, priority: *priority, noPrefixCache: !*prefixOn,
 				autoscale: pol, poolNodes: *pool, prompts: *prompts, seed: *seed, points: points,
-				stream: *stream, artifact: *artifact,
+				stream: *stream, artifact: *artifact, trace: *traceOn, observe: *observe,
 			})
 			return
 		}
@@ -154,8 +157,14 @@ func main() {
 		if gw := dp.Gateway(); gw != nil {
 			fmt.Printf("# serving %s on %s: %d replicas behind %s (%s routing)\n",
 				m.Short, pf.Name, len(dp.Replicas()), dp.BaseURL, gw.Policy)
+			if *traceOn {
+				gw.TraceSampleEvery = traceSampleStride
+			}
 		} else {
 			fmt.Printf("# serving %s on %s at %s\n", m.Short, pf.Name, dp.BaseURL)
+			if *traceOn {
+				fmt.Println("# -trace needs a gateway (-replicas > 1); no traces will be sampled")
+			}
 		}
 		ds := sharegpt.Synthesize(*seed, 4000)
 		target := &bench.HTTPTarget{
@@ -200,6 +209,16 @@ func main() {
 			}
 			fmt.Printf("# wrote %s\n", *artifact)
 		}
+		if gw := dp.Gateway(); gw != nil && *traceOn {
+			printSlowestTrace(gw)
+		}
+		if *observe != "" && dp.Gateway() != nil {
+			client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+			if err := writeObserveArtifact(p, client, dp.BaseURL, *observe); err != nil {
+				failure = err
+				return
+			}
+		}
 	})
 	for i := 0; i < 100000 && !done; i++ {
 		s.Eng.RunFor(10 * time.Minute)
@@ -207,6 +226,41 @@ func main() {
 	if failure != nil {
 		fatal(failure)
 	}
+}
+
+// traceSampleStride traces one request in every 16 during a bench sweep —
+// enough settled traces to populate the slow-request flight recorder
+// without the per-trace allocations distorting the measured path.
+const traceSampleStride = 16
+
+// printSlowestTrace renders the slowest sampled trace's stage waterfall,
+// the per-request decomposition behind the sweep's tail latency.
+func printSlowestTrace(gw *ingress.Gateway) {
+	slow := gw.Tracer.Slowest()
+	if len(slow) == 0 {
+		fmt.Println("# no traces sampled")
+		return
+	}
+	_, sampled := gw.Tracer.Counts()
+	fmt.Printf("# slowest of %d sampled traces:\n", sampled)
+	fmt.Print(slow[0].Waterfall())
+}
+
+// writeObserveArtifact fetches the /observe fleet snapshot and writes the
+// JSON document to path.
+func writeObserveArtifact(p *sim.Proc, client *vhttp.Client, baseURL, path string) error {
+	resp, err := client.Get(p, baseURL+telemetry.ObservePath)
+	if err != nil {
+		return fmt.Errorf("fetch %s: %w", telemetry.ObservePath, err)
+	}
+	if resp.Status != 200 {
+		return fmt.Errorf("fetch %s: status %d", telemetry.ObservePath, resp.Status)
+	}
+	if err := os.WriteFile(path, resp.Body, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s\n", path)
+	return nil
 }
 
 // benchFleetConfig carries the flag values into the fleet bench run.
@@ -223,6 +277,8 @@ type benchFleetConfig struct {
 	points               []int
 	stream               bool
 	artifact             string
+	trace                bool
+	observe              string
 }
 
 // benchFleet deploys a multi-model fleet and sweeps each model through the
@@ -245,6 +301,11 @@ func benchFleet(p *sim.Proc, s *site.Site, d *core.Deployer, pf core.Platform, e
 	defer fl.Stop()
 	fmt.Printf("# serving %d-model fleet on %s behind %s (pool: %d nodes)\n",
 		len(fl.Models()), pf.Name, fl.BaseURL, bc.poolNodes)
+	if bc.trace {
+		for _, name := range fl.Models() {
+			fl.Deployment(name).Gateway().TraceSampleEvery = traceSampleStride
+		}
+	}
 	ds := sharegpt.Synthesize(bc.seed, 4000)
 	var series []metrics.Series
 	var all []*bench.Result
@@ -278,6 +339,18 @@ func benchFleet(p *sim.Proc, s *site.Site, d *core.Deployer, pf core.Platform, e
 			return err
 		}
 		fmt.Printf("# wrote %s\n", bc.artifact)
+	}
+	if bc.trace {
+		for _, name := range fl.Models() {
+			fmt.Printf("# model %s:\n", name)
+			printSlowestTrace(fl.Deployment(name).Gateway())
+		}
+	}
+	if bc.observe != "" {
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		if err := writeObserveArtifact(p, client, fl.BaseURL, bc.observe); err != nil {
+			return err
+		}
 	}
 	return nil
 }

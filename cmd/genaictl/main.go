@@ -32,6 +32,8 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/site"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vhttp"
 	"repro/internal/vllm"
 )
@@ -62,6 +64,10 @@ func main() {
 		runPlan(args)
 	case "deploy":
 		runDeploy(args)
+	case "trace":
+		runTrace(args)
+	case "observe":
+		runObserve(args)
 	case "fetch":
 		runFetch(args)
 	case "experiments":
@@ -83,6 +89,8 @@ commands:
   models        list known models
   plan          render the deployment artifact for a platform
   deploy        deploy on the simulated site and optionally send a query
+  trace         deploy, send one traced request, print its stage waterfall
+  observe       deploy, apply brief load, print the /observe fleet snapshot
   fetch         run the model download → object storage workflow
   experiments   list reproducible experiments (see cmd/figures)`)
 }
@@ -367,6 +375,184 @@ func runDeployFleet(opts *deployOpts, pol *autoscale.Policy, query string) {
 	})
 	drive(s, &done)
 	fatalIf(failure)
+}
+
+// runTrace deploys a replica set, sends one streamed request tagged with
+// an X-Trace-Id, and prints the settled trace's stage waterfall fetched
+// back from the gateway's /traces endpoint.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	opts := deployFlags(fs)
+	query := fs.String("query", "Trace this request end to end.", "prompt for the traced request")
+	id := fs.String("id", "genaictl-trace-1", "trace ID sent as the X-Trace-Id header")
+	fs.Parse(args)
+	if *opts.replicas < 2 {
+		// Tracing lives in the gateway; a single bare engine has no
+		// /traces endpoint to fetch the settled trace from.
+		*opts.replicas = 2
+	}
+	pol, err := opts.validate()
+	fatalIf(err)
+	pf, err := platformByName(*opts.platform)
+	fatalIf(err)
+	m, err := llm.ByName(*opts.model)
+	fatalIf(err)
+
+	s := site.New(site.Options{Small: true, Seed: 1})
+	d := core.NewDeployer(s)
+	var failure error
+	done := false
+	s.Eng.Go("genaictl", func(p *sim.Proc) {
+		defer func() { done = true }()
+		if failure = core.SeedModel(p, s.HopsLustre, m); failure != nil {
+			return
+		}
+		dp, err := d.Deploy(p, core.VLLMPackage(), pf, opts.config(m, pol))
+		if err != nil {
+			failure = err
+			return
+		}
+		defer dp.Stop()
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		body, _ := json.Marshal(vllm.ChatRequest{
+			Messages:  []vllm.ChatMessage{{Role: "user", Content: *query}},
+			MaxTokens: 64, Stream: true,
+		})
+		resp, err := client.Do(p, &vhttp.Request{
+			Method: "POST", URL: dp.BaseURL + "/v1/chat/completions", Body: body,
+			Header: map[string]string{trace.Header: *id},
+		})
+		if err != nil {
+			failure = err
+			return
+		}
+		if resp.Stream != nil {
+			for {
+				if _, ok := resp.Stream.Next(p); !ok {
+					break
+				}
+			}
+			if err := resp.Stream.Err(); err != nil {
+				failure = fmt.Errorf("stream truncated: %w", err)
+				return
+			}
+		}
+		tresp, err := client.Get(p, dp.BaseURL+trace.Path+"?id="+*id)
+		if err != nil || tresp.Status != 200 {
+			failure = fmt.Errorf("fetch trace %s: status=%d err=%v", *id, tresp.Status, err)
+			return
+		}
+		var tr trace.Trace
+		if err := json.Unmarshal(tresp.Body, &tr); err != nil {
+			failure = err
+			return
+		}
+		fmt.Print(tr.Waterfall())
+	})
+	drive(s, &done)
+	fatalIf(failure)
+}
+
+// runObserve deploys a replica set, applies a brief burst of load, and
+// pretty-prints the one-stop /observe fleet snapshot.
+func runObserve(args []string) {
+	fs := flag.NewFlagSet("observe", flag.ExitOnError)
+	opts := deployFlags(fs)
+	load := fs.Int("load", 8, "requests to send before snapshotting")
+	fs.Parse(args)
+	if *opts.replicas < 2 {
+		*opts.replicas = 2
+	}
+	pol, err := opts.validate()
+	fatalIf(err)
+	pf, err := platformByName(*opts.platform)
+	fatalIf(err)
+	m, err := llm.ByName(*opts.model)
+	fatalIf(err)
+
+	s := site.New(site.Options{Small: true, Seed: 1})
+	d := core.NewDeployer(s)
+	var failure error
+	done := false
+	s.Eng.Go("genaictl", func(p *sim.Proc) {
+		defer func() { done = true }()
+		if failure = core.SeedModel(p, s.HopsLustre, m); failure != nil {
+			return
+		}
+		dp, err := d.Deploy(p, core.VLLMPackage(), pf, opts.config(m, pol))
+		if err != nil {
+			failure = err
+			return
+		}
+		defer dp.Stop()
+		client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+		for i := 0; i < *load; i++ {
+			body, _ := json.Marshal(vllm.ChatRequest{
+				Messages:  []vllm.ChatMessage{{Role: "user", Content: fmt.Sprintf("load %d", i)}},
+				MaxTokens: 32,
+			})
+			if _, err := client.Do(p, &vhttp.Request{
+				Method: "POST", URL: dp.BaseURL + "/v1/chat/completions", Body: body,
+			}); err != nil {
+				failure = err
+				return
+			}
+		}
+		// Let the gateway's next probe round land so the snapshot carries
+		// fresh per-replica telemetry instead of "never scraped".
+		p.Sleep(20 * time.Second)
+		resp, err := client.Get(p, dp.BaseURL+telemetry.ObservePath)
+		if err != nil || resp.Status != 200 {
+			failure = fmt.Errorf("fetch /observe: status=%d err=%v", resp.Status, err)
+			return
+		}
+		f, err := telemetry.DecodeFleet(resp.Body)
+		if err != nil {
+			failure = err
+			return
+		}
+		printFleet(f)
+	})
+	drive(s, &done)
+	fatalIf(failure)
+}
+
+// printFleet renders a FleetSnapshot for the terminal.
+func printFleet(f telemetry.FleetSnapshot) {
+	fmt.Printf("fleet snapshot @ %s\n", f.CapturedAt.Format(time.RFC3339))
+	if f.Router != nil {
+		fmt.Printf("router: %d requests, %d unknown\n", f.Router.Requests, f.Router.Unknown)
+	}
+	for _, mo := range f.Models {
+		fmt.Printf("model %s  policy=%s serviceable=%v healthy=%d holding=%d\n",
+			mo.Model, mo.Policy, mo.Serviceable, mo.HealthyBackends, mo.Holding)
+		c := mo.Counters
+		fmt.Printf("  requests=%d retries=%d rejected=%d errors=%d held=%d streams=%d truncated=%d spills=%d\n",
+			c.Requests, c.Retries, c.Rejected, c.Errors, c.Held, c.Streams, c.StreamsTruncated, c.SessionSpills)
+		if len(mo.LatencyMillis) > 0 {
+			fmt.Printf("  latency p50=%.1fms p95=%.1fms p99=%.1fms\n",
+				mo.LatencyMillis["p50"], mo.LatencyMillis["p95"], mo.LatencyMillis["p99"])
+		}
+		if mo.SLO != nil {
+			fmt.Printf("  slo target=%.0fms p95=%.1fms engaged=%v sheds=%d\n",
+				mo.SLO.TargetMillis, mo.SLO.P95Millis, mo.SLO.Engaged, mo.SLO.Sheds)
+		}
+		if mo.Traces != nil {
+			fmt.Printf("  traces %d/%d sampled", mo.Traces.Sampled, mo.Traces.Total)
+			if mo.Traces.SlowestID != "" {
+				fmt.Printf(", slowest %s (%.1fms)", mo.Traces.SlowestID, mo.Traces.SlowestMillis)
+			}
+			fmt.Println()
+		}
+		for _, r := range mo.Replicas {
+			age := "never"
+			if r.SnapshotAgeMillis >= 0 {
+				age = fmt.Sprintf("%.0fms", r.SnapshotAgeMillis)
+			}
+			fmt.Printf("  replica %-12s healthy=%v inflight=%d requests=%d failures=%d snapshot-age=%s\n",
+				r.Name, r.Healthy, r.Inflight, r.Requests, r.Failures, age)
+		}
+	}
 }
 
 func runFetch(args []string) {

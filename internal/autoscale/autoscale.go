@@ -1,7 +1,9 @@
 // Package autoscale is the elastic replica controller: a control loop
 // (running as a sim.Proc) that watches a replica set's gateway load signals
 // — requests held at the gateway, per-replica queue depths scraped from
-// vLLM's /metrics, and EWMA-smoothed request rate and p95 latency — and
+// vLLM's /metrics, and EWMA-smoothed request rate and p95 latency (read
+// from the gateway's log-bucketed latency histogram, the same distribution
+// /gateway/metrics exposes) — and
 // resizes the deployment between MinReplicas and MaxReplicas, including
 // scale-to-zero with cold-start queuing at the gateway.
 //
@@ -56,7 +58,9 @@ type Policy struct {
 	// p95-latency signals (default 1m).
 	RateHalflife time.Duration
 	// SLOTargetP95 is the per-model latency objective shared with the
-	// gateway's SLO admission breaker. While the smoothed p95 breaches it,
+	// gateway's SLO admission breaker. The p95 is read from the gateway's
+	// windowed latency histogram (LatencyQuantile) and EWMA-smoothed
+	// here. While the smoothed p95 breaches it,
 	// the controller raises its demand signal and scales up ahead of the
 	// queue-depth path — scale first, shed only if scaling cannot keep up.
 	// A continuous-batching engine absorbs load into ever-larger batches,

@@ -2,6 +2,7 @@ package ingress
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/sched"
 	"repro/internal/vhttp"
@@ -29,12 +30,23 @@ func requireAllocBudget(t *testing.T, name string, budget float64, fn func()) {
 	t.Logf("%s: %.1f allocs/op (budget %.0f)", name, got, budget)
 }
 
+// enableTracing installs a recorder on every gateway so the budgets are
+// measured with the tracing layer active. The huge sampling stride keeps
+// the steady-state requests unsampled — the production default for
+// untagged traffic — which is exactly the path that must stay alloc-free.
+func enableTracing(router *Router, names []string) {
+	for _, name := range names {
+		router.Gateway(name).TraceSampleEvery = 1 << 30
+	}
+}
+
 // TestRouterPickAllocBudget: the routing decision (model lookup + replica
 // pick) must not allocate — the candidate snapshot reuses the gateway's
 // scratch buffer.
 func TestRouterPickAllocBudget(t *testing.T) {
 	for _, policy := range []Policy{PolicyRoundRobin, PolicyLeastLoaded, PolicySession} {
 		router, names := benchFleet(4, 8, policy)
+		enableTracing(router, names)
 		sreq := sched.Request{SessionKey: "budget-session", Class: sched.ClassInteractive}
 		i := 0
 		requireAllocBudget(t, "pick/"+string(policy), pickAllocBudget, func() {
@@ -49,9 +61,10 @@ func TestRouterPickAllocBudget(t *testing.T) {
 
 // TestRouterDispatchDecisionAllocBudget: the full router-side cost of one
 // inference request before the forward — scheduling-attribute extraction
-// from the JSON body plus the pick.
+// from the JSON body, the trace-or-not decision, and the pick.
 func TestRouterDispatchDecisionAllocBudget(t *testing.T) {
 	router, names := benchFleet(4, 4, PolicyLeastLoaded)
+	enableTracing(router, names)
 	reqs := make([]*vhttp.Request, len(names))
 	for i, name := range names {
 		reqs[i] = &vhttp.Request{
@@ -69,7 +82,13 @@ func TestRouterDispatchDecisionAllocBudget(t *testing.T) {
 			t.Fatal("describe failed")
 		}
 		gw := router.Gateway(desc.Model)
-		if gw == nil || gw.pickFrom(gw.views(nil), &desc) == nil {
+		if gw == nil {
+			t.Fatal("dispatch failed")
+		}
+		if tr := gw.startTrace(req, &desc, time.Time{}); tr != nil && desc.TraceID == "" {
+			t.Fatal("unsampled request was traced")
+		}
+		if gw.pickFrom(gw.views(nil), &desc) == nil {
 			t.Fatal("dispatch failed")
 		}
 	})

@@ -10,6 +10,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vhttp"
 	"repro/internal/vllm"
 )
@@ -233,11 +234,24 @@ type Gateway struct {
 	// AutoscaleStatus, when non-nil, is rendered into /gateway/status under
 	// "autoscale" so operators can observe the controller's current target.
 	AutoscaleStatus func() any
+	// Tracer is the per-gateway trace recorder (created on first use when
+	// nil). Requests carrying an X-Trace-Id header are always traced;
+	// others are sampled per the recorder's rate. Settled traces serve on
+	// /traces.
+	Tracer *trace.Recorder
+	// TraceSampleEvery, when positive, overrides the recorder's sampling
+	// rate (1 = trace everything; re-synced every request so post-Start
+	// changes take effect). 0 leaves the recorder's own setting — the
+	// default recorder then traces only explicit X-Trace-Id requests.
+	TraceSampleEvery int
 
 	eng      *sim.Engine
 	backends []*Backend
 	stats    GatewayStats
-	holdq    sched.Queue // requests parked waiting for a routable replica
+	// shedByClass counts admission rejections per priority class name.
+	// Kept out of GatewayStats so that struct stays comparable.
+	shedByClass map[string]int
+	holdq       sched.Queue // requests parked waiting for a routable replica
 	// client is the pooled transport shared by the probe loop and every
 	// forward; vhttp.Client carries no per-request state, so one instance
 	// replaces the old per-call allocation.
@@ -256,8 +270,13 @@ type Gateway struct {
 	started bool
 	stopped bool
 
-	arrivals  metrics.Rolling // client request arrival times
-	latencies metrics.Rolling // completed request latencies (ms)
+	arrivals metrics.Rolling // client request arrival times
+	// latencies is the log-bucketed histogram of completed request
+	// latencies (ms). The SLO breaker's p95 and the operator-facing
+	// /gateway/metrics exposition read the same distribution, so a breach
+	// decision is always explainable from the exported histogram.
+	latencies metrics.Histogram
+	reg       *metrics.Registry // /gateway/metrics instruments, built lazily
 }
 
 // AddBackend registers a replica endpoint. Backends start healthy; the
@@ -651,15 +670,51 @@ func (w *watchedStream) Err() error { return w.src.Err() }
 // failure. Truncations are never retried — the first byte already reached
 // the client, so failover happens only on the buffered pre-first-byte
 // error path.
-func (g *Gateway) finishStream(b *Backend, resp *vhttp.Response, start time.Time) {
+//
+// A traced request settles here too: the engine's span context rides
+// Response.Trace (a live pointer — the decode span is recorded at engine
+// finish, before the terminal chunk is drained), the drain span covers
+// decode-end to stream EOF on the shared virtual clock, and the merged
+// trace is recorded once the consumer reaches end of stream.
+func (g *Gateway) finishStream(b *Backend, resp *vhttp.Response, start time.Time, tr *trace.Trace) {
 	g.stats.Streams++
+	var et *trace.Trace
+	if e, ok := resp.Trace.(*trace.Trace); ok {
+		et = e
+		resp.Trace = nil
+	}
+	if tr != nil {
+		tr.Streamed = true
+	}
 	resp.Stream = &watchedStream{src: resp.Stream, done: func(p *sim.Proc, err error) {
 		g.release(b)
 		if err != nil {
 			b.failures++
 			g.stats.StreamsTruncated++
 		}
-		g.latencies.Observe(p.Now(), float64(p.Now().Sub(start))/float64(time.Millisecond))
+		now := p.Now()
+		g.latencies.Observe(now, float64(now.Sub(start))/float64(time.Millisecond))
+		if tr == nil {
+			return
+		}
+		tr.Merge(et)
+		if tr.Replica == "" {
+			tr.Replica = b.Name
+		}
+		// Drain: from engine-side completion (decode span end) to the
+		// client consuming the last chunk. Valid cross-layer arithmetic —
+		// every layer shares one virtual clock.
+		drainStart := now
+		if end, ok := tr.SpanEnd(trace.StageDecode); ok && end.Before(now) {
+			drainStart = end
+		}
+		tr.Observe(trace.StageDrain, drainStart, now)
+		errMsg := ""
+		if err != nil {
+			errMsg = "stream truncated: " + err.Error()
+		}
+		tr.Finish(now, errMsg)
+		g.tracer().Record(tr)
 	}}
 }
 
@@ -688,7 +743,7 @@ func (g *Gateway) hold(p *sim.Proc, sreq *sched.Request, deadline time.Time) *Ba
 
 // Serve implements vhttp.Service: the virtual endpoint's request path.
 func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
-	if resp := g.control(req); resp != nil {
+	if resp := g.control(p, req); resp != nil {
 		return resp
 	}
 	return g.dispatch(p, req, g.describe(req))
@@ -698,7 +753,7 @@ func (g *Gateway) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 // already derived — a fronting Router parses the body once and hands the
 // descriptor down, so the per-model gateway does not re-parse.
 func (g *Gateway) ServeDescribed(p *sim.Proc, req *vhttp.Request, sreq sched.Request) *vhttp.Response {
-	if resp := g.control(req); resp != nil {
+	if resp := g.control(p, req); resp != nil {
 		return resp
 	}
 	g.normalize(&sreq)
@@ -707,7 +762,7 @@ func (g *Gateway) ServeDescribed(p *sim.Proc, req *vhttp.Request, sreq sched.Req
 
 // control answers the gateway's own endpoints; nil means the request is
 // inference traffic for the replica set.
-func (g *Gateway) control(req *vhttp.Request) *vhttp.Response {
+func (g *Gateway) control(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	switch req.Path {
 	case "/health":
 		// The gateway answers for the replica set: up while any replica is.
@@ -719,6 +774,18 @@ func (g *Gateway) control(req *vhttp.Request) *vhttp.Response {
 		return vhttp.Text(503, "unhealthy: no healthy replicas")
 	case "/gateway/status":
 		return g.status()
+	case "/gateway/metrics":
+		return vhttp.Text(200, g.instruments().Render(p.Now()))
+	case telemetry.ObservePath:
+		// Single-model fleet snapshot: the same document the router
+		// merges across models, scoped to this replica set.
+		f := telemetry.FleetSnapshot{
+			CapturedAt: p.Now(),
+			Models:     []telemetry.ModelObservation{g.Observe(p.Now())},
+		}
+		return vhttp.JSON(200, f.Encode())
+	case trace.Path:
+		return g.traces(req)
 	case "/v1/models":
 		// Authoritative when the served model is known: the list is a
 		// property of the replica set, not of whichever replica the
@@ -731,12 +798,133 @@ func (g *Gateway) control(req *vhttp.Request) *vhttp.Response {
 	return nil
 }
 
+// traces serves the trace store: ?id= fetches one settled trace by its
+// X-Trace-Id (404 when unknown or still in flight), no query lists the
+// recent ring and the slowest-trace flight recorder.
+func (g *Gateway) traces(req *vhttp.Request) *vhttp.Response {
+	if id := req.Query.Get("id"); id != "" {
+		t := g.tracer().Get(id)
+		if t == nil {
+			return vhttp.Text(404, "404 Not Found (gateway): no settled trace "+id)
+		}
+		body, _ := json.Marshal(t)
+		return vhttp.JSON(200, body)
+	}
+	total, sampled := g.tracer().Counts()
+	out := struct {
+		Model   string         `json:"model,omitempty"`
+		Total   uint64         `json:"total"`
+		Sampled uint64         `json:"sampled"`
+		Slowest []*trace.Trace `json:"slowest,omitempty"`
+		Recent  []*trace.Trace `json:"recent,omitempty"`
+	}{Model: g.Model, Total: total, Sampled: sampled,
+		Slowest: g.tracer().Slowest(), Recent: g.tracer().Recent()}
+	body, _ := json.Marshal(out)
+	return vhttp.JSON(200, body)
+}
+
+// Trace returns a settled trace by ID (nil if unknown).
+func (g *Gateway) Trace(id string) *trace.Trace { return g.tracer().Get(id) }
+
+// instruments builds the gateway's metric registry on first use: typed
+// counters sampled from the existing stats, gauges over live control
+// state, and the request-latency histogram — the same instance the SLO
+// breaker reads, so the exposition and the breach decision can never
+// disagree.
+func (g *Gateway) instruments() *metrics.Registry {
+	if g.reg != nil {
+		return g.reg
+	}
+	r := &metrics.Registry{}
+	r.CounterFunc("gateway_requests_total", "forwarded client requests", func() float64 { return float64(g.stats.Requests) })
+	r.CounterFunc("gateway_retries_total", "second attempts after a replica failure", func() float64 { return float64(g.stats.Retries) })
+	r.CounterFunc("gateway_rejected_total", "admission rejections (queue depth and SLO sheds)", func() float64 { return float64(g.stats.Rejected) })
+	r.CounterFunc("gateway_errors_total", "requests failed on every attempted replica", func() float64 { return float64(g.stats.Errors) })
+	r.CounterFunc("gateway_held_total", "requests held for a cold start", func() float64 { return float64(g.stats.Held) })
+	r.CounterFunc("gateway_streams_total", "streamed responses proxied", func() float64 { return float64(g.stats.Streams) })
+	r.CounterFunc("gateway_streams_truncated_total", "streams cut by a replica death", func() float64 { return float64(g.stats.StreamsTruncated) })
+	r.CounterFunc("gateway_session_spills_total", "session-affine requests spilled off their replica", func() float64 { return float64(g.SessionSpills()) })
+	r.GaugeFunc("gateway_holding", "requests parked in the hold queue", func() float64 { return float64(g.holdq.Len()) })
+	r.GaugeFunc("gateway_healthy_backends", "routable replicas", func() float64 { return float64(g.HealthyBackends()) })
+	r.Histogram("gateway_request_latency_ms", "end-to-end request latency (ms), streamed bodies included", &g.latencies)
+	g.reg = r
+	return r
+}
+
+// Observe assembles this replica set's slice of the fleet observability
+// document: typed gateway counters (stream truncations, sheds by class,
+// session spills included), latency quantiles from the same histogram
+// the SLO breaker reads, trace-recorder totals, and per-replica health
+// with snapshot staleness.
+func (g *Gateway) Observe(now time.Time) telemetry.ModelObservation {
+	obs := telemetry.ModelObservation{
+		Model:           g.Model,
+		Policy:          string(g.Policy),
+		Serviceable:     g.Serviceable(),
+		HealthyBackends: g.HealthyBackends(),
+		Holding:         g.holdq.Len(),
+		Counters: telemetry.GatewayCounters{
+			Requests:         g.stats.Requests,
+			Retries:          g.stats.Retries,
+			Rejected:         g.stats.Rejected,
+			Errors:           g.stats.Errors,
+			Held:             g.stats.Held,
+			Streams:          g.stats.Streams,
+			StreamsTruncated: g.stats.StreamsTruncated,
+			SessionSpills:    g.SessionSpills(),
+		},
+		Replicas: make([]telemetry.ReplicaHealth, 0, len(g.backends)),
+	}
+	if len(g.shedByClass) > 0 {
+		obs.Counters.ShedByClass = make(map[string]int, len(g.shedByClass))
+		for k, v := range g.shedByClass {
+			obs.Counters.ShedByClass[k] = v
+		}
+	}
+	if g.latencies.Count() > 0 {
+		obs.LatencyMillis = map[string]float64{
+			"p50": g.latencies.Quantile(now, 0.50),
+			"p95": g.latencies.Quantile(now, 0.95),
+			"p99": g.latencies.Quantile(now, 0.99),
+		}
+	}
+	if slo, ok := g.SLO(); ok {
+		obs.SLO = &telemetry.SLOState{
+			TargetMillis: slo.TargetM, P95Millis: slo.P95M,
+			Engaged: slo.Engaged, Sheds: slo.Sheds,
+		}
+	}
+	if g.Tracer != nil {
+		total, sampled := g.Tracer.Counts()
+		tc := &telemetry.TraceCounters{Total: total, Sampled: sampled}
+		if slow := g.Tracer.Slowest(); len(slow) > 0 {
+			tc.SlowestMillis = float64(slow[0].E2E()) / float64(time.Millisecond)
+			tc.SlowestID = slow[0].ID
+		}
+		obs.Traces = tc
+	}
+	for _, b := range g.backends {
+		obs.Replicas = append(obs.Replicas, telemetry.ReplicaHealth{
+			Name: b.Name, URL: b.URL(), Healthy: b.healthy, Draining: b.draining,
+			Inflight: b.inflight, Requests: b.requests, Failures: b.failures,
+			SnapshotAgeMillis: b.snap.AgeMillis(now), Snapshot: b.snap,
+		})
+	}
+	if g.AutoscaleStatus != nil {
+		if raw, err := json.Marshal(g.AutoscaleStatus()); err == nil {
+			obs.Autoscale = raw
+		}
+	}
+	return obs
+}
+
 // dispatch is the scheduling path shared by Serve and ServeDescribed:
 // admission, pick (holding through cold starts), forward, one retry.
 func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) *vhttp.Response {
 	g.stats.Requests++
 	g.arrivals.Observe(p.Now(), 1)
 	start := p.Now()
+	tr := g.startTrace(req, &sreq, start)
 	// One cold-start budget and one Held count per request, shared between
 	// the arrival hold and a possible re-hold after a forward failure.
 	holdDeadline := start.Add(g.ColdStartWait)
@@ -746,35 +934,54 @@ func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) 
 			held = true
 			g.stats.Held++
 		}
-		return g.hold(p, &sreq, holdDeadline)
+		holdStart := p.Now()
+		b := g.hold(p, &sreq, holdDeadline)
+		tr.Observe(trace.StageHold, holdStart, p.Now())
+		return b
 	}
 	// One routable-set snapshot serves both the admission decision and the
 	// first pick; nothing yields between them.
 	candidates := g.views(nil)
 	if out := g.admit(p, &sreq, candidates); !out.Admit {
 		g.stats.Rejected++
+		g.noteShed(sreq.Class)
+		g.abortTrace(tr, p.Now(), "shed: "+out.Reason)
 		resp := vhttp.Text(503, "503 Service Unavailable (gateway): "+out.Reason)
 		resp.SetHeader("Retry-After", strconv.Itoa(out.RetryAfter))
 		return resp
 	}
+	tr.Observe(trace.StageAdmission, start, p.Now())
 	b := g.pickFrom(candidates, &sreq)
 	if b == nil && g.HoldColdStart {
 		b = enterHold()
 		if b == nil {
 			g.stats.Errors++
+			g.abortTrace(tr, p.Now(), "cold-start hold expired")
 			return vhttp.Text(503, "503 Service Unavailable (gateway): no replica became available within the cold-start window")
 		}
 	}
+	if !held {
+		// A routable replica was there on arrival: record the hold stage
+		// as zero-duration so every settled trace carries the full stage
+		// decomposition and a waterfall never has to guess whether a
+		// missing hold span means "not held" or "not instrumented".
+		tr.Observe(trace.StageHold, p.Now(), p.Now())
+	}
 	if b == nil {
 		g.stats.Errors++
+		g.abortTrace(tr, p.Now(), "no healthy replicas")
 		return vhttp.Text(502, "502 Bad Gateway (gateway): no healthy replicas")
 	}
+	// The pick itself is instantaneous in virtual time; the zero-duration
+	// span marks when the decision landed (after any hold) and on whom.
+	tr.Observe(trace.StagePick, p.Now(), p.Now())
 	resp, err := g.forward(p, b, req)
 	if err == nil && resp.Status < 500 {
 		if resp.Stream != nil {
-			g.finishStream(b, resp, start)
+			g.finishStream(b, resp, start, tr)
 		} else {
 			g.latencies.Observe(p.Now(), float64(p.Now().Sub(start))/float64(time.Millisecond))
+			g.settleTrace(tr, resp, b, p.Now(), "")
 		}
 		return resp
 	}
@@ -797,33 +1004,107 @@ func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) 
 		b2 = enterHold()
 		if b2 == nil {
 			g.stats.Errors++
+			g.abortTrace(tr, p.Now(), "cold-start hold expired after replica failure")
 			return vhttp.Text(503, "503 Service Unavailable (gateway): no replica became available within the cold-start window")
 		}
 	}
 	if b2 == nil {
 		g.stats.Errors++
 		if err != nil {
+			g.abortTrace(tr, p.Now(), "replica unreachable: "+err.Error())
 			return vhttp.Text(502, "502 Bad Gateway (gateway): replica "+b.Name+" unreachable: "+err.Error())
 		}
+		g.abortTrace(tr, p.Now(), "upstream 5xx with no retry candidate")
 		return resp
 	}
 	g.stats.Retries++
+	if tr != nil {
+		tr.Retries++
+	}
 	resp2, err2 := g.forward(p, b2, req)
 	if err2 != nil {
 		b2.failures++
 		b2.healthy = false
 		g.stats.Errors++
+		g.abortTrace(tr, p.Now(), "retry unreachable: "+err2.Error())
 		return vhttp.Text(502, "502 Bad Gateway (gateway): retry on "+b2.Name+" failed: "+err2.Error())
 	}
 	if resp2.Status >= 500 {
 		b2.failures++
 		g.stats.Errors++
+		g.abortTrace(tr, p.Now(), "upstream 5xx on retry")
 	} else if resp2.Stream != nil {
-		g.finishStream(b2, resp2, start)
+		g.finishStream(b2, resp2, start, tr)
 	} else {
 		g.latencies.Observe(p.Now(), float64(p.Now().Sub(start))/float64(time.Millisecond))
+		g.settleTrace(tr, resp2, b2, p.Now(), "")
 	}
 	return resp2
+}
+
+// startTrace makes the trace-or-not decision at the front of dispatch.
+// The unsampled path (no X-Trace-Id, not sampled) allocates nothing —
+// the CI alloc budgets run with a Tracer installed. A sampled request
+// gets the trace ID injected into its headers so the engine-side API
+// server opens its own span context under the same ID.
+func (g *Gateway) startTrace(req *vhttp.Request, sreq *sched.Request, now time.Time) *trace.Trace {
+	tr := g.tracer().Start(sreq.TraceID, g.Model, sreq.Class.String(), now)
+	if tr == nil {
+		return nil
+	}
+	if req.Header == nil {
+		req.Header = make(map[string]string, 1)
+	}
+	req.Header[trace.Header] = tr.ID
+	return tr
+}
+
+// tracer resolves the recorder, creating a default one on first use and
+// re-syncing the sampling override so post-Start changes take effect.
+func (g *Gateway) tracer() *trace.Recorder {
+	if g.Tracer == nil {
+		g.Tracer = &trace.Recorder{}
+	}
+	if g.TraceSampleEvery > 0 {
+		g.Tracer.SampleEvery = g.TraceSampleEvery
+	}
+	return g.Tracer
+}
+
+// settleTrace completes a trace on the buffered success path: merge the
+// engine-side spans off the response, adopt the serving replica, record.
+// The engine's span context never propagates past the gateway — clients
+// read settled traces from /traces, not response internals.
+func (g *Gateway) settleTrace(tr *trace.Trace, resp *vhttp.Response, b *Backend, now time.Time, errMsg string) {
+	if tr == nil {
+		return
+	}
+	if et, ok := resp.Trace.(*trace.Trace); ok && et != nil {
+		tr.Merge(et)
+		resp.Trace = nil
+	}
+	if tr.Replica == "" && b != nil {
+		tr.Replica = b.Name
+	}
+	tr.Finish(now, errMsg)
+	g.tracer().Record(tr)
+}
+
+// abortTrace settles a trace on a request-path error.
+func (g *Gateway) abortTrace(tr *trace.Trace, now time.Time, msg string) {
+	if tr == nil {
+		return
+	}
+	tr.Finish(now, msg)
+	g.tracer().Record(tr)
+}
+
+// noteShed counts one admission rejection against the request's class.
+func (g *Gateway) noteShed(c sched.Class) {
+	if g.shedByClass == nil {
+		g.shedByClass = make(map[string]int, 2)
+	}
+	g.shedByClass[c.String()]++
 }
 
 // status renders the control-plane view of the replica set.
@@ -840,26 +1121,32 @@ func (g *Gateway) status() *vhttp.Response {
 		Failures int     `json:"failures"`
 		KVUsage  float64 `json:"kv_usage,omitempty"`
 		HitRate  float64 `json:"prefix_hit_rate,omitempty"`
+		// SnapAgeMS is the telemetry snapshot's staleness (-1: never
+		// scraped) — the signal consumers use to discount stale replicas.
+		SnapAgeMS float64 `json:"snapshot_age_ms"`
 	}
 	out := struct {
 		Model     string          `json:"model,omitempty"`
 		Policy    Policy          `json:"policy"`
 		Stats     GatewayStats    `json:"stats"`
+		Shed      map[string]int  `json:"shed_by_class,omitempty"`
 		Holding   int             `json:"holding"`
 		SLO       *SLOStatus      `json:"slo,omitempty"`
 		Spills    int             `json:"session_spills,omitempty"`
 		Backends  []backendStatus `json:"backends"`
 		Autoscale any             `json:"autoscale,omitempty"`
-	}{Model: g.Model, Policy: g.Policy, Stats: g.stats, Holding: g.holdq.Len(), Spills: g.SessionSpills()}
+	}{Model: g.Model, Policy: g.Policy, Stats: g.stats, Shed: g.shedByClass, Holding: g.holdq.Len(), Spills: g.SessionSpills()}
 	if slo, ok := g.SLO(); ok {
 		out.SLO = &slo
 	}
+	now := g.eng.Now()
 	for _, b := range g.backends {
 		out.Backends = append(out.Backends, backendStatus{
 			Name: b.Name, URL: b.URL(), Healthy: b.healthy, Draining: b.draining,
 			Inflight: b.inflight, Waiting: b.waiting, Running: b.running,
 			Requests: b.requests, Failures: b.failures,
 			KVUsage: b.snap.KVUsage(), HitRate: b.snap.PrefixHitRate(),
+			SnapAgeMS: b.snap.AgeMillis(now),
 		})
 	}
 	if g.AutoscaleStatus != nil {

@@ -3,9 +3,12 @@ package ingress
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vhttp"
 	"repro/internal/vllm"
 )
@@ -158,6 +161,10 @@ func (r *Router) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		return vhttp.Text(503, "unhealthy: no model serviceable")
 	case "/router/status":
 		return r.status()
+	case telemetry.ObservePath:
+		return r.observe(p.Now())
+	case trace.Path:
+		return r.traces(req)
 	case "/v1/models":
 		// Aggregated and deduplicated across the fleet: the authoritative
 		// list lives here, not on whichever replica a probe would hit.
@@ -199,6 +206,52 @@ func (r *Router) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	}
 	r.stats.Requests++
 	return rt.gw.ServeDescribed(p, req, desc)
+}
+
+// observe merges every model's observation, the router counters, and the
+// pool arbiter's status into the one-stop FleetSnapshot — the single
+// document a dashboard, a re-anchor, or a breaker/autoscaler
+// coordination consumer fetches instead of walking per-layer endpoints.
+func (r *Router) observe(now time.Time) *vhttp.Response {
+	f := telemetry.FleetSnapshot{
+		CapturedAt: now,
+		Router:     &telemetry.RouterCounters{Requests: r.stats.Requests, Unknown: r.stats.Unknown},
+		Models:     make([]telemetry.ModelObservation, 0, len(r.routes)),
+	}
+	for _, rt := range r.routes {
+		obs := rt.gw.Observe(now)
+		// The fleet document is keyed by route name; a gateway may carry
+		// a served alias, but the router's names are what clients use.
+		obs.Model = rt.model
+		f.Models = append(f.Models, obs)
+	}
+	if r.PoolStatus != nil {
+		if raw, err := json.Marshal(r.PoolStatus()); err == nil {
+			f.Pool = raw
+		}
+	}
+	return vhttp.JSON(200, f.Encode())
+}
+
+// traces searches every model's trace store: ?id= fetches one settled
+// trace wherever it landed; no query lists each gateway's summary.
+func (r *Router) traces(req *vhttp.Request) *vhttp.Response {
+	if id := req.Query.Get("id"); id != "" {
+		for _, rt := range r.routes {
+			if t := rt.gw.Trace(id); t != nil {
+				body, _ := json.Marshal(t)
+				return vhttp.JSON(200, body)
+			}
+		}
+		return vhttp.Text(404, "404 Not Found (router): no settled trace "+id)
+	}
+	out := make(map[string]json.RawMessage, len(r.routes))
+	for _, rt := range r.routes {
+		resp := rt.gw.traces(req)
+		out[rt.model] = resp.Body
+	}
+	body, _ := json.Marshal(out)
+	return vhttp.JSON(200, body)
 }
 
 // status renders the control-plane view of the whole fleet.

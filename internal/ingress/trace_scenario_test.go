@@ -1,0 +1,167 @@
+// End-to-end tracing acceptance: a streamed request tagged with an
+// X-Trace-Id crosses router, gateway, and a real vllm.Engine; the settled
+// trace fetched back from /traces must carry all eight stage spans, and
+// their durations must reconcile with what the client measured on the
+// same virtual clock.
+package ingress_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/ingress"
+	"repro/internal/llm"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+)
+
+// TestScenarioTraceSpansReconcileWithClientLatency: the eight spans of a
+// streamed request partition its latency — the span durations sum to the
+// client-measured E2E, and the pre-decode spans sum to the client TTFT,
+// within the unattributed per-hop network latency.
+func TestScenarioTraceSpansReconcileWithClientLatency(t *testing.T) {
+	se := sim.NewEngine(1)
+	net := vhttp.NewNet(netsim.New(se))
+	eng, err := vllm.New(se, vllm.Config{
+		Model: llm.Llama318B, GPU: hw.H100SXM, TensorParallel: 1, MaxModelLen: 65536,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	const model = "chat"
+	srv := &vllm.APIServer{Engine: eng, ServedName: model, Replica: "r0"}
+	if err := net.Listen("node1", 8000, srv, vhttp.ListenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	gw := &ingress.Gateway{Net: net, Host: "fleet", Model: model, Unbound: true}
+	gw.AddBackend("r0", "node1", 8000)
+	if err := gw.Start(se); err != nil {
+		t.Fatal(err)
+	}
+	router := &ingress.Router{Net: net, Host: "fleet", Port: 8000}
+	if err := router.AddModel(model, gw); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Start(se); err != nil {
+		t.Fatal(err)
+	}
+
+	const traceID = "e2e-trace-001"
+	const maxNew = 64
+	body, _ := json.Marshal(vllm.ChatRequest{
+		Model:     model,
+		Messages:  []vllm.ChatMessage{{Role: "user", Content: "Trace me end to end."}},
+		MaxTokens: maxNew,
+		Stream:    true,
+	})
+	var clientE2E, clientTTFT time.Duration
+	var tr trace.Trace
+	failed := false
+	se.Go("traced-client", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: "laptop"}
+		t0 := p.Now()
+		resp, err := c.Do(p, &vhttp.Request{
+			Method: "POST", URL: "http://fleet:8000/v1/chat/completions", Body: body,
+			Header: map[string]string{trace.Header: traceID},
+		})
+		if err != nil || resp.Status != 200 || resp.Stream == nil {
+			t.Errorf("streamed request: %v %+v", err, resp)
+			failed = true
+			return
+		}
+		for {
+			_, ok := resp.Stream.Next(p)
+			if !ok {
+				break
+			}
+			if clientTTFT == 0 {
+				clientTTFT = p.Now().Sub(t0)
+			}
+		}
+		if err := resp.Stream.Err(); err != nil {
+			t.Errorf("stream truncated: %v", err)
+			failed = true
+			return
+		}
+		clientE2E = p.Now().Sub(t0)
+		// The engine's span context must not leak into the client response.
+		if resp.Trace != nil {
+			t.Error("client response still carries server-side trace context")
+			failed = true
+			return
+		}
+		// Fetch the settled trace back through the router by its ID.
+		tresp, err := c.Get(p, "http://fleet:8000"+trace.Path+"?id="+traceID)
+		if err != nil || tresp.Status != 200 {
+			t.Errorf("GET /traces?id=%s: %v %+v", traceID, err, tresp)
+			failed = true
+			return
+		}
+		if err := json.Unmarshal(tresp.Body, &tr); err != nil {
+			t.Errorf("decode trace: %v", err)
+			failed = true
+		}
+	})
+	se.RunFor(time.Hour)
+	if failed {
+		t.FailNow()
+	}
+
+	if tr.ID != traceID || !tr.Streamed || tr.Replica != "r0" || tr.Model == "" || tr.Err != "" {
+		t.Fatalf("trace identity = %+v", tr)
+	}
+	// All eight stages must be present. The gateway records the hold span
+	// whenever the request passes the hold point — zero-duration here,
+	// since a live replica means it never actually parks.
+	stages := tr.Stages()
+	for s := trace.StageAdmission; s <= trace.StageDrain; s++ {
+		if !stages[s] {
+			t.Errorf("trace missing stage %s", s)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("spans:\n%s", tr.Waterfall())
+	}
+
+	// The spans partition the E2E: their durations sum to the client's
+	// measured latency, modulo the per-hop network time tracing leaves
+	// unattributed (client↔router↔gateway hops, ~1ms total here).
+	var spanSum time.Duration
+	for _, s := range tr.Spans {
+		spanSum += s.Dur()
+	}
+	const tol = 5 * time.Millisecond
+	if diff := (clientE2E - spanSum).Abs(); diff > tol {
+		t.Fatalf("span sum %v vs client E2E %v (diff %v > %v)\n%s",
+			spanSum, clientE2E, diff, tol, tr.Waterfall())
+	}
+	// TTFT decomposes into the pre-decode stages.
+	var ttftSum time.Duration
+	for _, s := range []trace.Stage{
+		trace.StageAdmission, trace.StageHold, trace.StagePick,
+		trace.StageQueue, trace.StagePrefill, trace.StageFirstToken,
+	} {
+		if d, ok := tr.SpanDur(s); ok {
+			ttftSum += d
+		}
+	}
+	if diff := (clientTTFT - ttftSum).Abs(); diff > tol {
+		t.Fatalf("pre-decode span sum %v vs client TTFT %v (diff %v > %v)\n%s",
+			ttftSum, clientTTFT, diff, tol, tr.Waterfall())
+	}
+	// The decode span dominates a 64-token generation.
+	if d, _ := tr.SpanDur(trace.StageDecode); d < clientE2E/2 {
+		t.Fatalf("decode span %v implausibly small for E2E %v\n%s", d, clientE2E, tr.Waterfall())
+	}
+	// The trace wire E2E matches the recomputed one after the round trip.
+	if (tr.E2E() - clientE2E).Abs() > tol {
+		t.Fatalf("trace E2E %v vs client E2E %v", tr.E2E(), clientE2E)
+	}
+	t.Logf("client E2E %v TTFT %v; trace:\n%s", clientE2E, clientTTFT, tr.Waterfall())
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Class is a request's priority class. Higher values dequeue first from
@@ -86,6 +87,10 @@ type Request struct {
 	SessionKey string
 	// Class is the request's priority class.
 	Class Class
+	// TraceID is the client-supplied X-Trace-Id, if any. A non-empty
+	// value forces the request to be traced end to end regardless of the
+	// gateway recorder's sampling rate.
+	TraceID string
 }
 
 // Header keys clients (or a fronting router) use to carry scheduling
@@ -121,6 +126,7 @@ func Describe(header map[string]string, body []byte) (Request, error) {
 		err = fmt.Errorf("request body is not valid JSON (%v)", jerr)
 	}
 	r := Request{Model: a.Model}
+	r.TraceID = header[trace.Header]
 	r.SessionKey = header[SessionHeader]
 	if r.SessionKey == "" {
 		r.SessionKey = a.SessionID

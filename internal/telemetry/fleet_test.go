@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sampleFleet() FleetSnapshot {
+	snap := sample()
+	snap.CapturedAt = time.Date(2025, 6, 2, 8, 0, 5, 0, time.UTC)
+	return FleetSnapshot{
+		CapturedAt: time.Date(2025, 6, 2, 8, 0, 10, 0, time.UTC),
+		Router:     &RouterCounters{Requests: 420, Unknown: 3},
+		Models: []ModelObservation{{
+			Model: "chat", Policy: "least-loaded",
+			Serviceable: true, HealthyBackends: 2, Holding: 1,
+			Counters: GatewayCounters{
+				Requests: 400, Retries: 5, Rejected: 7, Errors: 2, Held: 9,
+				Streams: 120, StreamsTruncated: 1, SessionSpills: 4,
+				ShedByClass: map[string]int{"batch": 6, "interactive": 1},
+			},
+			LatencyMillis: map[string]float64{"p50": 310, "p95": 812.5, "p99": 1400},
+			SLO:           &SLOState{TargetMillis: 2000, P95Millis: 812.5, Engaged: false, Sheds: 6},
+			Traces:        &TraceCounters{Total: 400, Sampled: 25, SlowestMillis: 1920.5, SlowestID: "t-000017"},
+			Replicas: []ReplicaHealth{{
+				Name: "chat-0", URL: "http://n01:9001", Healthy: true,
+				Inflight: 7, Requests: 200, Failures: 1,
+				SnapshotAgeMillis: 5000, Snapshot: snap,
+			}, {
+				Name: "chat-1", Healthy: false, Draining: true,
+				SnapshotAgeMillis: -1,
+			}},
+			Autoscale: json.RawMessage(`{"current":2,"target":3}`),
+		}},
+		Pool: json.RawMessage(`{"capacity":8,"granted":6}`),
+	}
+}
+
+func TestFleetSnapshotJSONRoundTrip(t *testing.T) {
+	in := sampleFleet()
+	out, err := DecodeFleet(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverged:\n in: %+v\nout: %+v", in, out)
+	}
+	// The zero value round-trips too (a fleet with no routed models).
+	zero, err := DecodeFleet(FleetSnapshot{}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(FleetSnapshot{}, zero) {
+		t.Fatalf("zero round trip diverged: %+v", zero)
+	}
+	if _, err := DecodeFleet([]byte("# HELP gateway_requests_total ...")); err == nil {
+		t.Fatal("Prometheus text must not decode as a fleet snapshot")
+	}
+}
+
+func TestFleetSnapshotModelLookup(t *testing.T) {
+	f := sampleFleet()
+	obs := f.Model("chat")
+	if obs == nil || obs.Counters.StreamsTruncated != 1 {
+		t.Fatalf("Model(chat) = %+v", obs)
+	}
+	if f.Model("nope") != nil {
+		t.Fatal("unknown model must return nil")
+	}
+	// The accessor returns a pointer into the snapshot, not a copy.
+	obs.Counters.StreamsTruncated++
+	if f.Models[0].Counters.StreamsTruncated != 2 {
+		t.Fatal("Model must alias the stored observation")
+	}
+}
+
+func TestSnapshotAgeMillis(t *testing.T) {
+	now := time.Date(2025, 6, 2, 8, 0, 10, 0, time.UTC)
+	var never Snapshot
+	if got := never.AgeMillis(now); got != -1 {
+		t.Fatalf("never-scraped age = %g, want -1", got)
+	}
+	s := Snapshot{CapturedAt: now.Add(-1500 * time.Millisecond)}
+	if got := s.AgeMillis(now); got != 1500 {
+		t.Fatalf("age = %g, want 1500", got)
+	}
+	// Clock skew (snapshot from the future) clamps to zero, not negative.
+	s.CapturedAt = now.Add(time.Second)
+	if got := s.AgeMillis(now); got != 0 {
+		t.Fatalf("future age = %g, want 0", got)
+	}
+}

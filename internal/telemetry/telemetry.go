@@ -19,6 +19,7 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // Path is the replica-local HTTP endpoint serving the Snapshot as JSON.
@@ -31,6 +32,12 @@ type Snapshot struct {
 	// Model is the served model name; Replica the instance identity.
 	Model   string `json:"model,omitempty"`
 	Replica string `json:"replica,omitempty"`
+
+	// CapturedAt is the virtual time the replica produced this snapshot.
+	// Consumers use it to distinguish fresh signals from stale ones (a
+	// draining or wedged replica keeps returning its last state); the
+	// zero value means the snapshot was never captured.
+	CapturedAt time.Time `json:"captured_at,omitzero"`
 
 	// Waiting and Running are the engine scheduler's queue depths.
 	Waiting int `json:"waiting"`
@@ -87,6 +94,20 @@ func (s Snapshot) KVPressure() float64 {
 		hard = 0
 	}
 	return float64(hard) / float64(s.KVBlocksTotal)
+}
+
+// AgeMillis is the snapshot's age at virtual time now in milliseconds,
+// or -1 when the snapshot was never captured (zero CapturedAt). Clamped
+// at zero for consumers holding a snapshot fresher than their clock.
+func (s Snapshot) AgeMillis(now time.Time) float64 {
+	if s.CapturedAt.IsZero() {
+		return -1
+	}
+	age := now.Sub(s.CapturedAt)
+	if age < 0 {
+		age = 0
+	}
+	return float64(age) / float64(time.Millisecond)
 }
 
 // PrefixHitRate is the cumulative block hit rate of the prefix cache

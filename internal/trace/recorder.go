@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Recorder is the per-gateway trace store: a ring buffer of the most
+// recent settled traces plus a slow-request flight recorder keeping the
+// N slowest successful traces seen so far. It also owns the sampling
+// decision — the unsampled path is a counter increment and a modulo, no
+// allocation, so tracing can stay enabled on the request hot path.
+//
+// No mutex: the simulation's cooperative scheduler serializes access.
+type Recorder struct {
+	// Capacity bounds the recent-trace ring (default 128).
+	Capacity int
+	// SlowN bounds the slowest-trace flight recorder (default 8).
+	SlowN int
+	// SampleEvery samples one request in every SampleEvery for tracing.
+	// 0 disables sampling: only requests carrying an explicit
+	// X-Trace-Id are traced. 1 traces everything.
+	SampleEvery int
+
+	seq     uint64 // generated-ID counter
+	total   uint64 // requests seen (sampled or not)
+	sampled uint64 // requests traced
+
+	ring []*Trace // recent settled traces, ring order
+	next int      // ring insertion cursor
+	slow []*Trace // slowest successful traces, unordered
+}
+
+// Start makes the trace-or-not decision for one request. An explicit id
+// (from an X-Trace-Id header) always yields a trace; otherwise every
+// SampleEvery'th request (the Nth, 2Nth, ...) is traced with a generated
+// id. Returns nil — allocating nothing — when the request is not sampled.
+func (r *Recorder) Start(id, model, class string, now time.Time) *Trace {
+	r.total++
+	if id == "" {
+		if r.SampleEvery <= 0 || r.total%uint64(r.SampleEvery) != 0 {
+			return nil
+		}
+		r.seq++
+		id = fmt.Sprintf("t-%06d", r.seq)
+	}
+	r.sampled++
+	return &Trace{ID: id, Model: model, Class: class, Start: now}
+}
+
+// Record stores a settled trace in the recent ring and, when the trace
+// completed without error, considers it for the slowest-N flight
+// recorder.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	if cap := r.capacity(); len(r.ring) < cap {
+		r.ring = append(r.ring, t)
+		r.next = len(r.ring) % cap
+	} else {
+		r.ring[r.next] = t
+		r.next = (r.next + 1) % cap
+	}
+	if t.Err != "" {
+		return
+	}
+	if n := r.slowN(); len(r.slow) < n {
+		r.slow = append(r.slow, t)
+		return
+	} else if n == 0 {
+		return
+	}
+	// Replace the fastest of the slow set if this trace is slower.
+	fastest := 0
+	for i, s := range r.slow {
+		if s.E2E() < r.slow[fastest].E2E() {
+			fastest = i
+		}
+	}
+	if t.E2E() > r.slow[fastest].E2E() {
+		r.slow[fastest] = t
+	}
+}
+
+// Get returns the settled trace with the given id, or nil. Linear scan —
+// the stores are small and bounded.
+func (r *Recorder) Get(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	for _, t := range r.ring {
+		if t.ID == id {
+			return t
+		}
+	}
+	for _, t := range r.slow {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Recent returns the settled traces newest-first.
+func (r *Recorder) Recent() []*Trace {
+	if r == nil || len(r.ring) == 0 {
+		return nil
+	}
+	out := make([]*Trace, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		// next-1 is the most recently written slot.
+		j := (r.next - 1 - i + 2*len(r.ring)) % len(r.ring)
+		out = append(out, r.ring[j])
+	}
+	return out
+}
+
+// Slowest returns the flight recorder's traces, slowest first.
+func (r *Recorder) Slowest() []*Trace {
+	if r == nil || len(r.slow) == 0 {
+		return nil
+	}
+	out := make([]*Trace, len(r.slow))
+	copy(out, r.slow)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].E2E() > out[j-1].E2E(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Counts reports how many requests the recorder has seen and how many
+// were traced.
+func (r *Recorder) Counts() (total, sampled uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.total, r.sampled
+}
+
+func (r *Recorder) capacity() int {
+	if r.Capacity > 0 {
+		return r.Capacity
+	}
+	return 128
+}
+
+func (r *Recorder) slowN() int {
+	if r.SlowN > 0 {
+		return r.SlowN
+	}
+	if r.SlowN < 0 {
+		return 0
+	}
+	return 8
+}

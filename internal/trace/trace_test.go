@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2025, 6, 2, 8, 0, 0, 0, time.UTC)
+
+func mkTrace(id string, e2e time.Duration) *Trace {
+	tr := &Trace{ID: id, Model: "m", Class: "interactive", Start: t0}
+	tr.Observe(StageAdmission, t0, t0)
+	tr.Observe(StagePick, t0, t0)
+	tr.Finish(t0.Add(e2e), "")
+	return tr
+}
+
+func TestStageNamesRoundTrip(t *testing.T) {
+	for s := Stage(0); s < numStages; s++ {
+		got, err := ParseStage(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseStage(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if _, err := ParseStage("bogus"); err == nil {
+		t.Fatal("ParseStage accepted an unknown stage")
+	}
+}
+
+func TestTraceSpansAndE2E(t *testing.T) {
+	tr := &Trace{ID: "t-1", Start: t0}
+	tr.Observe(StageQueue, t0, t0.Add(10*time.Millisecond))
+	tr.Observe(StagePrefill, t0.Add(10*time.Millisecond), t0.Add(35*time.Millisecond))
+	tr.Finish(t0.Add(50*time.Millisecond), "")
+	if got := tr.E2E(); got != 50*time.Millisecond {
+		t.Fatalf("E2E = %v, want 50ms", got)
+	}
+	if d, ok := tr.SpanDur(StagePrefill); !ok || d != 25*time.Millisecond {
+		t.Fatalf("SpanDur(prefill) = %v, %v; want 25ms, true", d, ok)
+	}
+	if _, ok := tr.SpanDur(StageDecode); ok {
+		t.Fatal("SpanDur reported a stage that was never observed")
+	}
+	if end, ok := tr.SpanEnd(StageQueue); !ok || !end.Equal(t0.Add(10*time.Millisecond)) {
+		t.Fatalf("SpanEnd(queue) = %v, %v", end, ok)
+	}
+}
+
+func TestTraceMergeAdoptsIdentity(t *testing.T) {
+	gw := &Trace{ID: "t-2", Model: "m", Start: t0}
+	gw.Observe(StageAdmission, t0, t0)
+	eng := &Trace{ID: "t-2", Replica: "r0"}
+	eng.Observe(StageQueue, t0, t0.Add(time.Millisecond))
+	eng.Observe(StageDecode, t0.Add(time.Millisecond), t0.Add(2*time.Millisecond))
+	gw.Merge(eng)
+	if gw.Replica != "r0" {
+		t.Fatalf("Merge did not adopt replica: %q", gw.Replica)
+	}
+	if len(gw.Spans) != 3 {
+		t.Fatalf("Merge kept %d spans, want 3", len(gw.Spans))
+	}
+	st := gw.Stages()
+	if !st[StageAdmission] || !st[StageQueue] || !st[StageDecode] {
+		t.Fatalf("Stages() missing merged stages: %v", st)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Observe(StageQueue, t0, t0) // must not panic
+	tr.Merge(&Trace{})
+	tr.Finish(t0, "x")
+	if tr.E2E() != 0 || tr.Done() {
+		t.Fatal("nil trace should report zero E2E and not-done")
+	}
+	if _, ok := tr.SpanDur(StageQueue); ok {
+		t.Fatal("nil trace reported a span")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := &Trace{
+		ID: "abc", Model: "m", Replica: "r1", Class: "batch",
+		Streamed: true, Retries: 1, Start: t0, Err: "",
+	}
+	tr.Observe(StageAdmission, t0, t0.Add(100*time.Microsecond))
+	tr.Observe(StageDecode, t0.Add(5*time.Millisecond), t0.Add(45*time.Millisecond))
+	tr.Finish(t0.Add(46*time.Millisecond), "")
+
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != tr.ID || back.Model != tr.Model || back.Replica != tr.Replica ||
+		back.Class != tr.Class || !back.Streamed || back.Retries != 1 {
+		t.Fatalf("identity fields lost: %+v", back)
+	}
+	if back.E2E() != tr.E2E() {
+		t.Fatalf("E2E %v != %v after round trip", back.E2E(), tr.E2E())
+	}
+	if len(back.Spans) != 2 || back.Spans[1].Stage != StageDecode {
+		t.Fatalf("spans lost: %+v", back.Spans)
+	}
+	if d := back.Spans[1].Dur(); d != 40*time.Millisecond {
+		t.Fatalf("decode span %v after round trip, want 40ms", d)
+	}
+}
+
+func TestWaterfallRendersAllSpans(t *testing.T) {
+	tr := mkTrace("t-9", 100*time.Millisecond)
+	tr.Observe(StageDecode, t0.Add(20*time.Millisecond), t0.Add(90*time.Millisecond))
+	out := tr.Waterfall()
+	for _, want := range []string{"t-9", "admission", "pick", "decode", "e2e=100ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorderSampling(t *testing.T) {
+	r := &Recorder{SampleEvery: 4}
+	var traced int
+	for i := 0; i < 16; i++ {
+		if tr := r.Start("", "m", "interactive", t0); tr != nil {
+			traced++
+			if tr.ID == "" {
+				t.Fatal("sampled trace has no generated id")
+			}
+		}
+	}
+	if traced != 4 {
+		t.Fatalf("traced %d of 16 at SampleEvery=4, want 4", traced)
+	}
+	total, sampled := r.Counts()
+	if total != 16 || sampled != 4 {
+		t.Fatalf("Counts = %d, %d; want 16, 4", total, sampled)
+	}
+}
+
+func TestRecorderExplicitIDAlwaysTraced(t *testing.T) {
+	r := &Recorder{} // SampleEvery 0: explicit-only
+	if tr := r.Start("", "m", "", t0); tr != nil {
+		t.Fatal("unsampled request traced with sampling disabled")
+	}
+	tr := r.Start("want-this", "m", "", t0)
+	if tr == nil || tr.ID != "want-this" {
+		t.Fatalf("explicit X-Trace-Id not honored: %+v", tr)
+	}
+}
+
+func TestRecorderStartDoesNotAllocateWhenUnsampled(t *testing.T) {
+	r := &Recorder{SampleEvery: 1 << 30}
+	r.Start("", "m", "", t0) // consume the aligned first sample
+	got := testing.AllocsPerRun(100, func() {
+		if r.Start("", "m", "interactive", t0) != nil {
+			t.Fatal("unexpectedly sampled")
+		}
+	})
+	if got != 0 {
+		t.Fatalf("unsampled Start allocates %.1f/op, want 0", got)
+	}
+}
+
+func TestRecorderRingEvictsOldest(t *testing.T) {
+	r := &Recorder{Capacity: 4, SlowN: -1} // flight recorder off: test the ring alone
+	for i := 0; i < 6; i++ {
+		r.Record(mkTrace(string(rune('a'+i)), time.Duration(i+1)*time.Millisecond))
+	}
+	if r.Get("a") != nil || r.Get("b") != nil {
+		t.Fatal("ring kept evicted traces")
+	}
+	if r.Get("f") == nil || r.Get("c") == nil {
+		t.Fatal("ring lost recent traces")
+	}
+	rec := r.Recent()
+	if len(rec) != 4 || rec[0].ID != "f" || rec[3].ID != "c" {
+		ids := make([]string, len(rec))
+		for i, tr := range rec {
+			ids[i] = tr.ID
+		}
+		t.Fatalf("Recent order = %v, want [f e d c]", ids)
+	}
+}
+
+func TestRecorderSlowestKeepsNSlowest(t *testing.T) {
+	r := &Recorder{Capacity: 64, SlowN: 2}
+	r.Record(mkTrace("fast", 1*time.Millisecond))
+	r.Record(mkTrace("slow", 100*time.Millisecond))
+	r.Record(mkTrace("mid", 10*time.Millisecond))
+	r.Record(mkTrace("slower", 200*time.Millisecond))
+	errored := mkTrace("errored", time.Second)
+	errored.Err = "boom"
+	r.Record(errored) // errors never enter the flight recorder
+
+	slow := r.Slowest()
+	if len(slow) != 2 || slow[0].ID != "slower" || slow[1].ID != "slow" {
+		ids := make([]string, len(slow))
+		for i, tr := range slow {
+			ids[i] = tr.ID
+		}
+		t.Fatalf("Slowest = %v, want [slower slow]", ids)
+	}
+	// The errored trace is still findable in the recent ring.
+	if r.Get("errored") == nil {
+		t.Fatal("errored trace missing from recent ring")
+	}
+}

@@ -61,6 +61,14 @@ type Response struct {
 	// Client.Do wraps the reader for per-hop bandwidth metering; proxies
 	// pass it through without buffering (zero-copy).
 	Stream ChunkReader
+	// Trace, when non-nil, is the server-side trace context of a traced
+	// request (a *trace.Trace) — the in-process stand-in for the span
+	// push a real engine would make to a collector. It rides the response
+	// so late spans (decode completes mid-stream, after headers are sent)
+	// are visible to the caller when the stream settles. Declared as any
+	// to keep vhttp free of upper-layer imports; proxies must not forward
+	// it to clients.
+	Trace any
 }
 
 // BodyBytes returns the effective body size used for bandwidth accounting.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/vhttp"
 )
 
@@ -216,6 +217,7 @@ func (a *APIServer) Serve(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		snap := a.Engine.Telemetry()
 		snap.Model = a.servedName()
 		snap.Replica = a.Replica
+		snap.CapturedAt = p.Now()
 		return vhttp.JSON(200, snap.Encode())
 
 	case req.Path == "/v1/chat/completions" && req.Method == "POST":
@@ -265,6 +267,7 @@ func (a *APIServer) chat(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		PromptHashes: ChatPromptHashes(a.Engine.Config().BlockSize, cr.Messages),
 		Class:        cr.Priority,
 	}
+	opts.Trace = a.startTrace(p, req)
 	if cr.Stream {
 		return a.chatStream(p, cr, prompt, opts)
 	}
@@ -286,7 +289,25 @@ func (a *APIServer) chat(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	// Streaming clients observe TTFT directly; the simulation surfaces it as
 	// a response header so the benchmark can record the same metric.
 	out.SetHeader("X-Request-Ttft-Micros", fmt.Sprintf("%d", r.TTFT().Microseconds()))
+	if et := opts.Trace; et != nil {
+		et.Finish(p.Now(), "")
+		out.Trace = et
+	}
 	return out
+}
+
+// startTrace builds the engine-side trace context of a request carrying
+// an X-Trace-Id header (nil otherwise — untraced requests must not
+// allocate). The trace rides SubmitOptions into the engine loop, which
+// appends queue/prefill/first-token/decode spans, and returns to the
+// caller on Response.Trace — the in-process equivalent of an engine
+// pushing its spans to a collector keyed by the propagated trace ID.
+func (a *APIServer) startTrace(p *sim.Proc, req *vhttp.Request) *trace.Trace {
+	id := req.Header[trace.Header]
+	if id == "" {
+		return nil
+	}
+	return &trace.Trace{ID: id, Model: a.servedName(), Replica: a.Replica, Start: p.Now()}
 }
 
 // chatStream serves `stream: true`: tokens are pushed into a chunked body
@@ -342,6 +363,12 @@ func (a *APIServer) chatStream(p *sim.Proc, cr ChatRequest, prompt int, opts Sub
 	resp := &vhttp.Response{Status: 200, Stream: stream}
 	resp.SetHeader("Content-Type", "text/event-stream")
 	resp.SetHeader("X-Request-Ttft-Micros", fmt.Sprintf("%d", r.TTFT().Microseconds()))
+	if et := opts.Trace; et != nil {
+		// The pointer stays live while the stream drains: the engine
+		// records the decode span at finish, which precedes the terminal
+		// chunk's delivery, so the consumer sees it at stream settle.
+		resp.Trace = et
+	}
 	return resp
 }
 
@@ -365,9 +392,11 @@ func (a *APIServer) completions(p *sim.Proc, req *vhttp.Request) *vhttp.Response
 	if maxNew <= 0 {
 		maxNew = a.defaultMax()
 	}
+	et := a.startTrace(p, req)
 	r := a.Engine.SubmitOpts(SubmitOptions{
 		Prompt: prompt, MaxNew: maxNew,
 		PromptHashes: TextPromptHashes(a.Engine.Config().BlockSize, cr.Prompt),
+		Trace:        et,
 	})
 	p.Wait(r.Done())
 	if r.Err != nil {
@@ -378,7 +407,12 @@ func (a *APIServer) completions(p *sim.Proc, req *vhttp.Request) *vhttp.Response
 		"choices": []map[string]any{{"index": 0, "text": SynthesizeText(r.Generated), "finish_reason": "stop"}},
 		"usage":   Usage{PromptTokens: prompt, CompletionTokens: r.Generated, TotalTokens: prompt + r.Generated},
 	})
-	return vhttp.JSON(200, body)
+	out := vhttp.JSON(200, body)
+	if et != nil {
+		et.Finish(p.Now(), "")
+		out.Trace = et
+	}
+	return out
 }
 
 func (a *APIServer) defaultMax() int {

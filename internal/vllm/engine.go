@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config mirrors the vLLM serve flags that matter to capacity and speed.
@@ -146,6 +147,13 @@ type SubmitOptions struct {
 	// the scheduler's process and must not block or park — push into a
 	// vhttp.BodyStream, fire a signal, append to a slice.
 	OnToken func(r *Request, n int)
+	// Trace, when non-nil, receives the engine-side stage spans of a
+	// traced request: queue wait, prefill, the first-token step, and
+	// decode. The engine appends spans as stages complete; the submitter
+	// owns the Trace and reads it after Done fires (or, for streamed
+	// responses, at stream settle — decode is recorded at engine finish,
+	// which precedes the final chunk's delivery).
+	Trace *trace.Trace
 }
 
 // Done fires when the request finishes (successfully or with Err set).
@@ -185,6 +193,8 @@ type sequence struct {
 	hashes        []uint64 // prompt prefix-block keys (nil = uncacheable)
 	class         string   // priority class name for telemetry
 	onToken       func(r *Request, n int)
+	tr            *trace.Trace // request trace (nil = untraced)
+	startedAt     time.Time    // first admission into the running batch
 }
 
 // emitToken notifies the submitter of one newly generated token.
@@ -413,6 +423,7 @@ func (e *Engine) Crash(err error) {
 		s.req.Err = err
 		s.req.Finished = e.sim.Now()
 		s.state = seqDone
+		e.abortTrace(s)
 		e.releaseSeq(s)
 		e.stats.Failed++
 		s.req.done.Fire()
@@ -463,7 +474,7 @@ func (e *Engine) SubmitOpts(o SubmitOptions) *Request {
 		req.done.Fire()
 		return req
 	}
-	s := &sequence{req: req, id: req.ID, prefillTarget: o.Prompt, class: o.Class, onToken: o.OnToken}
+	s := &sequence{req: req, id: req.ID, prefillTarget: o.Prompt, class: o.Class, onToken: o.OnToken, tr: o.Trace}
 	if e.idx != nil && len(o.PromptHashes) > 0 {
 		// Only full prompt blocks carry keys; ignore malformed extras.
 		if max := o.Prompt / e.cfg.BlockSize; len(o.PromptHashes) <= max {
@@ -522,6 +533,11 @@ func (e *Engine) step(p *sim.Proc) {
 		}
 		e.waiting = e.waiting[1:]
 		s.state = seqRunning
+		if s.startedAt.IsZero() {
+			// First admission into the running batch: the queue stage ends
+			// here (plan time — the step's sleep has not begun yet).
+			s.startedAt = e.sim.Now()
+		}
 		e.running = append(e.running, s)
 		chunk := s.prefillTarget - s.prefillDone
 		if chunk > budget {
@@ -580,6 +596,7 @@ func (e *Engine) step(p *sim.Proc) {
 
 	// 6. Apply results.
 	now := e.sim.Now()
+	stepStart := now.Add(-dur)
 	var still []*sequence
 	for _, s := range e.running {
 		if s.state != seqRunning {
@@ -592,6 +609,7 @@ func (e *Engine) step(p *sim.Proc) {
 				s.req.Generated = 1
 				s.req.FirstToken = now
 				e.stats.TokensOut++
+				e.noteFirstToken(s, stepStart, now)
 				s.emitToken()
 			}
 		} else if s.prefillDone >= s.prefillTarget {
@@ -599,12 +617,18 @@ func (e *Engine) step(p *sim.Proc) {
 			e.stats.TokensOut++
 			if s.req.FirstToken.IsZero() {
 				s.req.FirstToken = now
+				e.noteFirstToken(s, stepStart, now)
 			}
 			s.emitToken()
 		}
 		if s.req.Generated >= s.req.MaxNew {
 			s.state = seqDone
 			s.req.Finished = now
+			// Decode: everything after the first token up to completion.
+			// Recorded before done fires so a submitter woken by the signal
+			// (or draining the final stream chunk, which is pushed later)
+			// sees the full engine-side span set.
+			s.tr.Observe(trace.StageDecode, s.req.FirstToken, now)
 			e.releaseSeq(s)
 			e.stats.Completed++
 			e.latencies.Observe(now, float64(now.Sub(s.req.Arrived))/float64(time.Millisecond))
@@ -717,9 +741,41 @@ func (e *Engine) failSeq(s *sequence, err error) {
 	s.state = seqDone
 	s.req.Err = err
 	s.req.Finished = e.sim.Now()
+	e.abortTrace(s)
 	e.releaseSeq(s)
 	e.stats.Failed++
 	s.req.done.Fire()
+}
+
+// noteFirstToken records the engine-side stage spans that become known
+// the moment a sequence produces its first token: queue wait (arrival to
+// first batch admission), prefill (admission to the start of the
+// emitting step), and the first-token step itself.
+func (e *Engine) noteFirstToken(s *sequence, stepStart, now time.Time) {
+	if s.tr == nil {
+		return
+	}
+	start := s.startedAt
+	if start.IsZero() || start.After(stepStart) {
+		start = stepStart
+	}
+	s.tr.Observe(trace.StageQueue, s.req.Arrived, start)
+	s.tr.Observe(trace.StagePrefill, start, stepStart)
+	s.tr.Observe(trace.StageFirstToken, stepStart, now)
+}
+
+// abortTrace closes out a traced sequence that died mid-flight: the
+// partial decode span (when a first token existed) and the error mark.
+func (e *Engine) abortTrace(s *sequence) {
+	if s.tr == nil {
+		return
+	}
+	if !s.req.FirstToken.IsZero() {
+		s.tr.Observe(trace.StageDecode, s.req.FirstToken, s.req.Finished)
+	}
+	if s.req.Err != nil && s.tr.Err == "" {
+		s.tr.Err = s.req.Err.Error()
+	}
 }
 
 func (e *Engine) compactRunning() {
