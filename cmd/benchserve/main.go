@@ -27,6 +27,7 @@ import (
 	"repro/internal/site"
 	"repro/internal/telemetry"
 	"repro/internal/vhttp"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -53,6 +54,8 @@ func main() {
 		artifact = flag.String("artifact", "", "write sweep results as a JSON artifact to this path (e.g. BENCH_streaming.json)")
 		traceOn  = flag.Bool("trace", false, "sample request traces at the gateway during the sweep and print the slowest trace's stage waterfall (needs -replicas > 1)")
 		observe  = flag.String("observe-artifact", "", "write the post-run /observe fleet snapshot as JSON to this path (e.g. OBSERVE_fleet.json)")
+		wl       = flag.String("workload", "", "open-loop workload mode: a preset name (diurnal-chat, steady) or a spec JSON path replaces the closed-loop concurrency sweep; -artifact then emits BENCH_workload.json-shaped output")
+		wlTrace  = flag.String("trace-file", "", "workload JSONL trace: replayed if the file exists, else the generated stream is recorded here for deterministic replays")
 	)
 	flag.Parse()
 
@@ -103,6 +106,9 @@ func main() {
 	m, err := llm.ByName(*model)
 	if err != nil {
 		fatal(err)
+	}
+	if (*wl != "" || *wlTrace != "") && *fleet != "" {
+		fatal(fmt.Errorf("-workload/-trace-file drive a single model's endpoint (drop -models)"))
 	}
 	var fleetEntries []core.FleetFlagEntry
 	if *fleet != "" {
@@ -166,18 +172,37 @@ func main() {
 				fmt.Println("# -trace needs a gateway (-replicas > 1); no traces will be sampled")
 			}
 		}
-		ds := sharegpt.Synthesize(*seed, 4000)
 		target := &bench.HTTPTarget{
 			Client:  &vhttp.Client{Net: s.Net, From: site.LoginHops},
 			BaseURL: dp.BaseURL,
 			Stream:  *stream,
 		}
-		results := bench.Sweep(p, target, bench.Config{
-			Name: *platform, Dataset: ds, NumPrompts: *prompts, Seed: *seed,
-			ContinueOnError: dp.Gateway() != nil,
-		}, points)
-		for _, r := range results {
-			fmt.Println(r)
+		var results []*bench.Result
+		var wlSpec workload.Spec
+		var wlReqs []workload.Request
+		var wlRes *bench.WorkloadResult
+		if *wl != "" || *wlTrace != "" {
+			// Open-loop workload mode: replay a cohort/diurnal/session stream
+			// at recorded arrival times instead of sweeping concurrency.
+			var src string
+			wlSpec, wlReqs, src, err = bench.ResolveWorkload(*wl, m.Name, *wlTrace)
+			if err != nil {
+				failure = err
+				return
+			}
+			st := workload.Summarize(wlReqs)
+			fmt.Printf("# workload: %s (%d sessions, %d clients, %s span)\n", src, st.Sessions, st.Clients, st.Span)
+			wlRes = bench.RunWorkload(p, target, wlSpec.Name, wlReqs)
+			fmt.Print(wlRes)
+		} else {
+			ds := sharegpt.Synthesize(*seed, 4000)
+			results = bench.Sweep(p, target, bench.Config{
+				Name: *platform, Dataset: ds, NumPrompts: *prompts, Seed: *seed,
+				ContinueOnError: dp.Gateway() != nil,
+			}, points)
+			for _, r := range results {
+				fmt.Println(r)
+			}
 		}
 		if gw := dp.Gateway(); gw != nil {
 			st := gw.Stats()
@@ -200,14 +225,25 @@ func main() {
 		if *replicas > 1 {
 			label = fmt.Sprintf("%s x%d (%s)", label, *replicas, *policy)
 		}
-		series := bench.ToSeries(label, results)
-		fmt.Println(metrics.DatFile("output token throughput vs max concurrency", []metrics.Series{series}))
-		if *artifact != "" {
-			if err := bench.WriteArtifact(*artifact, label, *stream, results); err != nil {
-				failure = err
-				return
+		if wlRes != nil {
+			if *artifact != "" {
+				a := bench.NewWorkloadArtifact(label, wlSpec, wlReqs, wlRes)
+				if err := bench.WriteWorkloadArtifact(*artifact, a); err != nil {
+					failure = err
+					return
+				}
+				fmt.Printf("# wrote %s\n", *artifact)
 			}
-			fmt.Printf("# wrote %s\n", *artifact)
+		} else {
+			series := bench.ToSeries(label, results)
+			fmt.Println(metrics.DatFile("output token throughput vs max concurrency", []metrics.Series{series}))
+			if *artifact != "" {
+				if err := bench.WriteArtifact(*artifact, label, *stream, results); err != nil {
+					failure = err
+					return
+				}
+				fmt.Printf("# wrote %s\n", *artifact)
+			}
 		}
 		if gw := dp.Gateway(); gw != nil && *traceOn {
 			printSlowestTrace(gw)

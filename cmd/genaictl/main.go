@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/ingress"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/vhttp"
 	"repro/internal/vllm"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -208,10 +210,16 @@ func runDeploy(args []string) {
 	opts := deployFlags(fs)
 	query := fs.String("query", "", "send one chat completion after deploying")
 	stream := fs.Bool("stream", false, "stream the -query response over SSE, reporting time to first token")
+	wl := fs.String("workload", "", "drive a workload preset or spec file against the deployment (e.g. steady, diurnal-chat)")
+	wlTrace := fs.String("trace-file", "", "workload trace JSONL: replay it if the file exists, else record the generated workload to it")
+	wlArtifact := fs.String("workload-artifact", "", "write per-cohort workload results to this JSON file (e.g. BENCH_workload.json)")
 	fs.Parse(args)
 	pol, err := opts.validate()
 	fatalIf(err)
 	if *opts.models != "" {
+		if *wl != "" || *wlTrace != "" {
+			fatalIf(fmt.Errorf("-workload/-trace-file drive a single-model deployment (drop -models)"))
+		}
 		runDeployFleet(opts, pol, *query)
 		return
 	}
@@ -308,6 +316,26 @@ func runDeploy(args []string) {
 				json.Unmarshal(resp.Body, &cr)
 				fmt.Printf("  query answered in %s: %d completion tokens\n",
 					p.Now().Sub(t0).Round(time.Millisecond), cr.Usage.CompletionTokens)
+			}
+		}
+		if *wl != "" || *wlTrace != "" {
+			wlSpec, wlReqs, src, err := bench.ResolveWorkload(*wl, m.Name, *wlTrace)
+			if err != nil {
+				failure = err
+				return
+			}
+			sum := workload.Summarize(wlReqs)
+			fmt.Printf("  workload: %s (%d sessions, %d clients, %s span)\n", src, sum.Sessions, sum.Clients, sum.Span)
+			client := &vhttp.Client{Net: s.Net, From: site.LoginHops}
+			res := bench.RunWorkload(p, &bench.HTTPTarget{Client: client, BaseURL: dp.BaseURL}, wlSpec.Name, wlReqs)
+			fmt.Print(res)
+			if *wlArtifact != "" {
+				label := fmt.Sprintf("%s %s x%d", pf.Name, m.Short, *opts.replicas)
+				if err := bench.WriteWorkloadArtifact(*wlArtifact, bench.NewWorkloadArtifact(label, wlSpec, wlReqs, res)); err != nil {
+					failure = err
+					return
+				}
+				fmt.Printf("  wrote %s\n", *wlArtifact)
 			}
 		}
 		dp.Stop()

@@ -144,6 +144,15 @@ type Status struct {
 	ScaleUps   int     `json:"scale_ups"`
 	ScaleDowns int     `json:"scale_downs"`
 	LastError  string  `json:"last_error,omitempty"`
+	// SLOBreached reports that the smoothed p95 is past SLOTargetP95 as of
+	// the last tick. SLOBreachedAtMax additionally means the set is pinned
+	// at MaxReplicas — scaling cannot help, the gateway's admission breaker
+	// owns the recovery, and the controller holds its demand signal steady
+	// instead of re-raising it every tick. Both flow through the gateway's
+	// AutoscaleStatus into telemetry.FleetSnapshot (/observe) so the breach
+	// is visible fleet-wide rather than replayed as a scaling decision.
+	SLOBreached      bool `json:"slo_breached,omitempty"`
+	SLOBreachedAtMax bool `json:"slo_breached_at_max,omitempty"`
 }
 
 // Autoscaler watches a Gateway and resizes a Scaler per a Policy.
@@ -224,8 +233,18 @@ func (a *Autoscaler) tick(p *sim.Proc) {
 	newArrivals := reqs - a.prevRequests
 	a.prevRequests = reqs
 
-	target, reason := a.desired(now, cur, load, holding, newArrivals, p95)
-	demand := a.demand(load, holding, p95)
+	// The objective counts as breached while the smoothed p95 is past it OR
+	// the gateway's admission breaker is actively shedding: shed traffic
+	// deflates both the queues and the latency tail, so the raw signals
+	// momentarily looking healthy mid-incident is the breaker working, not
+	// spare capacity.
+	breached := a.sloBreached(p95)
+	if st, ok := a.Gateway.SLO(); ok && st.Engaged {
+		breached = true
+	}
+
+	target, reason := a.desired(now, cur, load, holding, newArrivals, p95, breached)
+	demand := a.demand(load, holding, breached)
 	if a.Arbiter != nil {
 		if granted := a.Arbiter.Grant(cur, target, demand); granted != target {
 			reason = fmt.Sprintf("pool arbitration: granted %d of %d (%s)", granted, target, reason)
@@ -237,6 +256,8 @@ func (a *Autoscaler) tick(p *sim.Proc) {
 	a.status.Load, a.status.Holding = load, holding
 	a.status.RatePerSec, a.status.P95Millis = rate, p95
 	a.status.Reason = reason
+	a.status.SLOBreached = breached
+	a.status.SLOBreachedAtMax = breached && cur >= a.pol.MaxReplicas
 	if target == cur {
 		return
 	}
@@ -270,13 +291,26 @@ func (a *Autoscaler) tick(p *sim.Proc) {
 // demands only what its queues support; the difference is reclaimable. An
 // SLO breach raises demand past what the queues show: the pool must not
 // reclaim from — and should grant to — a member missing its objective.
-func (a *Autoscaler) demand(load, holding int, p95Millis float64) int {
+// Once the set is pinned at MaxReplicas the breach-bump stops: more
+// capacity cannot be used, so re-raising demand every tick only fights the
+// gateway's admission breaker for a resolution scaling cannot deliver.
+// Instead demand holds steady at the ceiling (breaker-shed traffic
+// deflates the queue signal, and the pool must not reclaim mid-incident)
+// while the breach itself is surfaced through Status/telemetry.
+func (a *Autoscaler) demand(load, holding int, breached bool) int {
 	n := ceilDiv(load, a.pol.TargetQueueDepth)
 	if n < 1 && (load > 0 || holding > 0) {
 		n = 1
 	}
-	if a.sloBreached(p95Millis) && n <= a.Scaler.CurrentReplicas() {
-		n = a.Scaler.CurrentReplicas() + 1
+	if breached {
+		cur := a.Scaler.CurrentReplicas()
+		if cur < a.pol.MaxReplicas {
+			if n <= cur {
+				n = cur + 1
+			}
+		} else if n < a.pol.MaxReplicas {
+			n = a.pol.MaxReplicas
+		}
 	}
 	if n < a.pol.MinReplicas {
 		n = a.pol.MinReplicas
@@ -295,7 +329,9 @@ func (a *Autoscaler) sloBreached(p95Millis float64) bool {
 }
 
 // desired computes the next replica target from the sampled signals.
-func (a *Autoscaler) desired(now time.Time, cur, load, holding, newArrivals int, p95Millis float64) (int, string) {
+// breached folds the smoothed p95 and the gateway breaker's engaged state
+// together (see tick).
+func (a *Autoscaler) desired(now time.Time, cur, load, holding, newArrivals int, p95Millis float64, breached bool) (int, string) {
 	pol := a.pol
 
 	idle := load == 0 && holding == 0 && newArrivals == 0
@@ -320,13 +356,23 @@ func (a *Autoscaler) desired(now time.Time, cur, load, holding, newArrivals int,
 		return 0, "idle at zero"
 	}
 
+	// SLO breach at the ceiling: scaling has nothing left to give, so the
+	// gateway's admission breaker owns the recovery. Hold the target steady
+	// with a stable reason — re-entering the scale-up/scale-down logic here
+	// is what made the controller and the breaker race: shedding deflates
+	// load and p95, the controller reads that as reclaimable surplus,
+	// shrinks, and re-triggers the very breach the breaker just cleared.
+	if breached && cur >= pol.MaxReplicas {
+		return cur, fmt.Sprintf("slo breached at max replicas (%d); admission breaker owns recovery", pol.MaxReplicas)
+	}
+
 	// SLO breach: the latency tail crosses the objective before the queue
 	// depths do (continuous batching hides overload in batch size, not
 	// queue length). Grow one replica per cooldown window until the tail
 	// recovers or the ceiling is hit — past the ceiling only the gateway's
 	// admission breaker is left, which is exactly the intended order:
 	// scale first, shed only if scaling cannot keep up.
-	if a.sloBreached(p95Millis) && cur < pol.MaxReplicas {
+	if breached && cur < pol.MaxReplicas {
 		if !a.lastUp.IsZero() && now.Sub(a.lastUp) < pol.ScaleUpCooldown {
 			return cur, "slo breach: scale-up in cooldown"
 		}
@@ -371,7 +417,7 @@ func (a *Autoscaler) desired(now time.Time, cur, load, holding, newArrivals int,
 	}
 	// Never shrink while the latency objective is breached (possible at
 	// MaxReplicas with shallow queues: the engines are slow, not idle).
-	if per < pol.ScaleDownThreshold && cur > floor && !a.sloBreached(p95Millis) {
+	if per < pol.ScaleDownThreshold && cur > floor && !breached {
 		if !a.lastDown.IsZero() && now.Sub(a.lastDown) < pol.ScaleDownCooldown {
 			return cur, "scale-down in cooldown"
 		}

@@ -188,6 +188,52 @@ func TestScaleUpOnSLOBreachBeforeQueues(t *testing.T) {
 	}
 }
 
+func TestBreachAtMaxHoldsSteadyAndSurfacesViaStatus(t *testing.T) {
+	// Pinned at MaxReplicas with the objective breached, the controller
+	// must not race the gateway's admission breaker: no resizes, a stable
+	// reason, demand held at the ceiling (the pool must not reclaim
+	// mid-incident), and the breach surfaced as typed status fields that
+	// flow into telemetry.FleetSnapshot.
+	pol := Policy{MinReplicas: 1, MaxReplicas: 2, TargetQueueDepth: 8,
+		Interval: 10 * time.Second, ScaleDownCooldown: 30 * time.Second,
+		RateHalflife: 15 * time.Second, SLOTargetP95: time.Second}
+	eng, net, _, sc, as := fixture(t, pol, 2)
+	sc.latency = 3 * time.Second
+	for _, r := range sc.replicas {
+		r.latency = 3 * time.Second
+	}
+	stop := false
+	eng.Go("load", func(p *sim.Proc) {
+		c := &vhttp.Client{Net: net, From: "user"}
+		for i := 0; !stop; i++ {
+			p.Sleep(2 * time.Second)
+			eng.Go(fmt.Sprintf("req-%d", i), func(rp *sim.Proc) {
+				c.Get(rp, "http://gw:8000/v1/chat/completions")
+			})
+		}
+	})
+	eng.RunFor(10 * time.Minute)
+	stop = true
+	st := as.Status()
+	if !st.SLOBreached || !st.SLOBreachedAtMax {
+		t.Fatalf("breach not surfaced: %+v", st)
+	}
+	if st.Demand != 2 {
+		t.Fatalf("demand = %d, want held at ceiling 2 mid-incident", st.Demand)
+	}
+	if !strings.Contains(st.Reason, "admission breaker owns recovery") {
+		t.Fatalf("reason = %q, want the stable breach-at-ceiling reason", st.Reason)
+	}
+	if got := sc.CurrentReplicas(); got != 2 {
+		t.Fatalf("replicas = %d, want 2 (no flapping mid-breach)", got)
+	}
+	// Shallow per-replica load (trickle) plus shed-suppressed p95 used to
+	// read as scale-down evidence; the set must not have resized at all.
+	if len(sc.history) != 0 {
+		t.Fatalf("resize history = %v, want none while pinned at max mid-breach", sc.history)
+	}
+}
+
 func TestScaleUpCooldownLimitsRate(t *testing.T) {
 	pol := Policy{MinReplicas: 1, MaxReplicas: 8, TargetQueueDepth: 4,
 		Interval: 10 * time.Second, ScaleUpCooldown: time.Hour}

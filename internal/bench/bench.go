@@ -6,8 +6,10 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,21 +61,57 @@ type HTTPTarget struct {
 	seq int // per-target request counter making every prompt unique
 }
 
+// StatusError is a non-200 HTTP outcome, keeping the status code typed so
+// callers can tell load shedding (503 from admission control) from other
+// failures.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("http %d", e.Code)
+	}
+	return fmt.Sprintf("http %d: %s", e.Code, e.Msg)
+}
+
+// Shed reports whether err is an admission-control rejection.
+func Shed(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == 503
+}
+
 // Do implements Target.
 func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (Outcome, error) {
 	content := vllm.SynthesizeText(max(prompt-4, 1))
-	// Tag each prompt unique (same length, different bytes): throughput
-	// benchmarks measure prefill+decode compute, and two same-length
-	// synthesized prompts would otherwise be identical and served from the
-	// engine's prefix cache — real harnesses randomize prompts for exactly
-	// this reason.
+	// Tag each prompt unique: throughput benchmarks measure prefill+decode
+	// compute, and two same-length synthesized prompts would otherwise be
+	// identical and served from the engine's prefix cache — real harnesses
+	// randomize prompts for exactly this reason. Entries near the 4-token
+	// clamp synthesize less content than the descriptive tag; those fall
+	// back to a compact base-36 tag, and when even that does not fit the
+	// tag *is* the content (padding the prompt by a token at most) — no two
+	// benchmark prompts are ever byte-identical.
 	t.seq++
-	if tag := fmt.Sprintf("benchmark request %d ", t.seq); len(tag) < len(content) {
-		content = tag + content[len(tag):]
+	tag := fmt.Sprintf("benchmark request %d ", t.seq)
+	if len(tag) > len(content) {
+		tag = strconv.FormatInt(int64(t.seq), 36) + " "
 	}
+	if len(tag) < len(content) {
+		content = tag + content[len(tag):]
+	} else {
+		content = tag
+	}
+	return t.exchange(p, []vllm.ChatMessage{{Role: "user", Content: content}}, maxNew, nil)
+}
+
+// exchange performs one chat completion with the given message list,
+// shared by the closed-loop Do and the open-loop workload DoChat.
+func (t *HTTPTarget) exchange(p *sim.Proc, msgs []vllm.ChatMessage, maxNew int, extraHeader map[string]string) (Outcome, error) {
 	body, _ := json.Marshal(vllm.ChatRequest{
 		Model:     t.Model,
-		Messages:  []vllm.ChatMessage{{Role: "user", Content: content}},
+		Messages:  msgs,
 		MaxTokens: maxNew,
 		Stream:    t.Stream,
 	})
@@ -86,17 +124,21 @@ func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (Outcome, error) {
 	if t.APIKey != "" {
 		req.Header["Authorization"] = "Bearer " + t.APIKey
 	}
+	for k, v := range extraHeader {
+		req.Header[k] = v
+	}
 	start := p.Now()
 	resp, err := t.Client.Do(p, req)
 	if err != nil {
 		return Outcome{}, err
 	}
 	if resp.Status != 200 {
+		se := &StatusError{Code: resp.Status}
 		var er vllm.ErrorResponse
 		if json.Unmarshal(resp.Body, &er) == nil && er.Error.Message != "" {
-			return Outcome{}, fmt.Errorf("http %d: %s", resp.Status, er.Error.Message)
+			se.Msg = er.Error.Message
 		}
-		return Outcome{}, fmt.Errorf("http %d", resp.Status)
+		return Outcome{}, se
 	}
 	if resp.Stream != nil {
 		return t.consumeStream(p, resp.Stream, start)
@@ -110,9 +152,11 @@ func (t *HTTPTarget) Do(p *sim.Proc, prompt, maxNew int) (Outcome, error) {
 	}
 	var ttft time.Duration
 	if v := resp.Header["X-Request-Ttft-Micros"]; v != "" {
-		var us int64
-		fmt.Sscanf(v, "%d", &us)
-		ttft = time.Duration(us) * time.Microsecond
+		// A malformed header records TTFT as unknown (0); Sscanf would
+		// otherwise leave whatever garbage a partial scan produced.
+		if us, perr := strconv.ParseInt(strings.TrimSpace(v), 10, 64); perr == nil && us > 0 {
+			ttft = time.Duration(us) * time.Microsecond
+		}
 	}
 	return Outcome{Generated: cr.Usage.CompletionTokens, TTFT: ttft}, nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -119,6 +120,84 @@ func TestHTTPTargetEquivalence(t *testing.T) {
 	}
 	if res.TTFT.N() == 0 {
 		t.Fatal("TTFT header not propagated through HTTP target")
+	}
+}
+
+func TestShortPromptRunHasZeroPrefixHits(t *testing.T) {
+	// Regression: prompts near the 4-token clamp synthesize less content
+	// than the descriptive uniquifier tag, which used to silently no-op —
+	// every short prompt was byte-identical and the engine's prefix cache
+	// served them, inflating measured throughput. BlockSize 4 so even a
+	// ~5-token prompt fills a whole cacheable block (at the default 16 the
+	// bug is masked: no block ever fills, and zero hits is trivially true).
+	se := sim.NewEngine(1)
+	e, err := vllm.New(se, vllm.Config{
+		Model: llm.Scout, GPU: hw.H100SXM, TensorParallel: 4, MaxModelLen: 65536,
+		BlockSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	net := vhttp.NewNet(netsim.New(se))
+	if err := net.Listen("hops15", 8000, &vllm.APIServer{Engine: e}, vhttp.ListenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	ds := &sharegpt.Dataset{Name: "short", Entries: []sharegpt.Entry{{PromptTokens: 4, OutputTokens: 8}}}
+	var res *Result
+	se.Go("bench", func(p *sim.Proc) {
+		res = Run(p, &HTTPTarget{
+			Client:  &vhttp.Client{Net: net, From: "bench-node"},
+			BaseURL: "http://hops15:8000",
+		}, Config{Name: "short-c4", Dataset: ds, NumPrompts: 50, MaxConcurrency: 4, Seed: 11})
+	})
+	se.Run()
+	if res.Failed != 0 || res.Completed != 50 {
+		t.Fatalf("completed=%d failed=%d (%s)", res.Completed, res.Failed, res.CrashMsg)
+	}
+	st := e.Stats()
+	if st.PrefixHits != 0 {
+		t.Fatalf("prefix cache hits = %d during a uniquified benchmark run, want 0 (misses=%d)",
+			st.PrefixHits, st.PrefixMisses)
+	}
+	if st.PrefixMisses == 0 {
+		t.Fatal("no prefix-cache lookups at all — block size too large for the prompt, test is vacuous")
+	}
+}
+
+func TestHTTPTargetMalformedTTFTHeaderIsUnknown(t *testing.T) {
+	// A garbage X-Request-Ttft-Micros header must record TTFT as unknown
+	// (0), not whatever a partial Sscanf left behind.
+	se := sim.NewEngine(1)
+	net := vhttp.NewNet(netsim.New(se))
+	h := vhttp.ServiceFunc(func(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
+		body, _ := json.Marshal(vllm.ChatResponse{
+			Usage: vllm.Usage{CompletionTokens: 3},
+		})
+		return &vhttp.Response{
+			Status: 200,
+			Header: map[string]string{"X-Request-Ttft-Micros": "12garbage"},
+			Body:   body,
+		}
+	})
+	if err := net.Listen("fake", 8000, h, vhttp.ListenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tgt := &HTTPTarget{Client: &vhttp.Client{Net: net, From: "bench-node"}, BaseURL: "http://fake:8000"}
+	var out Outcome
+	se.Go("one", func(p *sim.Proc) {
+		var err error
+		out, err = tgt.Do(p, 16, 8)
+		if err != nil {
+			t.Errorf("Do: %v", err)
+		}
+	})
+	se.Run()
+	if out.TTFT != 0 {
+		t.Fatalf("TTFT from malformed header = %v, want 0 (unknown)", out.TTFT)
+	}
+	if out.Generated != 3 {
+		t.Fatalf("generated = %d, want 3", out.Generated)
 	}
 }
 

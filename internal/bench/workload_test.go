@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vhttp"
+	"repro/internal/vllm"
+	"repro/internal/workload"
+)
+
+func chatSpec(model string) workload.Spec {
+	return workload.Spec{
+		Name: "bench-wl",
+		Seed: 5,
+		Cohorts: []workload.Cohort{
+			{Name: "chat", Model: model, Class: "interactive", Weight: 2,
+				Clients: 20, Turns: 3, ThinkTime: 5 * time.Second,
+				Prompt: workload.LengthDist{Mu: 3.5, Sigma: 0.4},
+				Output: workload.LengthDist{Mu: 3.5, Sigma: 0.4}},
+			{Name: "api", Model: model, Clients: 30,
+				Prompt: workload.LengthDist{Mu: 4.0, Sigma: 0.4},
+				Output: workload.LengthDist{Mu: 3.0, Sigma: 0.4}},
+		},
+		Arrivals: workload.Arrivals{Periods: []workload.RatePeriod{
+			{Dur: 30 * time.Second, StartsPerSec: 1},
+			{Dur: 30 * time.Second, StartsPerSec: 3},
+		}},
+	}
+}
+
+func TestRunWorkloadOpenLoopAgainstEngine(t *testing.T) {
+	se := sim.NewEngine(1)
+	e := hopsEngine(t, se)
+	net := vhttp.NewNet(netsim.New(se))
+	if err := net.Listen("hops15", 8000, &vllm.APIServer{Engine: e}, vhttp.ListenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	spec := chatSpec(llm.Scout.Name)
+	reqs, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *WorkloadResult
+	se.Go("wl", func(p *sim.Proc) {
+		res = RunWorkload(p, &HTTPTarget{
+			Client:  &vhttp.Client{Net: net, From: "bench-node"},
+			BaseURL: "http://hops15:8000",
+		}, "wl", reqs)
+	})
+	se.Run()
+	if res.Failed != 0 || res.Shed != 0 {
+		t.Fatalf("failed=%d shed=%d: %s", res.Failed, res.Shed, res)
+	}
+	if res.Completed != len(reqs) {
+		t.Fatalf("completed %d of %d", res.Completed, len(reqs))
+	}
+	// Per-cohort breakdowns exist and partition the run.
+	chat, api := res.Cohort("chat"), res.Cohort("api")
+	if chat == nil || api == nil {
+		t.Fatalf("missing cohort breakdown: %+v", res.Cohorts)
+	}
+	if chat.Completed+api.Completed != res.Completed {
+		t.Fatalf("cohorts don't partition: %d + %d != %d", chat.Completed, api.Completed, res.Completed)
+	}
+	if chat.TTFT.N() == 0 || api.TTFT.N() == 0 || chat.E2E.N() == 0 {
+		t.Fatal("missing latency samples in cohort breakdown")
+	}
+	// Open loop: the run spans at least the arrival schedule (the driver
+	// paces on recorded offsets, not completions).
+	if res.Duration < 55*time.Second {
+		t.Fatalf("duration %v shorter than the arrival schedule", res.Duration)
+	}
+	// Multi-turn sessions replay real growing histories through one
+	// replica, so the engine's prefix cache must see hits on turns 2/3.
+	if st := e.Stats(); st.PrefixHits == 0 {
+		t.Fatalf("no prefix hits from sessionful replay (misses=%d)", st.PrefixMisses)
+	}
+}
+
+// shedTarget sheds every nth turn with a 503 like gateway admission
+// control, and fails outright every mth.
+type shedTarget struct {
+	n, m  int
+	count int
+}
+
+func (s *shedTarget) DoChat(p *sim.Proc, job ChatJob) (Outcome, error) {
+	s.count++
+	if s.count%s.n == 0 {
+		return Outcome{}, &StatusError{Code: 503}
+	}
+	if s.count%s.m == 0 {
+		return Outcome{}, &StatusError{Code: 500, Msg: "replica died"}
+	}
+	p.Sleep(10 * time.Millisecond)
+	return Outcome{Generated: job.MaxNewTokens, TTFT: 5 * time.Millisecond}, nil
+}
+
+func TestRunWorkloadClassifiesShedsSeparately(t *testing.T) {
+	se := sim.NewEngine(1)
+	spec := chatSpec(llm.Scout.Name)
+	reqs, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := &shedTarget{n: 5, m: 7}
+	var res *WorkloadResult
+	se.Go("wl", func(p *sim.Proc) { res = RunWorkload(p, tgt, "shed", reqs) })
+	se.Run()
+	if res.Shed == 0 || res.Failed == 0 {
+		t.Fatalf("shed=%d failed=%d, want both nonzero", res.Shed, res.Failed)
+	}
+	if res.Completed+res.Shed+res.Failed != len(reqs) {
+		t.Fatalf("outcomes don't partition: %d+%d+%d != %d", res.Completed, res.Shed, res.Failed, len(reqs))
+	}
+	var shedSum int
+	for _, c := range res.Cohorts {
+		shedSum += c.Shed
+	}
+	if shedSum != res.Shed {
+		t.Fatalf("cohort sheds sum %d != total %d", shedSum, res.Shed)
+	}
+	art := NewWorkloadArtifact("test", spec, reqs, res)
+	if art.Shed != res.Shed || len(art.Cohorts) != 2 {
+		t.Fatalf("artifact = %+v", art)
+	}
+	if art.Stats.Requests != len(reqs) {
+		t.Fatalf("artifact stream stats = %+v", art.Stats)
+	}
+}

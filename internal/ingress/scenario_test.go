@@ -15,6 +15,7 @@
 package ingress_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/autoscale"
+	"repro/internal/bench"
 	"repro/internal/hw"
 	"repro/internal/ingress"
 	"repro/internal/llm"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/vhttp"
 	"repro/internal/vllm"
+	"repro/internal/workload"
 )
 
 // scenarioModel is one model's row in a scenario's fleet spec.
@@ -133,6 +136,18 @@ type scenario struct {
 	phases    []scenarioPhase
 	events    []scenarioEvent
 	expect    expect
+
+	// workload, when set, drives the fleet from a declarative WorkloadSpec
+	// (cohorts, diurnal arrival periods, multi-turn sessions) instead of the
+	// hand-scripted phase list: the stream is generated deterministically and
+	// replayed open-loop through the router via bench.RunWorkload. Per-cohort
+	// outcomes land in scenarioResult.workload; per-model counts fold into
+	// the rigs so the standard expect contract still applies.
+	workload *workload.Spec
+	// observeAt, when > 0, fetches the router's /observe FleetSnapshot at
+	// that offset into the run (scenarioResult.observed) — for asserting
+	// what the fleet telemetry reported mid-load, not just end state.
+	observeAt time.Duration
 }
 
 // fakeReplica is a controllable model engine endpoint.
@@ -355,6 +370,7 @@ type modelRig struct {
 	peak      int
 	held      bool
 	preempt   int // pool-arbitration shrinks observed
+	sloShrink int // shrinks sampled while the SLO breaker was engaged
 	// sessionHits maps session key -> replica names that served it.
 	sessionHits map[string]map[string]bool
 	// ttft collects per-request time-to-first-token (ms) from the
@@ -367,6 +383,14 @@ type modelRig struct {
 type scenarioResult struct {
 	meanTTFT map[string]float64
 	hitRate  map[string]float64
+	// launches counts replicas ever launched per fake-scaler model: a model
+	// that held steady at N shows exactly N launches, while scale-down/up
+	// flapping shows relaunches.
+	launches map[string]int
+	// workload is the per-cohort open-loop breakdown (workload mode only).
+	workload *bench.WorkloadResult
+	// observed is the mid-run /observe snapshot (observeAt > 0 only).
+	observed *telemetry.FleetSnapshot
 }
 
 // runScenario executes one table entry end to end and returns the
@@ -375,7 +399,11 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 	t.Helper()
 	eng := sim.NewEngine(1)
 	net := vhttp.NewNet(netsim.New(eng))
-	result := &scenarioResult{meanTTFT: map[string]float64{}, hitRate: map[string]float64{}}
+	result := &scenarioResult{
+		meanTTFT: map[string]float64{},
+		hitRate:  map[string]float64{},
+		launches: map[string]int{},
+	}
 
 	router := &ingress.Router{Net: net, Host: "fleet", Port: 8000}
 	if err := router.Start(eng); err != nil {
@@ -485,9 +513,17 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 					if n > rig.peak {
 						rig.peak = n
 					}
-					if prev, ok := prevN[rig.spec.name]; ok && n < prev &&
-						strings.Contains(rig.as.Status().Reason, "pool arbitration") {
-						rig.preempt++
+					if prev, ok := prevN[rig.spec.name]; ok && n < prev {
+						if strings.Contains(rig.as.Status().Reason, "pool arbitration") {
+							rig.preempt++
+						}
+						// Shrinking while the admission breaker is engaged is
+						// the shed-deflated-demand race: shedding lowers load
+						// and p95, the controller reads the relief as surplus,
+						// and the breach re-triggers. Never legitimate.
+						if slo, ok := rig.gw.SLO(); ok && slo.Engaged {
+							rig.sloShrink++
+						}
 					}
 					prevN[rig.spec.name] = n
 				}
@@ -505,6 +541,29 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 		inflight := eng.NewGroup()
 		rng := eng.Rand()
 
+		// Mid-run observability probe: capture the merged FleetSnapshot while
+		// the load (and any SLO breach) is still live.
+		if sc.observeAt > 0 {
+			inflight.Add(1)
+			eng.Go("observe-probe", func(op *sim.Proc) {
+				defer inflight.Finish()
+				op.Sleep(sc.observeAt)
+				resp, err := client.Do(op, &vhttp.Request{
+					Method: "GET", URL: router.Endpoint() + telemetry.ObservePath,
+				})
+				if err != nil || resp.Status != 200 {
+					t.Errorf("observe probe at %v failed: err=%v resp=%+v", sc.observeAt, err, resp)
+					return
+				}
+				f, ferr := telemetry.DecodeFleet(resp.Body)
+				if ferr != nil {
+					t.Errorf("observe probe: %v", ferr)
+					return
+				}
+				result.observed = &f
+			})
+		}
+
 		// Closed-loop multi-turn conversations (engine-backed models) run
 		// alongside the phase script on their own process per model.
 		for _, rig := range rigs {
@@ -517,6 +576,39 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 				defer inflight.Finish()
 				runConversations(cp, rig, client, router.Endpoint())
 			})
+		}
+		// Workload-engine mode: a declarative WorkloadSpec replaces the
+		// hand-scripted phase list. The generated stream is replayed
+		// open-loop through the router; cohort outcomes fold into the rigs
+		// by model so the expect contract below applies unchanged.
+		if sc.workload != nil {
+			reqs, err := workload.Generate(*sc.workload)
+			if err != nil {
+				t.Errorf("workload generate: %v", err)
+				return
+			}
+			wr := bench.RunWorkload(p, &bench.HTTPTarget{
+				Client: client, BaseURL: router.Endpoint(),
+			}, sc.workload.Name, reqs)
+			result.workload = wr
+			modelOf := map[string]string{}
+			classOf := map[string]string{}
+			for _, c := range sc.workload.Cohorts {
+				modelOf[c.Name], classOf[c.Name] = c.Model, c.Class
+			}
+			for _, cr := range wr.Cohorts {
+				rig := rigByName[modelOf[cr.Cohort]]
+				if rig == nil {
+					continue
+				}
+				if classOf[cr.Cohort] == "batch" {
+					rig.sentBatch += cr.Completed + cr.Failed + cr.Shed
+				} else {
+					rig.sent += cr.Completed + cr.Failed + cr.Shed
+				}
+				rig.failed += cr.Failed
+				rig.shed += cr.Shed
+			}
 		}
 		for _, ph := range sc.phases {
 			end := p.Now().Add(ph.dur)
@@ -635,6 +727,10 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 			if rig.wrong > 0 {
 				t.Errorf("%s: %d responses served by another model's replica", name, rig.wrong)
 			}
+			if rig.sloShrink > 0 {
+				t.Errorf("%s: scaled down %d time(s) while the SLO breaker was engaged (shed-deflated demand must not read as surplus)",
+					name, rig.sloShrink)
+			}
 			if want, ok := sc.expect.minPeak[name]; ok && rig.peak < want {
 				t.Errorf("%s: peak %d replicas, want >= %d", name, rig.peak, want)
 			}
@@ -693,6 +789,9 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 				if hits, misses := es.prefix(); hits+misses > 0 {
 					result.hitRate[rig.spec.name] = float64(hits) / float64(hits+misses)
 				}
+			}
+			if fs, ok := rig.scaler.(*fakeScaler); ok {
+				result.launches[rig.spec.name] = fs.launched
 			}
 		}
 	})
@@ -929,4 +1028,190 @@ func TestScenarioPrefixCacheSessionVsRoundRobin(t *testing.T) {
 	if st >= 0.95*rt {
 		t.Errorf("session mean TTFT %.2fms not measurably below round-robin %.2fms (want < 95%%)", st, rt)
 	}
+}
+
+// fleetScaleSpec is the table-driven workload for the fleet-scale test: two
+// huge single-shot cohorts (interactive + batch) on the fake-replica "chat"
+// model plus a small sessionful cohort on the engine-backed "assist" model,
+// under a diurnal quiet/peak/quiet arrival schedule. The client populations
+// sum past 10^5 distinct simulated clients.
+func fleetScaleSpec() workload.Spec {
+	return workload.Spec{
+		Name: "fleet-scale",
+		Seed: 42,
+		Cohorts: []workload.Cohort{
+			{Name: "interactive", Model: "chat", Class: "interactive", Weight: 16,
+				Clients: 80000,
+				Prompt:  workload.LengthDist{Mu: 4.0, Sigma: 0.5},
+				Output:  workload.LengthDist{Mu: 3.5, Sigma: 0.5}},
+			{Name: "batch", Model: "chat", Class: "batch", Weight: 10,
+				Clients: 50000,
+				Prompt:  workload.LengthDist{Mu: 4.5, Sigma: 0.5},
+				Output:  workload.LengthDist{Mu: 5.0, Sigma: 0.5}},
+			{Name: "assist", Model: "assist", Class: "interactive", Weight: 0.1,
+				Clients: 300, Turns: 3, ThinkTime: 12 * time.Second,
+				Prompt: workload.LengthDist{Mu: 4.2, Sigma: 0.5},
+				Output: workload.LengthDist{Mu: 3.6, Sigma: 0.4}},
+		},
+		Arrivals: workload.Arrivals{Periods: []workload.RatePeriod{
+			{Dur: 90 * time.Second, StartsPerSec: 200},
+			{Dur: 150 * time.Second, StartsPerSec: 550},
+			{Dur: 90 * time.Second, StartsPerSec: 200},
+		}},
+	}
+}
+
+// TestScenarioWorkloadFleetScale is the workload engine's acceptance test:
+// one declarative WorkloadSpec drives >= 10^5 distinct simulated clients —
+// multi-cohort, diurnal, sessionful — through the real router + per-model
+// gateways in a single scenario, with asserted SLO/shed/prefix-hit
+// outcomes, and the recorded trace replays to the identical stream.
+//
+// The peak period intentionally exceeds the chat model's fixed capacity so
+// the SLO breaker engages at MaxReplicas: batch sheds with 503, every
+// interactive request completes, the breach surfaces mid-run on /observe as
+// slo_breached_at_max, and the autoscaler holds steady at the ceiling
+// (exactly max launches ever — no shed-deflated-demand flapping) even
+// though its scale-down cooldown expires inside the peak.
+func TestScenarioWorkloadFleetScale(t *testing.T) {
+	spec := fleetScaleSpec()
+
+	// Record/replay fidelity first: the generated stream written as a JSONL
+	// trace and read back must be identical (same per-cohort request counts
+	// and arrival times), and the self-describing header must regenerate it.
+	reqs, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := workload.WriteTrace(&trace, spec, reqs); err != nil {
+		t.Fatal(err)
+	}
+	traceSpec, replayed, err := workload.ReadTrace(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Identical(reqs, replayed); err != nil {
+		t.Fatalf("trace replay differs from recording: %v", err)
+	}
+	regen, err := workload.Generate(traceSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Identical(reqs, regen); err != nil {
+		t.Fatalf("regeneration from trace header differs: %v", err)
+	}
+	gen, rep := workload.Summarize(reqs), workload.Summarize(replayed)
+	for cohort, n := range gen.PerCohort {
+		if rep.PerCohort[cohort] != n {
+			t.Fatalf("cohort %s: %d recorded vs %d replayed", cohort, n, rep.PerCohort[cohort])
+		}
+	}
+	if gen.Clients < 100000 {
+		t.Fatalf("stream carries %d distinct clients, want >= 100000", gen.Clients)
+	}
+	t.Logf("stream: %d requests, %d sessions, %d clients over %v",
+		gen.Requests, gen.Sessions, gen.Clients, gen.Span)
+
+	sc := scenario{
+		name: "workload-fleet-scale",
+		models: []scenarioModel{
+			{
+				// Fixed at its ceiling: peak interactive arrivals alone push
+				// p95 past the SLO, so the breaker owns recovery at max.
+				name: "chat", weight: 1, initial: 8, min: 2, max: 8,
+				coldStart: 10 * time.Second,
+				latency:   10 * time.Millisecond, slowdown: 20 * time.Millisecond,
+				sloP95:       40 * time.Millisecond,
+				downCooldown: 3 * time.Minute, // expires mid-peak: only the breach hold prevents a shrink
+			},
+			{
+				name: "assist", weight: 1, initial: 2, min: 2, max: 2,
+				coldStart: 10 * time.Second,
+				policy:    ingress.PolicySession,
+				engine:    true, kvBlocks: 2048, maxModelLen: 4096,
+			},
+		},
+		workload:  &spec,
+		observeAt: 200 * time.Second, // mid-peak, well after the breach engages
+		expect: expect{
+			minPeak: map[string]int{"chat": 8},
+			minShed: map[string]int{"chat": 5000},
+			// maxFailed absent: zero non-shed failures tolerated anywhere.
+		},
+	}
+	res := runScenario(t, sc)
+
+	wr := res.workload
+	if wr == nil {
+		t.Fatal("no workload result")
+	}
+	t.Logf("%s", wr)
+	if wr.Requests != len(reqs) {
+		t.Fatalf("dispatched %d of %d requests", wr.Requests, len(reqs))
+	}
+	if wr.Completed+wr.Shed+wr.Failed != wr.Requests {
+		t.Fatalf("outcomes don't partition: %d+%d+%d != %d",
+			wr.Completed, wr.Shed, wr.Failed, wr.Requests)
+	}
+	inter, batch, assist := wr.Cohort("interactive"), wr.Cohort("batch"), wr.Cohort("assist")
+	if inter == nil || batch == nil || assist == nil {
+		t.Fatalf("missing cohort breakdown: %+v", wr.Cohorts)
+	}
+	// The scarce GPUs serve the latency-sensitive class first: interactive
+	// never sheds and never fails, even through the overloaded peak.
+	if inter.Shed != 0 || inter.Failed != 0 {
+		t.Errorf("interactive cohort: shed=%d failed=%d, want 0/0", inter.Shed, inter.Failed)
+	}
+	if inter.E2E.N() != inter.Completed || inter.Completed == 0 {
+		t.Errorf("interactive E2E samples %d != completions %d", inter.E2E.N(), inter.Completed)
+	}
+	// Batch absorbs the admission sheds during the peak but completes in the
+	// quiet periods.
+	if batch.Shed < 5000 {
+		t.Errorf("batch cohort shed %d, want >= 5000 (peak overload)", batch.Shed)
+	}
+	if batch.Completed == 0 {
+		t.Error("batch cohort never completed a request (quiet periods should clear)")
+	}
+	// The sessionful engine-backed cohort completes everything with real
+	// TTFT measurements, and session-affine routing turns its growing
+	// histories into engine prefix-cache hits.
+	if assist.Shed != 0 || assist.Failed != 0 {
+		t.Errorf("assist cohort: shed=%d failed=%d, want 0/0", assist.Shed, assist.Failed)
+	}
+	if assist.TTFT.N() == 0 {
+		t.Error("assist cohort has no TTFT samples")
+	}
+	if hr := res.hitRate["assist"]; hr < 0.15 {
+		t.Errorf("assist prefix-cache hit rate %.3f, want >= 0.15 (sessionful replay on affine routing)", hr)
+	}
+	// Breach-at-max stability: besides the harness-wide invariant that no
+	// model shrinks while its breaker is engaged (rig.sloShrink), the chat
+	// model's lifetime launch count is bounded — 8 initial plus at most one
+	// pre-peak-dip relaunch. A controller flapping at the ceiling relaunches
+	// every cycle and blows well past this.
+	if n := res.launches["chat"]; n > 9 {
+		t.Errorf("chat launched %d replicas ever, want <= 9 (flapping at max relaunches every shed cycle)", n)
+	}
+	// The mid-peak /observe snapshot surfaces the breach on the autoscaler's
+	// status document and shows the breaker engaged.
+	if res.observed == nil {
+		t.Fatal("no mid-run /observe snapshot")
+	}
+	chat := res.observed.Model("chat")
+	if chat == nil {
+		t.Fatalf("observe snapshot missing chat model: %+v", res.observed)
+	}
+	if chat.SLO == nil || !chat.SLO.Engaged {
+		t.Errorf("mid-peak SLO state %+v, want breaker engaged", chat.SLO)
+	}
+	if !strings.Contains(string(chat.Autoscale), `"slo_breached_at_max":true`) {
+		t.Errorf("mid-peak autoscale status does not surface slo_breached_at_max:\n%s", chat.Autoscale)
+	}
+	if chat.Counters.Rejected == 0 {
+		t.Error("mid-peak gateway counters show no admission rejections")
+	}
+	t.Logf("assist hit rate %.3f, mean TTFT %.2fms; batch shed %d; observed autoscale: %s",
+		res.hitRate["assist"], res.meanTTFT["assist"], batch.Shed, chat.Autoscale)
 }

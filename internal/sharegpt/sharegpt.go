@@ -31,23 +31,26 @@ type Dataset struct {
 }
 
 // Log-normal parameters calibrated so post-clamp means land at ~220 prompt /
-// ~190 output tokens (see TestSynthesizeMoments).
+// ~190 output tokens (see TestSynthesizeMoments). Exported so workload
+// cohorts can reuse the calibration as their default length distributions.
 const (
-	promptMu    = 5.07
-	promptSigma = 0.80
-	outputMu    = 4.89
-	outputSigma = 0.85
-	minTokens   = 4
-	maxTokens   = 2048
+	PromptMu    = 5.07
+	PromptSigma = 0.80
+	OutputMu    = 4.89
+	OutputSigma = 0.85
+	MinTokens   = 4
+	MaxTokens   = 2048
 )
 
-func clamp(v float64) int {
+// Clamp bounds a sampled token length to the dataset's [MinTokens, MaxTokens]
+// window, exactly as benchmark_serving's filtering does.
+func Clamp(v float64) int {
 	n := int(v)
-	if n < minTokens {
-		return minTokens
+	if n < MinTokens {
+		return MinTokens
 	}
-	if n > maxTokens {
-		return maxTokens
+	if n > MaxTokens {
+		return MaxTokens
 	}
 	return n
 }
@@ -57,16 +60,21 @@ func Synthesize(seed int64, n int) *Dataset {
 	rng := rand.New(rand.NewSource(seed))
 	d := &Dataset{Name: fmt.Sprintf("sharegpt-synthetic-%d", seed)}
 	for i := 0; i < n; i++ {
-		p := math.Exp(promptMu + promptSigma*rng.NormFloat64())
-		o := math.Exp(outputMu + outputSigma*rng.NormFloat64())
-		d.Entries = append(d.Entries, Entry{PromptTokens: clamp(p), OutputTokens: clamp(o)})
+		p := math.Exp(PromptMu + PromptSigma*rng.NormFloat64())
+		o := math.Exp(OutputMu + OutputSigma*rng.NormFloat64())
+		d.Entries = append(d.Entries, Entry{PromptTokens: Clamp(p), OutputTokens: Clamp(o)})
 	}
 	return d
 }
 
 // Sample draws n entries (with replacement) using rng, matching
-// benchmark_serving's random sampling of the corpus.
+// benchmark_serving's random sampling of the corpus. An empty dataset
+// (Synthesize(seed, 0), or a filtered-out corpus) yields an empty slice
+// rather than panicking in rng.Intn(0).
 func (d *Dataset) Sample(rng *rand.Rand, n int) []Entry {
+	if len(d.Entries) == 0 || n <= 0 {
+		return nil
+	}
 	out := make([]Entry, n)
 	for i := range out {
 		out[i] = d.Entries[rng.Intn(len(d.Entries))]
@@ -113,7 +121,7 @@ func LoadJSON(data []byte) (*Dataset, error) {
 			}
 			p := (len(c.Conversations[i].Value) + 3) / 4
 			o := (len(c.Conversations[i+1].Value) + 3) / 4
-			if p < minTokens || o < minTokens || p > maxTokens || o > maxTokens {
+			if p < MinTokens || o < MinTokens || p > MaxTokens || o > MaxTokens {
 				continue
 			}
 			d.Entries = append(d.Entries, Entry{PromptTokens: p, OutputTokens: o})

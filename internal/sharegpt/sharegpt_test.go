@@ -53,6 +53,23 @@ func TestSampleWithReplacement(t *testing.T) {
 	}
 }
 
+func TestSampleEmptyDataset(t *testing.T) {
+	// Synthesize(seed, 0) is a legal (empty) dataset; sampling from it must
+	// yield an empty slice, not panic in rng.Intn(0).
+	d := Synthesize(1, 0)
+	rng := rand.New(rand.NewSource(7))
+	if got := d.Sample(rng, 10); got != nil {
+		t.Fatalf("empty dataset sample = %v, want nil", got)
+	}
+	if got := Synthesize(1, 5).Sample(rng, 0); got != nil {
+		t.Fatalf("zero-count sample = %v, want nil", got)
+	}
+	p, o := d.Means()
+	if p != 0 || o != 0 {
+		t.Fatalf("empty dataset means = %.1f/%.1f, want 0/0", p, o)
+	}
+}
+
 func TestLoadJSON(t *testing.T) {
 	data := []byte(`[
 	  {"id":"c1","conversations":[

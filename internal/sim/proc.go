@@ -257,9 +257,17 @@ func (g *Group) Finish() {
 
 // WaitAll suspends the process until the group drains. A group with no
 // outstanding tasks returns immediately.
+//
+// A group may legitimately drain to zero and refill (an open-loop driver
+// whose in-flight set empties between arrivals), and the underlying Signal
+// is one-shot — so WaitAll re-arms a fresh signal and keeps waiting until
+// the count is zero at wake time, rather than returning on a stale fire
+// with work still outstanding.
 func (g *Group) WaitAll(p *Proc) {
-	if g.n == 0 {
-		return
+	for g.n > 0 {
+		if g.done.Fired() {
+			g.done = g.eng.NewSignal()
+		}
+		p.Wait(g.done)
 	}
-	p.Wait(g.done)
 }

@@ -297,6 +297,41 @@ func TestGroup(t *testing.T) {
 	}
 }
 
+// TestGroupDrainAndRefill covers the open-loop driver shape: the in-flight
+// set transiently drains to zero (firing the group's one-shot signal), then
+// more work arrives. WaitAll must wait for the final drain, not return on
+// the stale fire with work still outstanding.
+func TestGroupDrainAndRefill(t *testing.T) {
+	e := NewEngine(1)
+	g := e.NewGroup()
+	finished := 0
+	spawn := func(start, dur time.Duration) {
+		g.Add(1)
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(start + dur)
+			finished++
+			g.Finish()
+		})
+	}
+	var sawFinished int
+	var doneAt time.Duration
+	e.Go("driver", func(p *Proc) {
+		spawn(0, time.Second) // drains at 1s...
+		p.Sleep(2 * time.Second)
+		spawn(0, 3*time.Second) // ...refills at 2s, drains at 5s
+		g.WaitAll(p)
+		sawFinished = finished
+		doneAt = e.Since(Epoch)
+	})
+	e.Run()
+	if sawFinished != 2 {
+		t.Fatalf("WaitAll returned with %d of 2 tasks finished", sawFinished)
+	}
+	if doneAt != 5*time.Second {
+		t.Fatalf("group drained at %v, want 5s", doneAt)
+	}
+}
+
 func TestRealtimeInjection(t *testing.T) {
 	e := NewEngine(1)
 	ctx, cancel := context.WithCancel(context.Background())

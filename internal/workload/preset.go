@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Preset returns a named built-in spec with every cohort pointed at model.
+// Presets are deliberately small enough for CI; scale comes from editing a
+// dumped spec (see ParseSpec) or passing Cycles.
+func Preset(name, model string) (Spec, error) {
+	switch name {
+	case "diurnal-chat":
+		// A chat service's day in miniature: a quiet hour, a peak hour at
+		// 6x the rate, a quiet hour. Interactive multi-turn chat dominates
+		// arrivals; single-shot API calls ride alongside; a batch cohort
+		// asks for long generations at the lowest priority.
+		return Spec{
+			Name: "diurnal-chat",
+			Seed: 1,
+			Cohorts: []Cohort{
+				{
+					Name: "chat", Model: model, Class: "interactive", Weight: 6,
+					Clients: 400, Turns: 3, ThinkTime: 20 * time.Second,
+					Prompt: LengthDist{Mu: 4.0, Sigma: 0.6}, // short fresh turns, growing history
+				},
+				{
+					Name: "api", Model: model, Class: "interactive", Weight: 3,
+					Clients: 200,
+					Prompt:  LengthDist{Mu: 4.6, Sigma: 0.5},
+					Output:  LengthDist{Mu: 3.7, Sigma: 0.4},
+				},
+				{
+					Name: "batch", Model: model, Class: "batch", Weight: 1,
+					Clients: 50,
+					Output:  LengthDist{Mu: 5.8, Sigma: 0.4}, // long generations
+				},
+			},
+			Arrivals: Arrivals{Periods: []RatePeriod{
+				{Dur: 2 * time.Minute, StartsPerSec: 0.5},
+				{Dur: 2 * time.Minute, StartsPerSec: 3},
+				{Dur: 2 * time.Minute, StartsPerSec: 0.5},
+			}},
+		}, nil
+	case "steady":
+		// Constant-rate single-shot sharegpt-shaped traffic: the open-loop
+		// analogue of the closed-loop sweep, for A/B against Run.
+		return Spec{
+			Name: "steady",
+			Seed: 1,
+			Cohorts: []Cohort{
+				{Name: "sharegpt", Model: model, Clients: 500},
+			},
+			Arrivals: Arrivals{Periods: []RatePeriod{
+				{Dur: 4 * time.Minute, StartsPerSec: 2},
+			}},
+		}, nil
+	}
+	return Spec{}, fmt.Errorf("workload: unknown preset %q (have: diurnal-chat, steady)", name)
+}
+
+// ParseSpec loads a Spec from JSON (the same shape WriteTrace embeds in a
+// trace header), validating it.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("workload: bad spec JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
