@@ -42,6 +42,7 @@ func main() {
 		minReps  = flag.Int("min-replicas", 0, "autoscale floor (0 = scale to zero when idle)")
 		maxReps  = flag.Int("max-replicas", 4, "autoscale ceiling")
 		sloP95   = flag.Duration("slo-p95", 0, "p95 latency objective: shed batch-class requests while the gateway's rolling p95 breaches it (0 = off)")
+		ttft     = flag.Duration("ttft-target", 0, "time-to-first-token objective stamped onto requests for the engine's deadline scheduler; batch class gets a relaxed multiple (0 = fall back to -slo-p95)")
 		priority = flag.String("priority", "", "default priority class for unlabeled requests: interactive (default) or batch")
 		maxLen   = flag.Int("max-model-len", 65536, "context limit")
 		prompts  = flag.Int("num-prompts", 1000, "requests per point")
@@ -71,6 +72,9 @@ func main() {
 	}
 	if *sloP95 < 0 {
 		fatal(fmt.Errorf("-slo-p95 must be >= 0 (got %s)", *sloP95))
+	}
+	if *ttft < 0 {
+		fatal(fmt.Errorf("-ttft-target must be >= 0 (got %s)", *ttft))
 	}
 	var pol *autoscale.Policy
 	if *elastic {
@@ -129,7 +133,7 @@ func main() {
 		if len(fleetEntries) > 0 {
 			failure = benchFleet(p, s, d, pf, fleetEntries, benchFleetConfig{
 				tp: *tp, maxLen: *maxLen, replicas: *replicas, policy: *policy,
-				sloP95: *sloP95, priority: *priority, noPrefixCache: !*prefixOn,
+				sloP95: *sloP95, ttft: *ttft, priority: *priority, noPrefixCache: !*prefixOn,
 				autoscale: pol, poolNodes: *pool, prompts: *prompts, seed: *seed, points: points,
 				stream: *stream, artifact: *artifact, trace: *traceOn, observe: *observe,
 			})
@@ -152,7 +156,7 @@ func main() {
 			Model: m, TensorParallel: *tp, PipelineParallel: *pp,
 			MaxModelLen: *maxLen, Offline: true,
 			Replicas: *replicas, RoutePolicy: *policy, Autoscale: pol,
-			SLOTargetP95: *sloP95, PriorityClass: *priority,
+			SLOTargetP95: *sloP95, TTFTTarget: *ttft, PriorityClass: *priority,
 			DisablePrefixCache: !*prefixOn,
 		})
 		if err != nil {
@@ -304,6 +308,7 @@ type benchFleetConfig struct {
 	tp, maxLen, replicas int
 	policy               string
 	sloP95               time.Duration
+	ttft                 time.Duration
 	priority             string
 	noPrefixCache        bool
 	autoscale            *autoscale.Policy
@@ -324,7 +329,7 @@ func benchFleet(p *sim.Proc, s *site.Site, d *core.Deployer, pf core.Platform, e
 	models, err := core.SeedFleet(p, d, pf, core.DeployConfig{
 		TensorParallel: bc.tp, MaxModelLen: bc.maxLen, Offline: true,
 		Replicas: bc.replicas, RoutePolicy: bc.policy, Autoscale: bc.autoscale,
-		SLOTargetP95: bc.sloP95, PriorityClass: bc.priority,
+		SLOTargetP95: bc.sloP95, TTFTTarget: bc.ttft, PriorityClass: bc.priority,
 		DisablePrefixCache: bc.noPrefixCache,
 	}, entries)
 	if err != nil {

@@ -117,6 +117,7 @@ type deployOpts struct {
 	minReps, maxReps *int
 	targetQueue      *int
 	sloP95           *time.Duration
+	ttftTarget       *time.Duration
 	priority         *string
 	models           *string
 	poolNodes        *int
@@ -138,8 +139,9 @@ func deployFlags(fs *flag.FlagSet) *deployOpts {
 	o.maxReps = fs.Int("max-replicas", 4, "autoscale ceiling")
 	o.targetQueue = fs.Int("target-queue-depth", 0, "autoscale per-replica queue target (0 = default)")
 	o.sloP95 = fs.Duration("slo-p95", 0, "p95 latency objective: shed batch-class requests while the gateway's rolling p95 breaches it (0 = off)")
+	o.ttftTarget = fs.Duration("ttft-target", 0, "time-to-first-token objective stamped onto requests for the engine's deadline scheduler; batch class gets a relaxed multiple (0 = fall back to -slo-p95)")
 	o.priority = fs.String("priority", "", "default priority class for unlabeled requests: interactive (default) or batch")
-	o.models = fs.String("models", "", "multi-model fleet spec: alias=hf-name[:weight][:p95=dur][:class=name][:policy=name],... (e.g. \"chat=meta-llama/Llama-3.1-8B-Instruct:2:p95=30s,code=Qwen/Qwen2.5-Coder-7B-Instruct:1:class=batch\")")
+	o.models = fs.String("models", "", "multi-model fleet spec: alias=hf-name[:weight][:p95=dur][:ttft=dur][:class=name][:policy=name],... (e.g. \"chat=meta-llama/Llama-3.1-8B-Instruct:2:p95=30s,code=Qwen/Qwen2.5-Coder-7B-Instruct:1:class=batch\")")
 	o.poolNodes = fs.Int("pool-nodes", 0, "shared node pool arbitrated across the fleet's models (0 = no arbitration)")
 	o.prefixCache = fs.Bool("prefix-cache", true, "automatic prefix caching in the engine (vLLM --enable-prefix-caching); multi-turn sessions routed to their replica skip cached prefill")
 	return o
@@ -160,6 +162,9 @@ func (o *deployOpts) validate() (*autoscale.Policy, error) {
 	if *o.sloP95 < 0 {
 		return nil, fmt.Errorf("-slo-p95 must be >= 0 (got %s)", *o.sloP95)
 	}
+	if *o.ttftTarget < 0 {
+		return nil, fmt.Errorf("-ttft-target must be >= 0 (got %s)", *o.ttftTarget)
+	}
 	if !*o.elastic {
 		return nil, nil
 	}
@@ -179,7 +184,8 @@ func (o *deployOpts) config(m *llm.ModelSpec, pol *autoscale.Policy) core.Deploy
 		Model: m, TensorParallel: *o.tp, PipelineParallel: *o.pp,
 		MaxModelLen: *o.maxLen, Offline: true, Persistent: *o.persistent,
 		Replicas: *o.replicas, RoutePolicy: *o.policy, Autoscale: pol,
-		SLOTargetP95: *o.sloP95, PriorityClass: *o.priority,
+		SLOTargetP95: *o.sloP95, TTFTTarget: *o.ttftTarget,
+		PriorityClass:      *o.priority,
 		DisablePrefixCache: !*o.prefixCache,
 	}
 }
@@ -272,6 +278,9 @@ func runDeploy(args []string) {
 			}
 			if *opts.sloP95 > 0 {
 				fmt.Printf("  slo: p95 objective %s (batch-class requests shed while breached)\n", *opts.sloP95)
+			}
+			if *opts.ttftTarget > 0 {
+				fmt.Printf("  ttft: %s objective (engines admit by deadline urgency)\n", *opts.ttftTarget)
 			}
 			if *opts.priority != "" {
 				fmt.Printf("  priority: unlabeled requests default to the %s class\n", *opts.priority)

@@ -179,6 +179,12 @@ type DeployConfig struct {
 	// first under an SLO breach and dequeued last from the gateway's
 	// cold-start hold queue.
 	PriorityClass string
+	// TTFTTarget sets the per-class time-to-first-token objective the
+	// gateway stamps onto requests for the engine's deadline-aware
+	// scheduler (batch-class requests get a relaxed multiple). 0 falls
+	// back to SLOTargetP95; with both unset no deadline is propagated
+	// and engines admit in arrival order. HPC replica sets only.
+	TTFTTarget time.Duration
 	// Autoscale, when non-nil, runs an elastic control loop that resizes
 	// the replica set between the policy's MinReplicas and MaxReplicas from
 	// gateway load signals, including scale-to-zero with cold-start queuing

@@ -144,6 +144,7 @@ func (d *Deployer) deployReplicaSet(p *sim.Proc, pkg *ContainerPackage, pf Platf
 		Policy:        policy,
 		MaxWaiting:    cfg.GatewayMaxWaiting,
 		SLOTargetP95:  cfg.SLOTargetP95,
+		TTFTTarget:    cfg.TTFTTarget,
 		DefaultClass:  class,
 		HoldColdStart: pol != nil,
 	}

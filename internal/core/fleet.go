@@ -22,6 +22,10 @@ type FleetFlagEntry struct {
 	// SLOTargetP95 is the per-model latency objective (`p95=<dur>` option;
 	// 0 = inherit the fleet-wide flag).
 	SLOTargetP95 time.Duration
+	// TTFTTarget is the per-model time-to-first-token objective for the
+	// engine's deadline scheduler (`ttft=<dur>` option; 0 = inherit the
+	// fleet-wide flag).
+	TTFTTarget time.Duration
 	// Class is the model's default priority class (`class=<name>` option;
 	// "" = inherit the fleet-wide flag).
 	Class string
@@ -42,9 +46,10 @@ func (e FleetFlagEntry) RouteName() string {
 // benchserve: comma-separated `alias=hf-name[:opt...]` items, with alias
 // optional. Each colon-separated option after the model name is either a
 // bare positive integer (the pool-arbitration weight, default 1),
-// `p95=<duration>` (a per-model p95 latency objective), `class=<name>`
-// (the model's default priority class), or `policy=<name>` (the model's
-// balancing policy), e.g.
+// `p95=<duration>` (a per-model p95 latency objective), `ttft=<duration>`
+// (a per-model time-to-first-token objective for the engine's deadline
+// scheduler), `class=<name>` (the model's default priority class), or
+// `policy=<name>` (the model's balancing policy), e.g.
 //
 //	chat=meta-llama/Llama-3.1-8B-Instruct:2:p95=30s:policy=session,bulk=Qwen/Qwen2.5-Coder-7B-Instruct:1:class=batch
 func ParseFleetFlag(spec string) ([]FleetFlagEntry, error) {
@@ -71,6 +76,12 @@ func ParseFleetFlag(spec string) ([]FleetFlagEntry, error) {
 					return nil, fmt.Errorf("core: fleet spec: bad p95 objective in %q (want a positive duration, e.g. p95=30s)", item)
 				}
 				e.SLOTargetP95 = d
+			case strings.HasPrefix(opt, "ttft="):
+				d, err := time.ParseDuration(opt[len("ttft="):])
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("core: fleet spec: bad ttft objective in %q (want a positive duration, e.g. ttft=500ms)", item)
+				}
+				e.TTFTTarget = d
 			case strings.HasPrefix(opt, "class="):
 				name := opt[len("class="):]
 				if c, err := sched.ParseClass(name); err != nil || c == sched.ClassUnset {
@@ -87,7 +98,7 @@ func ParseFleetFlag(spec string) ([]FleetFlagEntry, error) {
 			default:
 				w, err := strconv.Atoi(opt)
 				if err != nil || w < 1 {
-					return nil, fmt.Errorf("core: fleet spec: bad option %q in %q (want a positive weight, p95=<dur>, class=<name>, or policy=<name>)", opt, item)
+					return nil, fmt.Errorf("core: fleet spec: bad option %q in %q (want a positive weight, p95=<dur>, ttft=<dur>, class=<name>, or policy=<name>)", opt, item)
 				}
 				e.Weight = w
 			}
@@ -135,8 +146,8 @@ type FleetModel struct {
 	// Config is the model's deployment request. Its RouteName (ServedName
 	// alias or Model.Name) is the `model` value clients send; it must be
 	// unique within the fleet. Per-model Replicas, RoutePolicy,
-	// GatewayMaxWaiting, SLOTargetP95, PriorityClass, and Autoscale all
-	// apply.
+	// GatewayMaxWaiting, SLOTargetP95, TTFTTarget, PriorityClass, and
+	// Autoscale all apply.
 	Config DeployConfig
 	// Weight is the model's relative priority in pool arbitration under
 	// contention (default 1).
@@ -175,6 +186,9 @@ func SeedFleet(p *sim.Proc, d *Deployer, pf Platform, base DeployConfig, entries
 		// Per-model scheduling options override the fleet-wide base.
 		if e.SLOTargetP95 > 0 {
 			cfg.SLOTargetP95 = e.SLOTargetP95
+		}
+		if e.TTFTTarget > 0 {
+			cfg.TTFTTarget = e.TTFTTarget
 		}
 		if e.Class != "" {
 			cfg.PriorityClass = e.Class

@@ -207,6 +207,12 @@ type Gateway struct {
 	// no explicit class (X-Priority header or body priority field).
 	// ClassUnset means interactive.
 	DefaultClass sched.Class
+	// TTFTTarget is the interactive-class first-token latency objective
+	// stamped onto forwarded requests (X-TTFT-Target-Micros) so the
+	// engine's deadline scheduler can order admission by urgency. Batch
+	// class gets the target relaxed by batchTTFTFactor. 0 defaults from
+	// SLOTargetP95; with both zero no deadline is propagated.
+	TTFTTarget time.Duration
 	// SessionSpillDepth is the affine replica's load score above which a
 	// session-routed request spills to least-loaded
 	// (0 = sched.DefaultSpillDepth). Deliberately not defaulted from
@@ -576,11 +582,59 @@ func (g *Gateway) describe(req *vhttp.Request) sched.Request {
 	return sreq
 }
 
-// normalize pins the descriptor to this replica set and resolves the
-// default priority class.
+// normalize pins the descriptor to this replica set, resolves the default
+// priority class, and fills the per-class TTFT target when the client
+// supplied none.
 func (g *Gateway) normalize(sreq *sched.Request) {
 	sreq.Model = g.Model
 	sreq.Class = sreq.Class.Or(g.DefaultClass.Or(sched.ClassInteractive))
+	if sreq.TTFTTarget <= 0 {
+		sreq.TTFTTarget = g.ttftFor(sreq.Class)
+	}
+}
+
+// batchTTFTFactor relaxes the TTFT objective for batch-class requests:
+// they still age toward a deadline (so they cannot starve) but interactive
+// work outranks them until far closer to its own target.
+const batchTTFTFactor = 4
+
+// ttftFor resolves the first-token objective for a class: the explicit
+// TTFTTarget, else the SLO p95 objective, relaxed for batch. 0 = none.
+func (g *Gateway) ttftFor(c sched.Class) time.Duration {
+	base := g.TTFTTarget
+	if base <= 0 {
+		base = g.SLOTargetP95
+	}
+	if base <= 0 {
+		return 0
+	}
+	if c == sched.ClassBatch {
+		return base * batchTTFTFactor
+	}
+	return base
+}
+
+// stampSchedHints stamps the engine scheduler's request hints onto the
+// forwarded request: the resolved TTFT deadline budget, the resolved
+// priority class (so the engine's class view matches the gateway's), and
+// the SLO-breaker state. A gateway with no TTFT objective configured
+// leaves the request untouched — direct-to-engine behaviour is preserved.
+func (g *Gateway) stampSchedHints(req *vhttp.Request, sreq *sched.Request) {
+	if sreq.TTFTTarget <= 0 {
+		return
+	}
+	if req.Header == nil {
+		req.Header = make(map[string]string, 3)
+	}
+	req.Header[sched.TTFTTargetHeader] = strconv.FormatInt(sreq.TTFTTarget.Microseconds(), 10)
+	if req.Header[sched.PriorityHeader] == "" && sreq.Class != sched.ClassUnset {
+		req.Header[sched.PriorityHeader] = sreq.Class.String()
+	}
+	if g.slo != nil && g.slo.Engaged() {
+		req.Header[sched.SLOBreachedHeader] = "1"
+	} else {
+		delete(req.Header, sched.SLOBreachedHeader)
+	}
 }
 
 // admit runs the admission chain against the arrival-time replica
@@ -975,6 +1029,7 @@ func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) 
 	// The pick itself is instantaneous in virtual time; the zero-duration
 	// span marks when the decision landed (after any hold) and on whom.
 	tr.Observe(trace.StagePick, p.Now(), p.Now())
+	g.stampSchedHints(req, &sreq)
 	resp, err := g.forward(p, b, req)
 	if err == nil && resp.Status < 500 {
 		if resp.Stream != nil {
@@ -1121,6 +1176,12 @@ func (g *Gateway) status() *vhttp.Response {
 		Failures int     `json:"failures"`
 		KVUsage  float64 `json:"kv_usage,omitempty"`
 		HitRate  float64 `json:"prefix_hit_rate,omitempty"`
+		// Engine deadline-scheduler state from the last telemetry scrape:
+		// who is waiting, and the cumulative miss/preempt/resume counters.
+		WaitingByClass map[string]int `json:"waiting_by_class,omitempty"`
+		DeadlineMisses int64          `json:"deadline_misses,omitempty"`
+		Preemptions    int64          `json:"preemptions,omitempty"`
+		Resumes        int64          `json:"resumes,omitempty"`
 		// SnapAgeMS is the telemetry snapshot's staleness (-1: never
 		// scraped) — the signal consumers use to discount stale replicas.
 		SnapAgeMS float64 `json:"snapshot_age_ms"`
@@ -1146,7 +1207,11 @@ func (g *Gateway) status() *vhttp.Response {
 			Inflight: b.inflight, Waiting: b.waiting, Running: b.running,
 			Requests: b.requests, Failures: b.failures,
 			KVUsage: b.snap.KVUsage(), HitRate: b.snap.PrefixHitRate(),
-			SnapAgeMS: b.snap.AgeMillis(now),
+			WaitingByClass: b.snap.WaitingByClass,
+			DeadlineMisses: b.snap.DeadlineMisses,
+			Preemptions:    b.snap.Preemptions,
+			Resumes:        b.snap.Resumes,
+			SnapAgeMS:      b.snap.AgeMillis(now),
 		})
 	}
 	if g.AutoscaleStatus != nil {

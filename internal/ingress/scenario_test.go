@@ -62,6 +62,17 @@ type scenarioModel struct {
 	// session keys (round-robin), exercising session-affinity routing.
 	sessions int
 
+	// ttft sets the gateway's time-to-first-token objective: requests are
+	// stamped with per-class deadline budgets for the engine's deadline
+	// scheduler (batch gets a relaxed multiple).
+	ttft time.Duration
+	// fcfs runs engine replicas on the FCFS baseline scheduler instead of
+	// the deadline default (comparison scenarios).
+	fcfs bool
+	// maxBatched pins the engine's per-step token budget (engine replicas
+	// only; 0 = engine default).
+	maxBatched int
+
 	// engine replaces the instant fake replicas with real vllm.Engine
 	// instances behind vllm.APIServers, so scenarios observe genuine
 	// engine-level effects (prefix-cache hits, prefill-dependent TTFT).
@@ -226,10 +237,16 @@ func (s *engineScaler) ScaleTo(p *sim.Proc, n int) error {
 		s.launching++
 		p.Sleep(s.model.coldStart)
 		s.launching--
+		policy := ""
+		if s.model.fcfs {
+			policy = vllm.SchedulerFCFS
+		}
 		eng, err := vllm.New(s.eng, vllm.Config{
 			Model: llm.Llama318B, GPU: hw.H100SXM, TensorParallel: 1,
 			MaxModelLen:          s.model.maxModelLen,
 			NumGPUBlocksOverride: s.model.kvBlocks,
+			MaxBatchedTokens:     s.model.maxBatched,
+			SchedulerPolicy:      policy,
 		})
 		if err != nil {
 			return err
@@ -277,6 +294,21 @@ func (s *engineScaler) prefix() (hits, misses int64) {
 		misses += st.PrefixMisses
 	}
 	return hits, misses
+}
+
+// sched totals the deadline-scheduler counters across every engine
+// launched: per-class first-token deadline misses, preemptions, resumes.
+func (s *engineScaler) sched() (missByClass map[string]int, preempts, resumes int) {
+	missByClass = map[string]int{}
+	for _, e := range s.all {
+		for cls, n := range e.DeadlineMissesByClass() {
+			missByClass[cls] += n
+		}
+		st := e.Stats()
+		preempts += st.Preemptions
+		resumes += st.Resumes
+	}
+	return missByClass, preempts, resumes
 }
 
 // fakeScaler implements autoscale.Scaler by launching and draining fake
@@ -391,6 +423,11 @@ type scenarioResult struct {
 	workload *bench.WorkloadResult
 	// observed is the mid-run /observe snapshot (observeAt > 0 only).
 	observed *telemetry.FleetSnapshot
+	// deadlineMiss / preempts / resumes total the engine-side deadline
+	// scheduler counters per engine-backed model (miss counts by class).
+	deadlineMiss map[string]map[string]int
+	preempts     map[string]int
+	resumes      map[string]int
 }
 
 // runScenario executes one table entry end to end and returns the
@@ -400,9 +437,12 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 	eng := sim.NewEngine(1)
 	net := vhttp.NewNet(netsim.New(eng))
 	result := &scenarioResult{
-		meanTTFT: map[string]float64{},
-		hitRate:  map[string]float64{},
-		launches: map[string]int{},
+		meanTTFT:     map[string]float64{},
+		hitRate:      map[string]float64{},
+		launches:     map[string]int{},
+		deadlineMiss: map[string]map[string]int{},
+		preempts:     map[string]int{},
+		resumes:      map[string]int{},
 	}
 
 	router := &ingress.Router{Net: net, Host: "fleet", Port: 8000}
@@ -426,7 +466,7 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 		}
 		gw := &ingress.Gateway{
 			Net: net, Host: "fleet", Model: m.name, Unbound: true,
-			Policy: m.policy, SLOTargetP95: m.sloP95,
+			Policy: m.policy, SLOTargetP95: m.sloP95, TTFTTarget: m.ttft,
 			HealthInterval: 10 * time.Second,
 			HoldColdStart:  true, ColdStartWait: 20 * time.Minute,
 		}
@@ -789,6 +829,10 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 				if hits, misses := es.prefix(); hits+misses > 0 {
 					result.hitRate[rig.spec.name] = float64(hits) / float64(hits+misses)
 				}
+				miss, pre, res := es.sched()
+				result.deadlineMiss[rig.spec.name] = miss
+				result.preempts[rig.spec.name] = pre
+				result.resumes[rig.spec.name] = res
 			}
 			if fs, ok := rig.scaler.(*fakeScaler); ok {
 				result.launches[rig.spec.name] = fs.launched
@@ -1027,6 +1071,111 @@ func TestScenarioPrefixCacheSessionVsRoundRobin(t *testing.T) {
 	}
 	if st >= 0.95*rt {
 		t.Errorf("session mean TTFT %.2fms not measurably below round-robin %.2fms (want < 95%%)", st, rt)
+	}
+}
+
+// deadlineSpec is the mixed interactive/batch workload for the scheduler
+// comparison: small interactive prompts with tight first-token needs
+// sharing one engine with long batch prefills, under a quiet/peak/quiet
+// arrival schedule whose peak exceeds the engine's prefill capacity.
+func deadlineSpec() workload.Spec {
+	return workload.Spec{
+		Name: "deadline-vs-fcfs",
+		Seed: 7,
+		Cohorts: []workload.Cohort{
+			{Name: "interactive", Model: "chat", Class: "interactive", Weight: 1,
+				Clients: 400,
+				Prompt:  workload.LengthDist{Mu: 4.0, Sigma: 0.4, Max: 200},
+				Output:  workload.LengthDist{Mu: 1.4, Sigma: 0.3, Max: 8}},
+			{Name: "batch", Model: "chat", Class: "batch", Weight: 1,
+				Clients: 400,
+				Prompt:  workload.LengthDist{Mu: 7.4, Sigma: 0.25, Min: 800, Max: 2500},
+				Output:  workload.LengthDist{Mu: 1.6, Sigma: 0.3, Max: 8}},
+		},
+		Arrivals: workload.Arrivals{Periods: []workload.RatePeriod{
+			{Dur: 10 * time.Second, StartsPerSec: 6},
+			{Dur: 30 * time.Second, StartsPerSec: 24},
+			{Dur: 40 * time.Second, StartsPerSec: 4},
+		}},
+	}
+}
+
+// TestScenarioDeadlineVsFCFSSaturated runs the same saturating mixed
+// interactive/batch workload twice against a real engine replica — once
+// with the deadline scheduler, once with the FCFS baseline — through the
+// full router/gateway stack, with the gateway stamping per-class TTFT
+// budgets (interactive 350ms, batch a relaxed multiple).
+//
+// The deadline engine must hold every interactive first token inside its
+// target (zero deadline misses) with a p95 TTFT measurably below FCFS,
+// where interactive requests queue behind the peak's batch prefill
+// backlog. Batch pays for the reordering with bounded regression: same
+// completion count, mean E2E within the documented bound.
+func TestScenarioDeadlineVsFCFSSaturated(t *testing.T) {
+	run := func(name string, fcfs bool) *scenarioResult {
+		spec := deadlineSpec()
+		return runScenario(t, scenario{
+			name: name,
+			models: []scenarioModel{{
+				name: "chat", weight: 1, initial: 1, min: 1, max: 1,
+				coldStart: 10 * time.Second,
+				ttft:      350 * time.Millisecond, fcfs: fcfs,
+				engine: true, kvBlocks: 4096, maxModelLen: 4096, maxBatched: 512,
+			}},
+			workload: &spec,
+			// maxFailed absent: nothing may fail; no SLO breaker, so nothing
+			// may shed either.
+		})
+	}
+	dl := run("deadline-sched", false)
+	fc := run("fcfs-sched", true)
+
+	check := func(label string, res *scenarioResult) (inter, batch *bench.CohortResult) {
+		t.Helper()
+		if res.workload == nil {
+			t.Fatalf("%s: no workload result", label)
+		}
+		inter, batch = res.workload.Cohort("interactive"), res.workload.Cohort("batch")
+		if inter == nil || batch == nil {
+			t.Fatalf("%s: missing cohorts: %+v", label, res.workload.Cohorts)
+		}
+		if inter.Failed+inter.Shed+batch.Failed+batch.Shed != 0 {
+			t.Fatalf("%s: drops: interactive %d/%d batch %d/%d (failed/shed)",
+				label, inter.Failed, inter.Shed, batch.Failed, batch.Shed)
+		}
+		return inter, batch
+	}
+	interD, batchD := check("deadline", dl)
+	interF, batchF := check("fcfs", fc)
+
+	p95D, p95F := interD.TTFT.Quantile(0.95), interF.TTFT.Quantile(0.95)
+	t.Logf("interactive p95 TTFT: deadline %.1fms vs fcfs %.1fms; misses %v vs %v; preempts %d resumes %d",
+		p95D, p95F, dl.deadlineMiss["chat"], fc.deadlineMiss["chat"], dl.preempts["chat"], dl.resumes["chat"])
+	t.Logf("batch: completed %d vs %d, mean E2E %.0fms vs %.0fms",
+		batchD.Completed, batchF.Completed, batchD.E2E.Mean(), batchF.E2E.Mean())
+
+	// The headline win: urgency-ordered admission keeps interactive first
+	// tokens inside their budget on the same saturated replica where FCFS
+	// parks them behind the batch prefill backlog.
+	if n := dl.deadlineMiss["chat"]["interactive"]; n != 0 {
+		t.Errorf("deadline scheduler missed %d interactive first-token deadlines, want 0", n)
+	}
+	if p95D <= 0 || p95F <= 0 {
+		t.Fatalf("missing TTFT measurements: %.1fms / %.1fms", p95D, p95F)
+	}
+	if p95D >= 0.5*p95F {
+		t.Errorf("deadline interactive p95 TTFT %.1fms not measurably below fcfs %.1fms (want < 50%%)", p95D, p95F)
+	}
+	if n := fc.deadlineMiss["chat"]["interactive"]; n == 0 {
+		t.Error("fcfs baseline missed no interactive deadlines; the workload is not saturating enough to compare")
+	}
+	// Batch pays a bounded price: everything still completes, and the mean
+	// E2E regression stays within 1.5x of the FCFS baseline.
+	if batchD.Completed != batchF.Completed {
+		t.Errorf("batch completions diverge: deadline %d vs fcfs %d", batchD.Completed, batchF.Completed)
+	}
+	if batchD.E2E.Mean() > 1.5*batchF.E2E.Mean() {
+		t.Errorf("batch mean E2E %.0fms exceeds 1.5x the fcfs baseline %.0fms", batchD.E2E.Mean(), batchF.E2E.Mean())
 	}
 }
 

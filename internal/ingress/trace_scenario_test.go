@@ -116,11 +116,16 @@ func TestScenarioTraceSpansReconcileWithClientLatency(t *testing.T) {
 	if tr.ID != traceID || !tr.Streamed || tr.Replica != "r0" || tr.Model == "" || tr.Err != "" {
 		t.Fatalf("trace identity = %+v", tr)
 	}
-	// All eight stages must be present. The gateway records the hold span
-	// whenever the request passes the hold point — zero-duration here,
-	// since a live replica means it never actually parks.
+	// All stages except preempt must be present (preempt appears only when
+	// the engine scheduler evicted the sequence, which an idle replica
+	// never does). The gateway records the hold span whenever the request
+	// passes the hold point — zero-duration here, since a live replica
+	// means it never actually parks.
 	stages := tr.Stages()
 	for s := trace.StageAdmission; s <= trace.StageDrain; s++ {
+		if s == trace.StagePreempt {
+			continue
+		}
 		if !stages[s] {
 			t.Errorf("trace missing stage %s", s)
 		}

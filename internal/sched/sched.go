@@ -23,6 +23,8 @@ package sched
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"time"
 
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -91,6 +93,11 @@ type Request struct {
 	// value forces the request to be traced end to end regardless of the
 	// gateway recorder's sampling rate.
 	TraceID string
+	// TTFTTarget is the first-token latency objective for this request
+	// (X-TTFT-Target-Micros header, else filled from the gateway's
+	// per-class default). Zero means no target: the engine scheduler
+	// treats the request as deadline-less background work.
+	TTFTTarget time.Duration
 }
 
 // Header keys clients (or a fronting router) use to carry scheduling
@@ -98,6 +105,14 @@ type Request struct {
 const (
 	SessionHeader  = "X-Session-Key"
 	PriorityHeader = "X-Priority"
+	// TTFTTargetHeader carries the request's first-token deadline budget
+	// in integer microseconds; the gateway stamps it when forwarding so
+	// the engine scheduler can derive an absolute deadline on arrival.
+	TTFTTargetHeader = "X-TTFT-Target-Micros"
+	// SLOBreachedHeader is set (to "1") by the gateway while its SLO
+	// breaker is engaged, telling the engine scheduler to preempt running
+	// batch work aggressively in favor of interactive deadlines.
+	SLOBreachedHeader = "X-SLO-Breached"
 )
 
 // bodyAttrs are the scheduling-relevant fields of an OpenAI-style
@@ -142,6 +157,11 @@ func Describe(header map[string]string, body []byte) (Request, error) {
 		r.Class = c
 	} else {
 		r.Class = ClassBatch
+	}
+	if v := header[TTFTTargetHeader]; v != "" {
+		if us, perr := strconv.ParseInt(v, 10, 64); perr == nil && us > 0 {
+			r.TTFTTarget = time.Duration(us) * time.Microsecond
+		}
 	}
 	return r, err
 }

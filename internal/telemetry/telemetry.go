@@ -46,6 +46,9 @@ type Snapshot struct {
 	// ("interactive", "batch"); requests that carried no class are counted
 	// under "unset".
 	RunningByClass map[string]int `json:"running_by_class,omitempty"`
+	// WaitingByClass breaks the waiting queue alone down by class, so the
+	// control plane can see *who* is queued, not just how many.
+	WaitingByClass map[string]int `json:"waiting_by_class,omitempty"`
 
 	// KV-block accounting. Used counts every resident block (including
 	// cached ones); Cached counts resident blocks no live sequence
@@ -71,6 +74,15 @@ type Snapshot struct {
 	Completed int   `json:"completed"`
 	Failed    int   `json:"failed"`
 	TokensOut int64 `json:"tokens_out"`
+
+	// Deadline-scheduler counters (cumulative since engine start).
+	// DeadlineMisses counts requests whose first token landed after their
+	// TTFT deadline; Preemptions counts sequences evicted from the running
+	// batch (KV pressure or deadline rescue); Resumes counts preempted
+	// sequences re-admitted to the batch.
+	DeadlineMisses int64 `json:"deadline_misses,omitempty"`
+	Preemptions    int64 `json:"preemptions,omitempty"`
+	Resumes        int64 `json:"resumes,omitempty"`
 }
 
 // KVUsage is the fraction of KV blocks resident (cached content included);

@@ -3,11 +3,13 @@
 // forced by a client-supplied X-Trace-Id header), propagated to the engine
 // via that header, and accumulates one typed Span per request-path stage:
 // admission wait, hold wait, replica pick, engine queue, prefill, first
-// token, decode, and stream drain. The eight stages partition the
-// end-to-end latency — every layer in the simulation shares one virtual
-// clock, so cross-layer timestamps are directly comparable and the span
-// durations sum to the client-observed E2E (modulo per-hop network
-// latency, which tracing deliberately leaves unattributed).
+// token, preempt (when the engine scheduler evicted the sequence), decode,
+// and stream drain. The stages partition the end-to-end latency — every
+// layer in the simulation shares one virtual clock, so cross-layer
+// timestamps are directly comparable and the span durations sum to the
+// client-observed E2E (modulo per-hop network latency, which tracing
+// deliberately leaves unattributed; preempt overlaps queue+prefill of the
+// re-run, so it is the one stage excluded from the sum).
 //
 // The package depends only on the standard library so every layer —
 // sched, vhttp, vllm, ingress — can import it without cycles.
@@ -57,6 +59,11 @@ const (
 	// StageFirstToken is the engine step that produced the first output
 	// token.
 	StageFirstToken
+	// StagePreempt is time the sequence spent evicted from the running
+	// batch by the deadline scheduler (recompute-style preemption): evict
+	// to re-admission, or to failure if it never resumed. It overlaps the
+	// re-run's queue/prefill work, so waterfall sums skip it.
+	StagePreempt
 	// StageDecode is token generation after the first token, up to
 	// engine-side completion.
 	StageDecode
@@ -69,7 +76,7 @@ const (
 )
 
 var stageNames = [numStages]string{
-	"admission", "hold", "pick", "queue", "prefill", "first_token", "decode", "drain",
+	"admission", "hold", "pick", "queue", "prefill", "first_token", "preempt", "decode", "drain",
 }
 
 // String returns the stable wire name of the stage.

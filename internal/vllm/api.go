@@ -3,8 +3,11 @@ package vllm
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -267,6 +270,7 @@ func (a *APIServer) chat(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		PromptHashes: ChatPromptHashes(a.Engine.Config().BlockSize, cr.Messages),
 		Class:        cr.Priority,
 	}
+	applySchedHints(&opts, req.Header)
 	opts.Trace = a.startTrace(p, req)
 	if cr.Stream {
 		return a.chatStream(p, cr, prompt, opts)
@@ -294,6 +298,24 @@ func (a *APIServer) chat(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 		out.Trace = et
 	}
 	return out
+}
+
+// applySchedHints folds the gateway-stamped scheduling headers into the
+// submit options: the resolved priority class (X-Priority takes precedence
+// over the body's priority field — the gateway has already applied its
+// default-class policy), the TTFT deadline budget, and the SLO-breach
+// boost. Requests arriving without the headers (direct engine access, old
+// gateways) keep the body-derived behaviour.
+func applySchedHints(opts *SubmitOptions, header map[string]string) {
+	if cls := header[sched.PriorityHeader]; cls != "" {
+		opts.Class = cls
+	}
+	if v := header[sched.TTFTTargetHeader]; v != "" {
+		if us, err := strconv.ParseInt(v, 10, 64); err == nil && us > 0 {
+			opts.TTFTTarget = time.Duration(us) * time.Microsecond
+		}
+	}
+	opts.SLOBreach = header[sched.SLOBreachedHeader] != ""
 }
 
 // startTrace builds the engine-side trace context of a request carrying
@@ -393,11 +415,13 @@ func (a *APIServer) completions(p *sim.Proc, req *vhttp.Request) *vhttp.Response
 		maxNew = a.defaultMax()
 	}
 	et := a.startTrace(p, req)
-	r := a.Engine.SubmitOpts(SubmitOptions{
+	opts := SubmitOptions{
 		Prompt: prompt, MaxNew: maxNew,
 		PromptHashes: TextPromptHashes(a.Engine.Config().BlockSize, cr.Prompt),
 		Trace:        et,
-	})
+	}
+	applySchedHints(&opts, req.Header)
+	r := a.Engine.SubmitOpts(opts)
 	p.Wait(r.Done())
 	if r.Err != nil {
 		return jsonErr(500, r.Err.Error())
@@ -433,6 +457,8 @@ func (a *APIServer) renderMetrics() string {
 	fmt.Fprintf(&b, "vllm:request_failure_total %d\n", st.Failed)
 	fmt.Fprintf(&b, "vllm:generation_tokens_total %d\n", st.TokensOut)
 	fmt.Fprintf(&b, "vllm:num_preemptions_total %d\n", st.Preemptions)
+	fmt.Fprintf(&b, "vllm:num_resumes_total %d\n", st.Resumes)
+	fmt.Fprintf(&b, "vllm:deadline_misses_total %d\n", st.DeadlineMisses)
 	fmt.Fprintf(&b, "vllm:gpu_cache_usage_perc %.4f\n",
 		float64(a.Engine.KV().UsedBlocks())/float64(max(1, a.Engine.KV().TotalBlocks())))
 	fmt.Fprintf(&b, "vllm:prefix_cache_hits_total %d\n", st.PrefixHits)

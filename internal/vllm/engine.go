@@ -41,6 +41,9 @@ type Config struct {
 	// from GPU memory (vLLM's --num-gpu-blocks-override; 0 = computed).
 	// Still subject to the max-model-len fit gate.
 	NumGPUBlocksOverride int
+	// SchedulerPolicy selects the waiting-queue order: SchedulerDeadline
+	// (default) or SchedulerFCFS (the pre-deadline baseline).
+	SchedulerPolicy string
 }
 
 func (c *Config) withDefaults() Config {
@@ -68,6 +71,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxBatchedTokens <= 0 {
 		out.MaxBatchedTokens = 8192
+	}
+	if out.SchedulerPolicy == "" {
+		out.SchedulerPolicy = SchedulerDeadline
 	}
 	return out
 }
@@ -148,12 +154,25 @@ type SubmitOptions struct {
 	// vhttp.BodyStream, fire a signal, append to a slice.
 	OnToken func(r *Request, n int)
 	// Trace, when non-nil, receives the engine-side stage spans of a
-	// traced request: queue wait, prefill, the first-token step, and
-	// decode. The engine appends spans as stages complete; the submitter
-	// owns the Trace and reads it after Done fires (or, for streamed
-	// responses, at stream settle — decode is recorded at engine finish,
-	// which precedes the final chunk's delivery).
+	// traced request: queue wait, prefill, the first-token step, preempt
+	// (when the scheduler evicted the sequence), and decode. The engine
+	// appends spans as stages complete; the submitter owns the Trace and
+	// reads it after Done fires (or, for streamed responses, at stream
+	// settle — decode is recorded at engine finish, which precedes the
+	// final chunk's delivery).
 	Trace *trace.Trace
+	// TTFTTarget is the request's first-token latency objective. The
+	// deadline scheduler derives an absolute deadline (arrival + target)
+	// from it: urgency grows hyperbolically as the deadline nears, a
+	// first token landing past it counts as a deadline miss, and an
+	// at-risk non-batch request may preempt running batch work. Zero
+	// means no target — the request ages on a long synthetic horizon.
+	TTFTTarget time.Duration
+	// SLOBreach marks that the gateway's SLO breaker was engaged when
+	// the request was forwarded: the deadline scheduler then preempts
+	// for this request without waiting for its deadline to be provably
+	// at risk.
+	SLOBreach bool
 }
 
 // Done fires when the request finishes (successfully or with Err set).
@@ -183,6 +202,11 @@ const (
 	seqDone
 )
 
+// preSpan is a buffered preempt interval of a traced sequence: recorded at
+// resume, flushed into the trace just before its decode span so the span
+// list stays in stage order.
+type preSpan struct{ start, end time.Time }
+
 type sequence struct {
 	req           *Request
 	id            string
@@ -191,17 +215,32 @@ type sequence struct {
 	state         seqState
 	preempted     int
 	hashes        []uint64 // prompt prefix-block keys (nil = uncacheable)
-	class         string   // priority class name for telemetry
+	class         string   // priority class name for scheduling + telemetry
 	onToken       func(r *Request, n int)
 	tr            *trace.Trace // request trace (nil = untraced)
 	startedAt     time.Time    // first admission into the running batch
+
+	// Deadline-scheduler state.
+	arrival     int       // admission sequence number: the FIFO tiebreak
+	deadline    time.Time // arrival + TTFT target (synthetic when no target)
+	hasTarget   bool      // an explicit TTFT target backs the deadline
+	sloBoost    bool      // forwarded under an engaged SLO breaker
+	urg         float64   // cached urgency key (see waitQueue.rekey)
+	plan        int       // this step's planned prefill chunk
+	emitted     int       // tokens already delivered to onToken
+	preemptedAt time.Time // eviction time; zero while running/fresh
+	preSpans    []preSpan // settled preempt intervals (traced seqs only)
 }
 
-// emitToken notifies the submitter of one newly generated token.
+// emitToken notifies the submitter of newly generated tokens. The emitted
+// offset guards replays: a preempted sequence recomputes KV for tokens it
+// already streamed, and those must not reach the client twice.
 func (s *sequence) emitToken() {
-	if s.onToken != nil {
-		s.onToken(s.req, s.req.Generated)
+	if s.onToken == nil || s.req.Generated <= s.emitted {
+		return
 	}
+	s.emitted = s.req.Generated
+	s.onToken(s.req, s.req.Generated)
 }
 
 // Stats aggregates engine counters.
@@ -215,6 +254,13 @@ type Stats struct {
 	PeakRunning  int
 	LeakedBlocks int
 	BusyTime     time.Duration
+	// Deadline-scheduler counters: first tokens landing past their TTFT
+	// deadline, preempted sequences re-admitted to the batch, and the
+	// most times any single sequence has been preempted (the
+	// anti-starvation bound the regression suite asserts on).
+	DeadlineMisses  int
+	Resumes         int
+	PeakSeqPreempts int
 	// Prefix-cache counters (zero with caching disabled): full prompt
 	// blocks hit/missed at admission, cached blocks evicted for room, and
 	// prefill tokens skipped.
@@ -246,7 +292,7 @@ type Engine struct {
 	idx    *PrefixIndex // nil when prefix caching is disabled
 	faults Faults
 
-	waiting []*sequence
+	wq      waitQueue
 	running []*sequence
 	seqNum  int
 
@@ -256,8 +302,9 @@ type Engine struct {
 	crashErr error
 	onCrash  []func(error)
 
-	stats     Stats
-	latencies metrics.Rolling // completed request latencies (ms)
+	stats       Stats
+	missByClass map[string]int  // deadline misses by class (lazy)
+	latencies   metrics.Rolling // completed request latencies (ms)
 }
 
 // New validates capacity and builds an engine (not yet processing; call Run).
@@ -275,11 +322,18 @@ func New(simEng *sim.Engine, cfg Config) (*Engine, error) {
 				blocks, c.MaxModelLen, needed)}
 		}
 	}
+	switch c.SchedulerPolicy {
+	case SchedulerDeadline, SchedulerFCFS:
+	default:
+		return nil, fmt.Errorf("vllm: unknown scheduler policy %q (want %q or %q)",
+			c.SchedulerPolicy, SchedulerDeadline, SchedulerFCFS)
+	}
 	e := &Engine{
 		sim:  simEng,
 		cfg:  c,
 		perf: LookupParams(c.Model, c.GPU, c.TensorParallel, c.PipelineParallel, c.GPUsPerNode),
 		kv:   NewKVCache(blocks, c.BlockSize),
+		wq:   waitQueue{fcfs: c.SchedulerPolicy == SchedulerFCFS},
 	}
 	if !c.NoPrefixCache {
 		e.idx = NewPrefixIndex(e.kv)
@@ -322,9 +376,10 @@ func (e *Engine) LatencyP95() time.Duration {
 func (e *Engine) Telemetry() telemetry.Snapshot {
 	st := e.Stats()
 	snap := telemetry.Snapshot{
-		Waiting:         len(e.waiting),
+		Waiting:         len(e.wq.seqs),
 		Running:         len(e.running),
 		RunningByClass:  e.ClassCounts(),
+		WaitingByClass:  e.WaitingClassCounts(),
 		KVBlocksTotal:   e.kv.TotalBlocks(),
 		KVBlocksUsed:    e.kv.UsedBlocks(),
 		PrefixHits:      st.PrefixHits,
@@ -335,6 +390,9 @@ func (e *Engine) Telemetry() telemetry.Snapshot {
 		Completed:       st.Completed,
 		Failed:          st.Failed,
 		TokensOut:       st.TokensOut,
+		DeadlineMisses:  int64(st.DeadlineMisses),
+		Preemptions:     int64(st.Preemptions),
+		Resumes:         int64(st.Resumes),
 	}
 	if e.idx != nil {
 		snap.KVBlocksCached = e.idx.Evictable()
@@ -345,22 +403,33 @@ func (e *Engine) Telemetry() telemetry.Snapshot {
 // ClassCounts breaks the queued and running sequences down by priority
 // class name ("" is reported as "unset").
 func (e *Engine) ClassCounts() map[string]int {
-	if len(e.waiting) == 0 && len(e.running) == 0 {
+	if len(e.wq.seqs) == 0 && len(e.running) == 0 {
 		return nil
 	}
 	out := make(map[string]int)
-	count := func(seqs []*sequence) {
-		for _, s := range seqs {
-			cls := s.class
-			if cls == "" {
-				cls = "unset"
-			}
-			out[cls]++
-		}
-	}
-	count(e.running)
-	count(e.waiting)
+	countClasses(out, e.running)
+	countClasses(out, e.wq.seqs)
 	return out
+}
+
+// WaitingClassCounts breaks the waiting queue alone down by class.
+func (e *Engine) WaitingClassCounts() map[string]int {
+	if len(e.wq.seqs) == 0 {
+		return nil
+	}
+	out := make(map[string]int)
+	countClasses(out, e.wq.seqs)
+	return out
+}
+
+func countClasses(out map[string]int, seqs []*sequence) {
+	for _, s := range seqs {
+		cls := s.class
+		if cls == "" {
+			cls = "unset"
+		}
+		out[cls]++
+	}
 }
 
 // Perf returns the active step-time coefficients.
@@ -389,7 +458,7 @@ func (e *Engine) Run() {
 	}
 	e.loop = e.sim.Go("vllm-engine", func(p *sim.Proc) {
 		for !e.crashed {
-			if len(e.waiting) == 0 && len(e.running) == 0 {
+			if len(e.wq.seqs) == 0 && len(e.running) == 0 {
 				e.idleSig = e.sim.NewSignal()
 				p.Wait(e.idleSig)
 				e.idleSig = nil
@@ -416,7 +485,7 @@ func (e *Engine) Crash(err error) {
 	}
 	e.crashed = true
 	e.crashErr = err
-	for _, s := range append(append([]*sequence{}, e.running...), e.waiting...) {
+	for _, s := range append(append([]*sequence{}, e.running...), e.wq.seqs...) {
 		if s.state == seqDone {
 			continue // finished earlier in this same step; stays successful
 		}
@@ -429,7 +498,7 @@ func (e *Engine) Crash(err error) {
 		s.req.done.Fire()
 	}
 	e.running = nil
-	e.waiting = nil
+	e.wq.seqs = nil
 	if e.idleSig != nil {
 		e.idleSig.Fire()
 	}
@@ -474,14 +543,24 @@ func (e *Engine) SubmitOpts(o SubmitOptions) *Request {
 		req.done.Fire()
 		return req
 	}
-	s := &sequence{req: req, id: req.ID, prefillTarget: o.Prompt, class: o.Class, onToken: o.OnToken, tr: o.Trace}
+	s := &sequence{
+		req: req, id: req.ID, prefillTarget: o.Prompt,
+		class: o.Class, onToken: o.OnToken, tr: o.Trace,
+		arrival: e.seqNum, sloBoost: o.SLOBreach,
+	}
+	if o.TTFTTarget > 0 {
+		s.deadline = req.Arrived.Add(o.TTFTTarget)
+		s.hasTarget = true
+	} else {
+		s.deadline = req.Arrived.Add(noTargetHorizon)
+	}
 	if e.idx != nil && len(o.PromptHashes) > 0 {
 		// Only full prompt blocks carry keys; ignore malformed extras.
 		if max := o.Prompt / e.cfg.BlockSize; len(o.PromptHashes) <= max {
 			s.hashes = o.PromptHashes
 		}
 	}
-	e.waiting = append(e.waiting, s)
+	e.wq.push(s, e.sim.Now())
 	if e.idleSig != nil {
 		e.idleSig.Fire()
 	}
@@ -490,67 +569,22 @@ func (e *Engine) SubmitOpts(o SubmitOptions) *Request {
 
 // QueueDepth reports waiting and running sequence counts.
 func (e *Engine) QueueDepth() (waiting, running int) {
-	return len(e.waiting), len(e.running)
+	return len(e.wq.seqs), len(e.running)
 }
 
 // step plans and executes one engine iteration.
 func (e *Engine) step(p *sim.Proc) {
-	// 1. Decode set: running sequences past prefill.
-	decode := 0
-	for _, s := range e.running {
-		if s.prefillDone >= s.prefillTarget {
-			decode++
-		}
-	}
-	budget := e.cfg.MaxBatchedTokens - decode
-	if budget < 0 {
-		budget = 0
-	}
+	// 1-3. Plan the step: continue running prefills, admit from the
+	// urgency-ordered waiting queue under the token budget, rescue
+	// at-risk deadlines by preempting running batch work (schedule.go).
+	// Blocks for the full (re)compute target are reserved up front;
+	// leading prompt blocks already resident in the prefix cache are
+	// shared instead of reallocated, and their tokens skip prefill.
+	prefillTokens := e.schedule(e.sim.Now())
 
-	// 2. Continue chunked prefill for running sequences.
-	prefillPlan := map[*sequence]int{}
-	prefillTokens := 0
-	for _, s := range e.running {
-		if rem := s.prefillTarget - s.prefillDone; rem > 0 && budget > 0 {
-			chunk := rem
-			if chunk > budget {
-				chunk = budget
-			}
-			prefillPlan[s] = chunk
-			budget -= chunk
-			prefillTokens += chunk
-		}
-	}
-
-	// 3. Admit from the waiting queue while budget, seq slots and KV blocks
-	// allow. Blocks for the full (re)compute target are reserved up front;
-	// leading prompt blocks already resident in the prefix cache are shared
-	// instead of reallocated, and their tokens skip prefill entirely.
-	for len(e.waiting) > 0 && budget > 0 && len(e.running) < e.cfg.MaxNumSeqs {
-		s := e.waiting[0]
-		if !e.admitKV(s) {
-			break
-		}
-		e.waiting = e.waiting[1:]
-		s.state = seqRunning
-		if s.startedAt.IsZero() {
-			// First admission into the running batch: the queue stage ends
-			// here (plan time — the step's sleep has not begun yet).
-			s.startedAt = e.sim.Now()
-		}
-		e.running = append(e.running, s)
-		chunk := s.prefillTarget - s.prefillDone
-		if chunk > budget {
-			chunk = budget
-		}
-		prefillPlan[s] = chunk
-		budget -= chunk
-		prefillTokens += chunk
-	}
-
-	// 4. Grow KV for decoding sequences, preempting the lowest-priority
-	// (most recently admitted) sequence when blocks run out. Unreferenced
-	// prefix-cache blocks are reclaimed before any preemption.
+	// 4. Grow KV for decoding sequences, preempting the least urgent
+	// sequence when blocks run out. Unreferenced prefix-cache blocks are
+	// reclaimed before any preemption.
 	for _, s := range e.running {
 		if s.state != seqRunning || s.prefillDone < s.prefillTarget {
 			continue
@@ -577,9 +611,9 @@ func (e *Engine) step(p *sim.Proc) {
 	}
 
 	// 5. Execute the step.
-	decode = 0
+	decode := 0
 	for _, s := range e.running {
-		if s.prefillDone >= s.prefillTarget && prefillPlan[s] == 0 {
+		if s.prefillDone >= s.prefillTarget && s.plan == 0 {
 			decode++
 		}
 	}
@@ -597,19 +631,25 @@ func (e *Engine) step(p *sim.Proc) {
 	// 6. Apply results.
 	now := e.sim.Now()
 	stepStart := now.Add(-dur)
-	var still []*sequence
+	still := e.running[:0]
 	for _, s := range e.running {
 		if s.state != seqRunning {
 			continue
 		}
-		if chunk, ok := prefillPlan[s]; ok && chunk > 0 {
-			s.prefillDone += chunk
-			if s.prefillDone >= s.prefillTarget && s.req.Generated == 0 {
-				// Prefill completion emits the first token.
-				s.req.Generated = 1
-				s.req.FirstToken = now
+		if s.plan > 0 {
+			s.prefillDone += s.plan
+			if s.prefillDone >= s.prefillTarget {
+				// Prefill completion emits a token: the first one on a
+				// fresh prompt, the next one after a preempted sequence's
+				// recompute (the emitted offset keeps replayed tokens from
+				// reaching the submitter twice).
+				s.req.Generated++
 				e.stats.TokensOut++
-				e.noteFirstToken(s, stepStart, now)
+				if s.req.FirstToken.IsZero() {
+					s.req.FirstToken = now
+					e.noteFirstToken(s, stepStart, now)
+					e.noteDeadline(s, now)
+				}
 				s.emitToken()
 			}
 		} else if s.prefillDone >= s.prefillTarget {
@@ -618,6 +658,7 @@ func (e *Engine) step(p *sim.Proc) {
 			if s.req.FirstToken.IsZero() {
 				s.req.FirstToken = now
 				e.noteFirstToken(s, stepStart, now)
+				e.noteDeadline(s, now)
 			}
 			s.emitToken()
 		}
@@ -627,7 +668,9 @@ func (e *Engine) step(p *sim.Proc) {
 			// Decode: everything after the first token up to completion.
 			// Recorded before done fires so a submitter woken by the signal
 			// (or draining the final stream chunk, which is pushed later)
-			// sees the full engine-side span set.
+			// sees the full engine-side span set. Buffered preempt spans
+			// flush first so the span list stays in stage order.
+			e.flushPreSpans(s)
 			s.tr.Observe(trace.StageDecode, s.req.FirstToken, now)
 			e.releaseSeq(s)
 			e.stats.Completed++
@@ -640,6 +683,9 @@ func (e *Engine) step(p *sim.Proc) {
 			continue
 		}
 		still = append(still, s)
+	}
+	for i := len(still); i < len(e.running); i++ {
+		e.running[i] = nil
 	}
 	e.running = still
 
@@ -714,27 +760,16 @@ func (e *Engine) releaseSeq(s *sequence) {
 	}
 }
 
-// preemptFor evicts the most recently admitted running sequence other than
-// favored, returning it to the head of the waiting queue for recompute.
+// preemptFor evicts one running sequence other than favored (the least
+// urgent under the deadline policy, the most recently admitted under
+// FCFS), returning it to the waiting queue for recompute.
 func (e *Engine) preemptFor(favored *sequence) bool {
-	for i := len(e.running) - 1; i >= 0; i-- {
-		victim := e.running[i]
-		if victim == favored || victim.state != seqRunning {
-			continue
-		}
-		e.releaseSeq(victim)
-		victim.state = seqWaiting
-		victim.preempted++
-		// Recompute: the prompt plus everything generated so far must be
-		// re-prefetched into KV.
-		victim.prefillTarget = victim.req.Prompt + victim.req.Generated
-		victim.prefillDone = 0
-		e.running = append(e.running[:i], e.running[i+1:]...)
-		e.waiting = append([]*sequence{victim}, e.waiting...)
-		e.stats.Preemptions++
-		return true
+	victim := e.preemptVictim(favored)
+	if victim == nil {
+		return false
 	}
-	return false
+	e.evict(victim, e.sim.Now())
+	return true
 }
 
 func (e *Engine) failSeq(s *sequence, err error) {
@@ -764,12 +799,30 @@ func (e *Engine) noteFirstToken(s *sequence, stepStart, now time.Time) {
 	s.tr.Observe(trace.StageFirstToken, stepStart, now)
 }
 
-// abortTrace closes out a traced sequence that died mid-flight: the
-// partial decode span (when a first token existed) and the error mark.
+// flushPreSpans records a traced sequence's buffered preempt intervals,
+// plus the still-open one of a sequence dying while evicted.
+func (e *Engine) flushPreSpans(s *sequence) {
+	if s.tr == nil {
+		return
+	}
+	for _, ps := range s.preSpans {
+		s.tr.Observe(trace.StagePreempt, ps.start, ps.end)
+	}
+	s.preSpans = nil
+	if !s.preemptedAt.IsZero() && !s.req.Finished.IsZero() {
+		s.tr.Observe(trace.StagePreempt, s.preemptedAt, s.req.Finished)
+		s.preemptedAt = time.Time{}
+	}
+}
+
+// abortTrace closes out a traced sequence that died mid-flight: buffered
+// preempt spans, the partial decode span (when a first token existed),
+// and the error mark.
 func (e *Engine) abortTrace(s *sequence) {
 	if s.tr == nil {
 		return
 	}
+	e.flushPreSpans(s)
 	if !s.req.FirstToken.IsZero() {
 		s.tr.Observe(trace.StageDecode, s.req.FirstToken, s.req.Finished)
 	}
@@ -778,12 +831,18 @@ func (e *Engine) abortTrace(s *sequence) {
 	}
 }
 
+// compactRunning sweeps evicted and failed sequences out of the running
+// set in place (evict leaves its victim in the slice so in-flight
+// iterations never see it mutate).
 func (e *Engine) compactRunning() {
-	var out []*sequence
+	out := e.running[:0]
 	for _, s := range e.running {
 		if s.state == seqRunning {
 			out = append(out, s)
 		}
+	}
+	for i := len(out); i < len(e.running); i++ {
+		e.running[i] = nil
 	}
 	e.running = out
 }

@@ -37,8 +37,9 @@ type ServeArgs struct {
 	MaxModelLen      int
 	GPUMemUtil       float64
 	MaxNumSeqs       int
-	NoPrefixCache    bool // --no-enable-prefix-caching (default: caching on)
-	GPUBlocksOvr     int  // --num-gpu-blocks-override
+	NoPrefixCache    bool   // --no-enable-prefix-caching (default: caching on)
+	GPUBlocksOvr     int    // --num-gpu-blocks-override
+	SchedulerPolicy  string // --scheduling-policy (deadline | fcfs)
 	DisableLogReqs   bool
 	OverrideGenCfg   string
 }
@@ -75,7 +76,8 @@ func ParseServeArgs(args []string) (*ServeArgs, error) {
 			switch normFlag(name) {
 			case "host", "port", "served-model-name", "tensor-parallel-size",
 				"pipeline-parallel-size", "max-model-len", "gpu-memory-utilization",
-				"max-num-seqs", "num-gpu-blocks-override", "override-generation-config":
+				"max-num-seqs", "num-gpu-blocks-override", "scheduling-policy",
+				"override-generation-config":
 				val = args[i+1]
 				i++
 			}
@@ -127,6 +129,13 @@ func ParseServeArgs(args []string) (*ServeArgs, error) {
 				return nil, fmt.Errorf("vllm: bad --num-gpu-blocks-override %q", val)
 			}
 			sa.GPUBlocksOvr = n
+		case "scheduling-policy":
+			switch val {
+			case SchedulerDeadline, SchedulerFCFS:
+				sa.SchedulerPolicy = val
+			default:
+				return nil, fmt.Errorf("vllm: bad --scheduling-policy %q (want %q or %q)", val, SchedulerDeadline, SchedulerFCFS)
+			}
 		case "enable-prefix-caching":
 			sa.NoPrefixCache = false
 		case "no-enable-prefix-caching":
@@ -254,6 +263,7 @@ func (sp *ServerProgram) Run(ctx *cruntime.ExecContext) error {
 		MaxNumSeqs:           args.MaxNumSeqs,
 		NoPrefixCache:        args.NoPrefixCache,
 		NumGPUBlocksOverride: args.GPUBlocksOvr,
+		SchedulerPolicy:      args.SchedulerPolicy,
 	}
 	engine, err := New(ctx.Proc.Engine(), cfg)
 	if err != nil {

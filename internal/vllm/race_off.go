@@ -1,0 +1,8 @@
+//go:build !race
+
+package vllm
+
+// raceEnabled reports whether the race detector instruments this build.
+// Alloc-budget tests skip under -race: instrumentation changes allocation
+// counts, and the budgets guard the production build.
+const raceEnabled = false

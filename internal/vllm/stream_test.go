@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/vhttp"
 )
@@ -216,6 +217,103 @@ func TestChatStreamFailsBufferedBeforeFirstByte(t *testing.T) {
 	}
 	if resp.Stream != nil || len(raw) != 0 {
 		t.Fatal("pre-first-byte failure must be buffered, not streamed")
+	}
+}
+
+// TestChatStreamPreemptResume: a streaming batch-class generation is
+// preempted mid-decode by a tight-deadline interactive request on a
+// one-slot engine, then resumed recompute-style. The already-streamed
+// tokens must not re-emit on resume — the SSE stream stays an exact,
+// duplicate-free prefix-to-completion of the buffered synthesis.
+func TestChatStreamPreemptResume(t *testing.T) {
+	se := sim.NewEngine(1)
+	net := vhttp.NewNet(netsim.New(se))
+	cfg := hopsScoutConfig()
+	cfg.MaxNumSeqs = 1
+	e, err := New(se, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	api := &APIServer{Engine: e, ServedName: cfg.Model.Name}
+	if err := net.Listen("hops15", 8000, api, vhttp.ListenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	const maxNew = 64
+	var raw [][]byte
+	var streamErr error
+	var streamStatus int
+	se.Go("batch-streamer", func(p *sim.Proc) {
+		body, _ := json.Marshal(ChatRequest{
+			Messages:  []ChatMessage{{Role: "user", Content: "Write a long report."}},
+			MaxTokens: maxNew,
+			Stream:    true,
+		})
+		c := &vhttp.Client{Net: net}
+		resp, derr := c.Do(p, &vhttp.Request{
+			Method: "POST", URL: "http://hops15:8000/v1/chat/completions",
+			Header: map[string]string{"X-Priority": "batch"},
+			Body:   body,
+		})
+		if derr != nil || resp.Stream == nil {
+			t.Errorf("no stream: %v %+v", derr, resp)
+			return
+		}
+		streamStatus = resp.Status
+		for {
+			ch, ok := resp.Stream.Next(p)
+			if !ok {
+				break
+			}
+			raw = append(raw, ch.Data)
+		}
+		streamErr = resp.Stream.Err()
+	})
+	var rescue *vhttp.Response
+	se.Go("interactive", func(p *sim.Proc) {
+		p.Sleep(150 * time.Millisecond) // batch is mid-decode by now
+		body, _ := json.Marshal(ChatRequest{
+			Messages:  []ChatMessage{{Role: "user", Content: "Quick question."}},
+			MaxTokens: 2,
+		})
+		c := &vhttp.Client{Net: net}
+		rescue, _ = c.Do(p, &vhttp.Request{
+			Method: "POST", URL: "http://hops15:8000/v1/chat/completions",
+			Header: map[string]string{"X-TTFT-Target-Micros": "250000"},
+			Body:   body,
+		})
+	})
+	se.Run()
+
+	if streamStatus != 200 || streamErr != nil {
+		t.Fatalf("stream status=%d err=%v", streamStatus, streamErr)
+	}
+	if rescue == nil || rescue.Status != 200 {
+		t.Fatalf("interactive rescue response = %+v", rescue)
+	}
+	st := e.Stats()
+	if st.Preemptions == 0 || st.Resumes == 0 {
+		t.Fatalf("preemptions=%d resumes=%d; the scenario must actually evict and resume the streamer",
+			st.Preemptions, st.Resumes)
+	}
+	chunks, sawDone := collectSSE(t, raw)
+	if !sawDone {
+		t.Fatal("no [DONE] terminator after resume")
+	}
+	if len(chunks) != maxNew+1 {
+		t.Fatalf("chunks = %d, want %d + finish (preemption must not duplicate or drop deltas)", len(chunks), maxNew+1)
+	}
+	var text strings.Builder
+	for i, c := range chunks[:maxNew] {
+		if c.Choices[0].Delta.Content != TokenText(i+1) {
+			t.Fatalf("chunk %d content = %q, want %q (replayed token after recompute?)",
+				i, c.Choices[0].Delta.Content, TokenText(i+1))
+		}
+		text.WriteString(c.Choices[0].Delta.Content)
+	}
+	if text.String() != SynthesizeText(maxNew) {
+		t.Fatal("streamed text diverges from buffered synthesis across the preemption")
 	}
 }
 
