@@ -37,7 +37,7 @@ func main() {
 		tp       = flag.Int("tp", 4, "tensor parallel size")
 		pp       = flag.Int("pp", 1, "pipeline parallel size")
 		replicas = flag.Int("replicas", 1, "engine instances behind the gateway (>1 = replica set)")
-		policy   = flag.String("route-policy", "round-robin", "gateway routing: round-robin, least-loaded, session (KV-cache affinity)")
+		policy   = flag.String("route-policy", "round-robin", "gateway routing: round-robin, least-loaded, session (KV-cache affinity), prefix (sketch-based cache-aware placement)")
 		elastic  = flag.Bool("autoscale", false, "autoscale the replica set from gateway load (HPC platforms)")
 		minReps  = flag.Int("min-replicas", 0, "autoscale floor (0 = scale to zero when idle)")
 		maxReps  = flag.Int("max-replicas", 4, "autoscale ceiling")
@@ -51,6 +51,9 @@ func main() {
 		fleet    = flag.String("models", "", "multi-model fleet spec alias=hf-name:weight,... — bench each model through one routing endpoint (HPC platforms)")
 		pool     = flag.Int("pool-nodes", 0, "shared node pool arbitrated across the fleet's models (0 = no arbitration)")
 		prefixOn = flag.Bool("prefix-cache", true, "automatic prefix caching in the engine (vLLM --enable-prefix-caching); bench prompts are unique, so this mainly matters with real multi-turn traffic")
+		offload  = flag.Int("cpu-offload-blocks", 0, "host-memory KV tier capacity in blocks per replica (vLLM --cpu-offload-blocks); evicted prefix blocks demote to host memory and re-promote on a hit instead of re-prefilling (0 = off)")
+		kvXfer   = flag.Int("kv-transfer-micros", 0, "host-to-GPU KV promotion cost per block in microseconds (0 = engine default)")
+		gpuBlk   = flag.Int("gpu-blocks-override", 0, "pin the GPU KV cache to this many blocks (vLLM --num-gpu-blocks-override); small values force eviction to exercise the host tier (0 = profile-derived)")
 		stream   = flag.Bool("stream", false, "request SSE streaming (stream: true); TTFT and inter-token latency measured at the client as chunks arrive")
 		artifact = flag.String("artifact", "", "write sweep results as a JSON artifact to this path (e.g. BENCH_streaming.json)")
 		traceOn  = flag.Bool("trace", false, "sample request traces at the gateway during the sweep and print the slowest trace's stage waterfall (needs -replicas > 1)")
@@ -158,6 +161,8 @@ func main() {
 			Replicas: *replicas, RoutePolicy: *policy, Autoscale: pol,
 			SLOTargetP95: *sloP95, TTFTTarget: *ttft, PriorityClass: *priority,
 			DisablePrefixCache: !*prefixOn,
+			CPUOffloadBlocks:   *offload, KVTransferMicros: *kvXfer,
+			NumGPUBlocksOverride: *gpuBlk,
 		})
 		if err != nil {
 			failure = err

@@ -133,7 +133,7 @@ func deployFlags(fs *flag.FlagSet) *deployOpts {
 	o.maxLen = fs.Int("max-model-len", 65536, "context length limit")
 	o.persistent = fs.Bool("persistent", false, "Compute-as-Login persistent service (HPC)")
 	o.replicas = fs.Int("replicas", 1, "engine instances behind one endpoint (>1 = replica set + gateway)")
-	o.policy = fs.String("route-policy", "round-robin", "replica-set routing: round-robin, least-loaded, session (KV-cache affinity on the request's session key)")
+	o.policy = fs.String("route-policy", "round-robin", "replica-set routing: round-robin, least-loaded, session (KV-cache affinity on the request's session key), prefix (session affinity plus sketch-based cache-aware placement)")
 	o.elastic = fs.Bool("autoscale", false, "elastically resize the replica set from gateway load (HPC)")
 	o.minReps = fs.Int("min-replicas", 0, "autoscale floor (0 = scale to zero when idle)")
 	o.maxReps = fs.Int("max-replicas", 4, "autoscale ceiling")
@@ -566,6 +566,9 @@ func printFleet(f telemetry.FleetSnapshot) {
 		c := mo.Counters
 		fmt.Printf("  requests=%d retries=%d rejected=%d errors=%d held=%d streams=%d truncated=%d spills=%d\n",
 			c.Requests, c.Retries, c.Rejected, c.Errors, c.Held, c.Streams, c.StreamsTruncated, c.SessionSpills)
+		if c.SketchRoutes > 0 || c.Warmups > 0 {
+			fmt.Printf("  cache-aware sketch-routes=%d warmups=%d\n", c.SketchRoutes, c.Warmups)
+		}
 		if len(mo.LatencyMillis) > 0 {
 			fmt.Printf("  latency p50=%.1fms p95=%.1fms p99=%.1fms\n",
 				mo.LatencyMillis["p50"], mo.LatencyMillis["p95"], mo.LatencyMillis["p99"])
@@ -586,8 +589,14 @@ func printFleet(f telemetry.FleetSnapshot) {
 			if r.SnapshotAgeMillis >= 0 {
 				age = fmt.Sprintf("%.0fms", r.SnapshotAgeMillis)
 			}
-			fmt.Printf("  replica %-12s healthy=%v inflight=%d requests=%d failures=%d snapshot-age=%s\n",
+			fmt.Printf("  replica %-12s healthy=%v inflight=%d requests=%d failures=%d snapshot-age=%s",
 				r.Name, r.Healthy, r.Inflight, r.Requests, r.Failures, age)
+			if s := r.Snapshot; s.WindowPrefixHits+s.WindowPrefixMisses > 0 || s.KVHostBlocksTotal > 0 {
+				fmt.Printf(" window-hit-rate=%.2f host-kv=%d/%d promotions=%d demotions=%d",
+					s.WindowPrefixHitRate(), s.KVHostBlocksUsed, s.KVHostBlocksTotal,
+					s.TierPromotions, s.TierDemotions)
+			}
+			fmt.Println()
 		}
 	}
 }

@@ -158,11 +158,14 @@ type DeployConfig struct {
 	// a load-balancing ingress.Gateway.
 	Replicas int
 	// RoutePolicy selects the gateway's balancing policy for replica sets:
-	// "round-robin" (default), "least-loaded", or "session" (consistent-
+	// "round-robin" (default), "least-loaded", "session" (consistent-
 	// hash affinity on the request's session key, so multi-turn chats
 	// reuse one replica's warm KV cache, spilling to least-loaded when the
-	// affine replica saturates). On Kubernetes the cluster Service
-	// round-robins across pods regardless of this setting.
+	// affine replica saturates), or "prefix" (session affinity plus
+	// cache-aware placement: requests land on the replica whose published
+	// prefix-membership sketch already holds their leading prompt block).
+	// On Kubernetes the cluster Service round-robins across pods
+	// regardless of this setting.
 	RoutePolicy string
 	// GatewayMaxWaiting enables queue-aware admission control on replica
 	// sets: the gateway sheds load with 503 once every replica's waiting
@@ -202,6 +205,20 @@ type DeployConfig struct {
 	// multi-turn sessions routed back to their replica skip the prefill of
 	// every prompt block already resident in the engine's KV cache.
 	DisablePrefixCache bool
+	// CPUOffloadBlocks sizes each replica's host-memory KV tier in blocks
+	// (vLLM's --cpu-offload-blocks). LRU-evicted prefix blocks demote to
+	// host memory instead of being freed and re-promote on a later hit at
+	// transfer cost — far cheaper than re-prefilling them. 0 disables the
+	// tier.
+	CPUOffloadBlocks int
+	// KVTransferMicros overrides the per-block host→GPU promotion cost in
+	// microseconds (--kv-transfer-micros; 0 = engine default).
+	KVTransferMicros int
+	// NumGPUBlocksOverride pins the engine's GPU KV block count
+	// (--num-gpu-blocks-override), bypassing the memory-profile estimate.
+	// Mainly for experiments that need a deliberately small GPU cache to
+	// exercise eviction and the host tier. 0 = profile-derived.
+	NumGPUBlocksOverride int
 	// IngressHost exposes the service externally on Kubernetes.
 	IngressHost string
 
@@ -251,6 +268,15 @@ func (cfg *DeployConfig) ServeArgs(modelArg string) []string {
 	}
 	if cfg.DisablePrefixCache {
 		args = append(args, "--no-enable-prefix-caching")
+	}
+	if cfg.CPUOffloadBlocks > 0 {
+		args = append(args, fmt.Sprintf("--cpu-offload-blocks=%d", cfg.CPUOffloadBlocks))
+	}
+	if cfg.KVTransferMicros > 0 {
+		args = append(args, fmt.Sprintf("--kv-transfer-micros=%d", cfg.KVTransferMicros))
+	}
+	if cfg.NumGPUBlocksOverride > 0 {
+		args = append(args, fmt.Sprintf("--num-gpu-blocks-override=%d", cfg.NumGPUBlocksOverride))
 	}
 	if cfg.Port > 0 && cfg.Port != 8000 {
 		args = append(args, fmt.Sprintf("--port=%d", cfg.Port))

@@ -44,10 +44,12 @@ func enableTracing(router *Router, names []string) {
 // pick) must not allocate — the candidate snapshot reuses the gateway's
 // scratch buffer.
 func TestRouterPickAllocBudget(t *testing.T) {
-	for _, policy := range []Policy{PolicyRoundRobin, PolicyLeastLoaded, PolicySession} {
+	for _, policy := range []Policy{PolicyRoundRobin, PolicyLeastLoaded, PolicySession, PolicyPrefix} {
 		router, names := benchFleet(4, 8, policy)
 		enableTracing(router, names)
-		sreq := sched.Request{SessionKey: "budget-session", Class: sched.ClassInteractive}
+		// PrefixKey exercises the cache-aware policy's sketch consult; the
+		// scan and the degraded Session path must both stay alloc-free.
+		sreq := sched.Request{SessionKey: "budget-session", Class: sched.ClassInteractive, PrefixKey: 0xfeedface}
 		i := 0
 		requireAllocBudget(t, "pick/"+string(policy), pickAllocBudget, func() {
 			gw := router.Gateway(names[i%4])

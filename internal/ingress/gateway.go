@@ -32,6 +32,14 @@ const (
 	// KV cache; keyless requests and sessions whose affine replica is
 	// saturated fall back to least-loaded.
 	PolicySession Policy = "session"
+	// PolicyPrefix is session affinity plus cache-aware placement: the
+	// gateway computes each chat request's leading prompt-block key and
+	// tests it against the prefix-membership sketch every replica
+	// publishes in its telemetry snapshot, so new conversations (and
+	// spilled sessions) land where their system prompt is already
+	// resident. Requests with no sketch match degrade to PolicySession
+	// behaviour exactly.
+	PolicyPrefix Policy = "prefix"
 )
 
 // ParsePolicy resolves a policy name ("" defaults to round-robin).
@@ -43,8 +51,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return PolicyLeastLoaded, nil
 	case PolicySession:
 		return PolicySession, nil
+	case PolicyPrefix:
+		return PolicyPrefix, nil
 	}
-	return "", fmt.Errorf("ingress: unknown route policy %q (want %q, %q, or %q)", s, PolicyRoundRobin, PolicyLeastLoaded, PolicySession)
+	return "", fmt.Errorf("ingress: unknown route policy %q (want %q, %q, %q, or %q)", s, PolicyRoundRobin, PolicyLeastLoaded, PolicySession, PolicyPrefix)
 }
 
 // Backend is one replica endpoint behind a Gateway.
@@ -142,6 +152,8 @@ type GatewayStats struct {
 
 	Streams          int // streamed (SSE) responses proxied through unbuffered
 	StreamsTruncated int // streams whose replica died mid-body (no retry: first byte was out)
+
+	Warmups int // async prefix warm-up submits fired after spills and drains
 }
 
 // SLOStatus is the SLO admission breaker's observable state.
@@ -272,9 +284,15 @@ type Gateway struct {
 	// spill counter, the SLO breaker's hysteresis).
 	rr      *sched.RoundRobin
 	session *sched.Session
+	prefix  *sched.Prefix
 	slo     *sched.SLO
 	started bool
 	stopped bool
+
+	// notes remembers each active session's last chat body and current
+	// owner replica so a spill or a drain can warm the session's prefix up
+	// on its new owner before the next turn arrives (bounded LRU).
+	notes sessionNotes
 
 	arrivals metrics.Rolling // client request arrival times
 	// latencies is the log-bucketed histogram of completed request
@@ -309,6 +327,9 @@ func (g *Gateway) RemoveBackend(name string) *sim.Signal {
 			b.drained = g.eng.NewSignal()
 		}
 		b.draining = true
+		// Re-home the drained replica's sessions: warm their prefixes up
+		// on their next affine owners before the conversations return.
+		g.warmOnDrain(name)
 		if b.inflight == 0 {
 			g.detach(b)
 		}
@@ -366,12 +387,27 @@ func (g *Gateway) SLO() (st SLOStatus, ok bool) {
 }
 
 // SessionSpills counts session-routed requests that left their affine
-// replica because it was saturated (0 unless PolicySession is active).
+// replica because it was saturated (0 unless PolicySession or
+// PolicyPrefix is active).
 func (g *Gateway) SessionSpills() int {
-	if g.session == nil {
+	n := 0
+	if g.session != nil {
+		n += g.session.Spills()
+	}
+	if g.prefix != nil {
+		n += g.prefix.Spills()
+	}
+	return n
+}
+
+// SketchRoutes counts requests the prefix policy placed by sketch
+// membership rather than affinity or load (0 unless PolicyPrefix is
+// active).
+func (g *Gateway) SketchRoutes() int {
+	if g.prefix == nil {
 		return 0
 	}
-	return g.session.Spills()
+	return g.prefix.SketchRoutes()
 }
 
 // Endpoint is the virtual base URL clients target.
@@ -543,6 +579,13 @@ func (g *Gateway) picker() sched.Picker {
 		g.session.SpillDepth = g.SessionSpillDepth
 		g.session.KVSpillPressure = g.SessionKVSpill
 		return g.session
+	case PolicyPrefix:
+		if g.prefix == nil {
+			g.prefix = &sched.Prefix{}
+		}
+		g.prefix.SpillDepth = g.SessionSpillDepth
+		g.prefix.KVSpillPressure = g.SessionKVSpill
+		return g.prefix
 	default:
 		if g.rr == nil {
 			g.rr = &sched.RoundRobin{}
@@ -898,6 +941,8 @@ func (g *Gateway) instruments() *metrics.Registry {
 	r.CounterFunc("gateway_streams_total", "streamed responses proxied", func() float64 { return float64(g.stats.Streams) })
 	r.CounterFunc("gateway_streams_truncated_total", "streams cut by a replica death", func() float64 { return float64(g.stats.StreamsTruncated) })
 	r.CounterFunc("gateway_session_spills_total", "session-affine requests spilled off their replica", func() float64 { return float64(g.SessionSpills()) })
+	r.CounterFunc("gateway_sketch_routes_total", "requests placed by prefix-sketch membership", func() float64 { return float64(g.SketchRoutes()) })
+	r.CounterFunc("gateway_warmups_total", "async prefix warm-up submits fired", func() float64 { return float64(g.stats.Warmups) })
 	r.GaugeFunc("gateway_holding", "requests parked in the hold queue", func() float64 { return float64(g.holdq.Len()) })
 	r.GaugeFunc("gateway_healthy_backends", "routable replicas", func() float64 { return float64(g.HealthyBackends()) })
 	r.Histogram("gateway_request_latency_ms", "end-to-end request latency (ms), streamed bodies included", &g.latencies)
@@ -926,6 +971,8 @@ func (g *Gateway) Observe(now time.Time) telemetry.ModelObservation {
 			Streams:          g.stats.Streams,
 			StreamsTruncated: g.stats.StreamsTruncated,
 			SessionSpills:    g.SessionSpills(),
+			SketchRoutes:     g.SketchRoutes(),
+			Warmups:          g.stats.Warmups,
 		},
 		Replicas: make([]telemetry.ReplicaHealth, 0, len(g.backends)),
 	}
@@ -979,6 +1026,12 @@ func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) 
 	g.arrivals.Observe(p.Now(), 1)
 	start := p.Now()
 	tr := g.startTrace(req, &sreq, start)
+	if sreq.PrefixKey == 0 && g.Policy == PolicyPrefix && g.Picker == nil && req.Path == chatPath {
+		// Cache-aware placement needs the leading prompt-block key; the
+		// raw-body scanner keeps the pick path allocation-free. 0 (short
+		// prompt, unscannable body) degrades to plain session routing.
+		sreq.PrefixKey = vllm.ChatPrefixKeyRaw(vllm.DefaultBlockSize, req.Body)
+	}
 	// One cold-start budget and one Held count per request, shared between
 	// the arrival hold and a possible re-hold after a forward failure.
 	holdDeadline := start.Add(g.ColdStartWait)
@@ -1029,6 +1082,7 @@ func (g *Gateway) dispatch(p *sim.Proc, req *vhttp.Request, sreq sched.Request) 
 	// The pick itself is instantaneous in virtual time; the zero-duration
 	// span marks when the decision landed (after any hold) and on whom.
 	tr.Observe(trace.StagePick, p.Now(), p.Now())
+	g.noteAndWarm(&sreq, b, req)
 	g.stampSchedHints(req, &sreq)
 	resp, err := g.forward(p, b, req)
 	if err == nil && resp.Status < 500 {
@@ -1176,6 +1230,16 @@ func (g *Gateway) status() *vhttp.Response {
 		Failures int     `json:"failures"`
 		KVUsage  float64 `json:"kv_usage,omitempty"`
 		HitRate  float64 `json:"prefix_hit_rate,omitempty"`
+		// WindowHitRate is the prefix hit rate over the engine's trailing
+		// window — the freshness-weighted signal cache-aware placement
+		// consults (the cumulative HitRate above chases hours-old history).
+		WindowHitRate float64 `json:"window_prefix_hit_rate,omitempty"`
+		// Host-tier (CPU offload) occupancy and cumulative block movement
+		// from the last telemetry scrape; all zero without a tier.
+		HostBlocksUsed  int   `json:"kv_host_blocks_used,omitempty"`
+		HostBlocksTotal int   `json:"kv_host_blocks_total,omitempty"`
+		TierDemotions   int64 `json:"tier_demotions,omitempty"`
+		TierPromotions  int64 `json:"tier_promotions,omitempty"`
 		// Engine deadline-scheduler state from the last telemetry scrape:
 		// who is waiting, and the cumulative miss/preempt/resume counters.
 		WaitingByClass map[string]int `json:"waiting_by_class,omitempty"`
@@ -1194,9 +1258,11 @@ func (g *Gateway) status() *vhttp.Response {
 		Holding   int             `json:"holding"`
 		SLO       *SLOStatus      `json:"slo,omitempty"`
 		Spills    int             `json:"session_spills,omitempty"`
+		Sketch    int             `json:"sketch_routes,omitempty"`
 		Backends  []backendStatus `json:"backends"`
 		Autoscale any             `json:"autoscale,omitempty"`
-	}{Model: g.Model, Policy: g.Policy, Stats: g.stats, Shed: g.shedByClass, Holding: g.holdq.Len(), Spills: g.SessionSpills()}
+	}{Model: g.Model, Policy: g.Policy, Stats: g.stats, Shed: g.shedByClass, Holding: g.holdq.Len(),
+		Spills: g.SessionSpills(), Sketch: g.SketchRoutes()}
 	if slo, ok := g.SLO(); ok {
 		out.SLO = &slo
 	}
@@ -1207,11 +1273,16 @@ func (g *Gateway) status() *vhttp.Response {
 			Inflight: b.inflight, Waiting: b.waiting, Running: b.running,
 			Requests: b.requests, Failures: b.failures,
 			KVUsage: b.snap.KVUsage(), HitRate: b.snap.PrefixHitRate(),
-			WaitingByClass: b.snap.WaitingByClass,
-			DeadlineMisses: b.snap.DeadlineMisses,
-			Preemptions:    b.snap.Preemptions,
-			Resumes:        b.snap.Resumes,
-			SnapAgeMS:      b.snap.AgeMillis(now),
+			WindowHitRate:   b.snap.WindowPrefixHitRate(),
+			HostBlocksUsed:  b.snap.KVHostBlocksUsed,
+			HostBlocksTotal: b.snap.KVHostBlocksTotal,
+			TierDemotions:   b.snap.TierDemotions,
+			TierPromotions:  b.snap.TierPromotions,
+			WaitingByClass:  b.snap.WaitingByClass,
+			DeadlineMisses:  b.snap.DeadlineMisses,
+			Preemptions:     b.snap.Preemptions,
+			Resumes:         b.snap.Resumes,
+			SnapAgeMS:       b.snap.AgeMillis(now),
 		})
 	}
 	if g.AutoscaleStatus != nil {

@@ -81,6 +81,9 @@ type scenarioModel struct {
 	kvBlocks int
 	// maxModelLen is the engine context limit (engine replicas only).
 	maxModelLen int
+	// offloadBlocks enables the engines' host-memory KV spill tier
+	// (--cpu-offload-blocks).
+	offloadBlocks int
 	// conv > 0 drives that many multi-turn conversations against the
 	// model: convTurns sequential turns each, every turn re-sending the
 	// whole history plus a fresh convWords-token user message and folding
@@ -91,6 +94,10 @@ type scenarioModel struct {
 	convTurns int
 	convWords int // tokens per user turn (approximate, 4 chars/token)
 	convReply int // max_tokens per answer
+	// drainAfterTurn > 0 gracefully drains one replica after that many
+	// conversation turn rounds complete — the forced-migration event the
+	// cache-aware placement scenarios compare policies under.
+	drainAfterTurn int
 }
 
 // scenarioPhase is one scripted load segment: per-model mean open-loop
@@ -246,6 +253,7 @@ func (s *engineScaler) ScaleTo(p *sim.Proc, n int) error {
 			MaxModelLen:          s.model.maxModelLen,
 			NumGPUBlocksOverride: s.model.kvBlocks,
 			MaxBatchedTokens:     s.model.maxBatched,
+			CPUOffloadBlocks:     s.model.offloadBlocks,
 			SchedulerPolicy:      policy,
 		})
 		if err != nil {
@@ -428,6 +436,11 @@ type scenarioResult struct {
 	deadlineMiss map[string]map[string]int
 	preempts     map[string]int
 	resumes      map[string]int
+	// warmups / sketchRoutes are the gateway's cache-aware placement
+	// counters: async prefix warm-up submits fired, and picks placed by
+	// sketch membership rather than affinity or load.
+	warmups      map[string]int
+	sketchRoutes map[string]int
 }
 
 // runScenario executes one table entry end to end and returns the
@@ -443,6 +456,8 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 		deadlineMiss: map[string]map[string]int{},
 		preempts:     map[string]int{},
 		resumes:      map[string]int{},
+		warmups:      map[string]int{},
+		sketchRoutes: map[string]int{},
 	}
 
 	router := &ingress.Router{Net: net, Host: "fleet", Port: 8000}
@@ -825,6 +840,8 @@ func runScenario(t *testing.T, sc scenario) *scenarioResult {
 		// Measurements for comparison tests, read while replicas live.
 		for _, rig := range rigs {
 			result.meanTTFT[rig.spec.name] = rig.ttft.Mean()
+			result.warmups[rig.spec.name] = rig.gw.Stats().Warmups
+			result.sketchRoutes[rig.spec.name] = rig.gw.SketchRoutes()
 			if es, ok := rig.scaler.(*engineScaler); ok {
 				if hits, misses := es.prefix(); hits+misses > 0 {
 					result.hitRate[rig.spec.name] = float64(hits) / float64(hits+misses)
@@ -858,6 +875,13 @@ func runConversations(p *sim.Proc, rig *modelRig, client *vhttp.Client, base str
 	m := rig.spec
 	histories := make([][]vllm.ChatMessage, m.conv)
 	for turn := 0; turn < m.convTurns; turn++ {
+		if m.drainAfterTurn > 0 && turn == m.drainAfterTurn {
+			// Graceful forced migration between turn rounds: the drained
+			// replica's sessions rehash elsewhere, and the gateway's prefix
+			// warm-up races the conversations back. Scale failures surface
+			// as failed requests below.
+			_ = rig.scaler.ScaleTo(p, rig.scaler.CurrentReplicas()-1)
+		}
 		for ci := 0; ci < m.conv; ci++ {
 			content := fmt.Sprintf("conversation %d turn %d: ", ci, turn) +
 				vllm.SynthesizeText(m.convWords)
@@ -1071,6 +1095,84 @@ func TestScenarioPrefixCacheSessionVsRoundRobin(t *testing.T) {
 	}
 	if st >= 0.95*rt {
 		t.Errorf("session mean TTFT %.2fms not measurably below round-robin %.2fms (want < 95%%)", st, rt)
+	}
+}
+
+// TestScenarioCacheAwareDrainVsBlind forces a mid-run replica drain under
+// multi-turn conversation load and compares the cache-aware prefix policy
+// against blind round-robin placement on real engines with the host-memory
+// KV tier enabled. Three replicas serve 11 conversations; after the first
+// turn round one replica drains gracefully, so its sessions must migrate.
+// The prefix policy routes returning turns by sketch membership and the
+// gateway warm-up re-prefills each moved session's history on its new
+// owner, so the migrated conversations keep hitting the prefix cache;
+// round-robin scatters every turn, re-prefilling history from scratch.
+func TestScenarioCacheAwareDrainVsBlind(t *testing.T) {
+	mk := func(name string, policy ingress.Policy) scenario {
+		return scenario{
+			name: name,
+			models: []scenarioModel{{
+				name: "chat", weight: 1, initial: 3, min: 2, max: 3,
+				coldStart:    30 * time.Second,
+				downCooldown: 45 * time.Minute, // only the scripted drain may shrink the set
+				policy:       policy,
+				engine:       true, kvBlocks: 2048, maxModelLen: 4096, offloadBlocks: 256,
+				conv: 11, convTurns: 3, convWords: 700, convReply: 48,
+				drainAfterTurn: 1,
+			}},
+			expect: expect{finalMin: map[string]int{"chat": 2}},
+		}
+	}
+	sc := mk("cache-aware-drain", ingress.PolicyPrefix)
+	sc.observeAt = 150 * time.Second // after the drain and the final turn round
+	pf := runScenario(t, sc)
+	rr := runScenario(t, mk("blind-drain", ingress.PolicyRoundRobin))
+	t.Logf("hit rate: prefix %.3f vs round-robin %.3f; mean TTFT: prefix %.2fms vs round-robin %.2fms; warmups %d; sketch routes %d",
+		pf.hitRate["chat"], rr.hitRate["chat"], pf.meanTTFT["chat"], rr.meanTTFT["chat"],
+		pf.warmups["chat"], pf.sketchRoutes["chat"])
+
+	if got := pf.hitRate["chat"]; got < 0.3 {
+		t.Errorf("prefix-policy hit rate = %.3f, want >= 0.3 (sketch routing + warm-up should keep migrated sessions warm)", got)
+	}
+	if got, blind := pf.hitRate["chat"], rr.hitRate["chat"]; got < blind+0.2 {
+		t.Errorf("prefix-policy hit rate %.3f not materially above blind placement %.3f (want +0.2)", got, blind)
+	}
+	if pf.warmups["chat"] == 0 {
+		t.Error("drain fired no prefix warm-ups")
+	}
+	pt, rt := pf.meanTTFT["chat"], rr.meanTTFT["chat"]
+	if pt <= 0 || rt <= 0 {
+		t.Fatalf("missing TTFT measurements: prefix %.2fms, round-robin %.2fms", pt, rt)
+	}
+	if pt >= 0.9*rt {
+		t.Errorf("prefix mean TTFT %.2fms not measurably below round-robin %.2fms (want < 90%%)", pt, rt)
+	}
+
+	// The cache-aware signals must survive the probe-scrape → /observe
+	// merge: every surviving replica publishes its sketch, the windowed
+	// hit/miss pair, and the host tier's capacity, and the gateway
+	// counters carry the warm-ups.
+	if pf.observed == nil {
+		t.Fatal("no mid-run /observe snapshot")
+	}
+	obs := pf.observed.Model("chat")
+	if obs == nil {
+		t.Fatalf("observe snapshot missing chat model: %+v", pf.observed)
+	}
+	if obs.Counters.Warmups == 0 {
+		t.Errorf("observed gateway counters carry no warmups: %+v", obs.Counters)
+	}
+	for _, rep := range obs.Replicas {
+		s := rep.Snapshot
+		if s.WindowPrefixHits+s.WindowPrefixMisses == 0 {
+			t.Errorf("replica %s: windowed prefix pair empty in /observe", rep.Name)
+		}
+		if len(s.PrefixSketch) == 0 {
+			t.Errorf("replica %s: no prefix sketch in /observe", rep.Name)
+		}
+		if s.KVHostBlocksTotal != 256 {
+			t.Errorf("replica %s: host tier capacity %d in /observe, want 256", rep.Name, s.KVHostBlocksTotal)
+		}
 	}
 }
 

@@ -40,6 +40,49 @@ func BenchmarkPick(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefixSketchPick measures the cache-aware policy's hot path:
+// the sketch scan runs per candidate per pick, so it must stay cheap and
+// allocation-free at fleet-realistic sketch and backend sizes.
+func BenchmarkPrefixSketchPick(b *testing.B) {
+	const key = 0xfeedface
+	sketch := make([]uint64, 128)
+	for i := range sketch {
+		sketch[i] = uint64(i + 1)
+	}
+	sketch[len(sketch)-1] = key // worst case: full linear scan per replica
+	for _, n := range []int{4, 16, 64} {
+		cands := backends(n)
+		req := &Request{SessionKey: "conversation-42", Class: ClassInteractive, PrefixKey: key}
+		affine := Affine(cands, req.SessionKey)
+
+		b.Run(fmt.Sprintf("affine-hit/backends=%d", n), func(b *testing.B) {
+			for _, c := range cands {
+				c.(*fakeBackend).snap.PrefixSketch = sketch
+			}
+			p := &Prefix{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if p.Pick(cands, req) != affine {
+					b.Fatal("expected the affine fast path")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sketch-scan/backends=%d", n), func(b *testing.B) {
+			for _, c := range cands {
+				c.(*fakeBackend).snap.PrefixSketch = sketch
+			}
+			affine.(*fakeBackend).snap.PrefixSketch = nil
+			p := &Prefix{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if p.Pick(cands, req) == nil {
+					b.Fatal("nil pick")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDescribe measures the scheduling-attribute extraction from an
 // OpenAI-style body — paid once per request at the front door.
 func BenchmarkDescribe(b *testing.B) {

@@ -68,6 +68,10 @@ const DefaultSpillDepth = 8
 // preempt — so the cache hit the affinity was buying no longer exists.
 const DefaultKVSpillPressure = 0.9
 
+// maxStickySpills bounds the sticky-spill memory; past it the map resets
+// wholesale (the sessions simply re-pick their spill target once).
+const maxStickySpills = 1024
+
 type Session struct {
 	// SpillDepth is the affine replica's load score (Score: in-flight plus
 	// scraped queue depths — the saturation measure that still works when
@@ -82,20 +86,19 @@ type Session struct {
 
 	fallback LeastLoaded
 	spills   int
+	// spillTo pins each spilled session to its chosen fallback (sticky
+	// spill): repeated turns of one session land on the same replica, so
+	// the spill target accumulates the session's prefix instead of the
+	// conversation scattering across the fleet re-picking least-loaded
+	// every turn. Entries clear when the session returns home.
+	spillTo map[string]string
 }
 
 // Spills counts picks that left the affine replica due to saturation.
 func (s *Session) Spills() int { return s.spills }
 
-// Pick implements Picker.
-func (s *Session) Pick(candidates []Backend, req *Request) Backend {
-	if len(candidates) == 0 {
-		return nil
-	}
-	if req == nil || req.SessionKey == "" {
-		return s.fallback.Pick(candidates, req)
-	}
-	affine := Affine(candidates, req.SessionKey)
+// saturatedOn reports whether b is past the spill thresholds.
+func (s *Session) saturatedOn(b Backend) bool {
 	spill := s.SpillDepth
 	if spill <= 0 {
 		spill = DefaultSpillDepth
@@ -107,19 +110,119 @@ func (s *Session) Pick(candidates []Backend, req *Request) Backend {
 	// kvSpill >= 1 disables the KV check outright: pressure can reach
 	// exactly 1.0 on a saturated engine, so a threshold of 1.0 must not
 	// trip either.
-	saturated := affine.Score() > spill ||
-		(kvSpill < 1 && affine.Telemetry().KVPressure() >= kvSpill)
-	if saturated && len(candidates) > 1 {
+	return b.Score() > spill ||
+		(kvSpill < 1 && b.Telemetry().KVPressure() >= kvSpill)
+}
+
+// Pick implements Picker.
+func (s *Session) Pick(candidates []Backend, req *Request) Backend {
+	if len(candidates) == 0 {
+		return nil
+	}
+	if req == nil || req.SessionKey == "" {
+		return s.fallback.Pick(candidates, req)
+	}
+	affine := Affine(candidates, req.SessionKey)
+	if s.saturatedOn(affine) && len(candidates) > 1 {
+		s.spills++
+		req.Spilled = true
+		// Sticky spill: reuse the session's recorded fallback while it is
+		// still routable and healthy enough itself.
+		if key, ok := s.spillTo[req.SessionKey]; ok {
+			for _, b := range candidates {
+				if b != affine && b.Key() == key && !s.saturatedOn(b) {
+					return b
+				}
+			}
+		}
 		others := make([]Backend, 0, len(candidates)-1)
 		for _, b := range candidates {
 			if b != affine {
 				others = append(others, b)
 			}
 		}
-		s.spills++
-		return s.fallback.Pick(others, req)
+		pick := s.fallback.Pick(others, req)
+		s.remember(req.SessionKey, pick)
+		return pick
 	}
+	// Home again: drop any sticky record so a later spill re-picks
+	// against current load. delete on a nil map is a no-op, keeping the
+	// non-spill path allocation-free.
+	delete(s.spillTo, req.SessionKey)
 	return affine
+}
+
+// remember records a session's spill target.
+func (s *Session) remember(key string, b Backend) {
+	if b == nil || key == "" {
+		return
+	}
+	if s.spillTo == nil {
+		s.spillTo = make(map[string]string)
+	} else if len(s.spillTo) >= maxStickySpills {
+		clear(s.spillTo)
+	}
+	s.spillTo[key] = b.Key()
+}
+
+// Prefix is the cache-aware placement policy: it consults each replica's
+// published prefix-membership sketch (telemetry Snapshot.PrefixSketch)
+// for the request's leading block key. The session's affine replica wins
+// whenever its sketch holds the key — it has the conversation's deepest
+// chain, not just the shared head block. Otherwise the request lands on
+// the least-loaded unsaturated replica whose sketch matches (windowed
+// hit rate breaks score ties), which is how *new* conversations reach the
+// replica where their system prompt is already resident instead of being
+// placed blindly by the rendezvous hash. With no key or no match it
+// degrades to exactly the Session policy (affinity, sticky spill,
+// least-loaded fallback).
+type Prefix struct {
+	Session
+	sketchRoutes int
+}
+
+// SketchRoutes counts picks placed by sketch membership rather than
+// affinity or load.
+func (p *Prefix) SketchRoutes() int { return p.sketchRoutes }
+
+// Pick implements Picker.
+func (p *Prefix) Pick(candidates []Backend, req *Request) Backend {
+	if len(candidates) == 0 {
+		return nil
+	}
+	if req == nil || req.PrefixKey == 0 {
+		return p.Session.Pick(candidates, req)
+	}
+	var affine Backend
+	if req.SessionKey != "" {
+		affine = Affine(candidates, req.SessionKey)
+	}
+	if affine != nil && !p.saturatedOn(affine) && affine.Telemetry().SketchContains(req.PrefixKey) {
+		delete(p.spillTo, req.SessionKey)
+		return affine
+	}
+	var best Backend
+	for _, b := range candidates {
+		if b == affine || p.saturatedOn(b) || !b.Telemetry().SketchContains(req.PrefixKey) {
+			continue
+		}
+		if best == nil || b.Score() < best.Score() ||
+			(b.Score() == best.Score() &&
+				b.Telemetry().WindowPrefixHitRate() > best.Telemetry().WindowPrefixHitRate()) {
+			best = b
+		}
+	}
+	if best != nil {
+		p.sketchRoutes++
+		if affine != nil {
+			// A session placed off its affine replica still needs its
+			// deeper history there; surface it so the gateway can warm up.
+			req.Spilled = true
+			p.remember(req.SessionKey, best)
+		}
+		return best
+	}
+	return p.Session.Pick(candidates, req)
 }
 
 // Affine returns the rendezvous-hash owner of a session key among the

@@ -98,6 +98,17 @@ type Request struct {
 	// per-class default). Zero means no target: the engine scheduler
 	// treats the request as deadline-less background work.
 	TTFTTarget time.Duration
+	// PrefixKey is the chain key of the request's first full prompt
+	// block (0 = unknown). The gateway computes it from the raw body for
+	// cache-aware policies; the prefix picker tests it against each
+	// replica's published prefix-membership sketch so conversations land
+	// where their system prompt is already resident.
+	PrefixKey uint64
+	// Spilled is an out-parameter: the session-affine pickers set it when
+	// this pick left the request's affine replica (saturation spill or a
+	// sketch-guided placement elsewhere), so the gateway can fire an
+	// async prefix warm-up at the new owner.
+	Spilled bool
 }
 
 // Header keys clients (or a fronting router) use to carry scheduling
@@ -113,6 +124,13 @@ const (
 	// breaker is engaged, telling the engine scheduler to preempt running
 	// batch work aggressively in favor of interactive deadlines.
 	SLOBreachedHeader = "X-SLO-Breached"
+	// WarmupHeader is set (to "1") on the gateway's prefix warm-up
+	// submits: prefill-only requests fired at a session's new owner after
+	// a spill or drain so the conversation's prefix blocks are resident
+	// before its next real turn. The engine serves them as one-token
+	// generations; they ride the batch class so they never displace
+	// interactive work.
+	WarmupHeader = "X-Warmup"
 )
 
 // bodyAttrs are the scheduling-relevant fields of an OpenAI-style

@@ -39,6 +39,8 @@ type GatewayCounters struct {
 	Streams          int            `json:"streams"`
 	StreamsTruncated int            `json:"streams_truncated"`
 	SessionSpills    int            `json:"session_spills"`
+	SketchRoutes     int            `json:"sketch_routes,omitempty"`
+	Warmups          int            `json:"warmups,omitempty"`
 	ShedByClass      map[string]int `json:"shed_by_class,omitempty"`
 }
 

@@ -66,6 +66,29 @@ type Snapshot struct {
 	PrefixEvictions int64 `json:"prefix_evictions"`
 	CachedTokens    int64 `json:"cached_tokens"`
 
+	// WindowPrefixHits/Misses are the same lookup counters over the
+	// engine's trailing window (~2 minutes) — the freshness-weighted
+	// signal cache-aware placement consults, where the cumulative pair
+	// above would chase hours-old behaviour.
+	WindowPrefixHits   int64 `json:"window_prefix_hits,omitempty"`
+	WindowPrefixMisses int64 `json:"window_prefix_misses,omitempty"`
+
+	// PrefixSketch is the replica's compact prefix-membership sketch: the
+	// chain keys of its available depth-0 prefix blocks (the first block
+	// of any cached prompt, GPU- or host-tier-resident; chain hashing
+	// means deeper blocks exist only where their head does). The prefix
+	// picker tests a request's leading block key against it so
+	// conversations land where their system prompt is already warm.
+	PrefixSketch []uint64 `json:"prefix_sketch,omitempty"`
+
+	// Host-tier (CPU offload) accounting: tier capacity and occupancy in
+	// blocks, plus cumulative GPU→host demotions and host→GPU promotions.
+	// All zero without a configured tier.
+	KVHostBlocksTotal int   `json:"kv_host_blocks_total,omitempty"`
+	KVHostBlocksUsed  int   `json:"kv_host_blocks_used,omitempty"`
+	TierDemotions     int64 `json:"tier_demotions,omitempty"`
+	TierPromotions    int64 `json:"tier_promotions,omitempty"`
+
 	// P95Millis is the rolling p95 of request end-to-end latency observed
 	// at the replica (milliseconds; 0 with no completed samples).
 	P95Millis float64 `json:"p95_ms"`
@@ -130,6 +153,32 @@ func (s Snapshot) PrefixHitRate() float64 {
 		return 0
 	}
 	return float64(s.PrefixHits) / float64(total)
+}
+
+// WindowPrefixHitRate is the block hit rate over the engine's trailing
+// window, 0 with no windowed lookups — the staleness-proof rate placement
+// decisions should prefer.
+func (s Snapshot) WindowPrefixHitRate() float64 {
+	total := s.WindowPrefixHits + s.WindowPrefixMisses
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.WindowPrefixHits) / float64(total)
+}
+
+// SketchContains reports whether key is in the replica's published
+// prefix-membership sketch. A linear scan: the sketch is small (≤128
+// entries) and the replica-pick path must stay allocation-free.
+func (s Snapshot) SketchContains(key uint64) bool {
+	if key == 0 {
+		return false
+	}
+	for _, h := range s.PrefixSketch {
+		if h == key {
+			return true
+		}
+	}
+	return false
 }
 
 // Encode renders the snapshot as JSON.

@@ -265,6 +265,12 @@ func (a *APIServer) chat(p *sim.Proc, req *vhttp.Request) *vhttp.Response {
 	if maxNew <= 0 {
 		maxNew = a.defaultMax()
 	}
+	if req.Header[sched.WarmupHeader] != "" {
+		// Prefix warm-up: the gateway pre-positions a migrated session's
+		// prompt blocks. Prefill is the whole point; generate one token
+		// and stop.
+		maxNew = 1
+	}
 	opts := SubmitOptions{
 		Prompt: prompt, MaxNew: maxNew,
 		PromptHashes: ChatPromptHashes(a.Engine.Config().BlockSize, cr.Messages),
@@ -464,6 +470,8 @@ func (a *APIServer) renderMetrics() string {
 	fmt.Fprintf(&b, "vllm:prefix_cache_hits_total %d\n", st.PrefixHits)
 	fmt.Fprintf(&b, "vllm:prefix_cache_queries_total %d\n", st.PrefixHits+st.PrefixMisses)
 	fmt.Fprintf(&b, "vllm:prefix_cache_evictions_total %d\n", st.PrefixEvictions)
+	fmt.Fprintf(&b, "vllm:cpu_cache_demotions_total %d\n", st.TierDemotions)
+	fmt.Fprintf(&b, "vllm:cpu_cache_promotions_total %d\n", st.TierPromotions)
 	return b.String()
 }
 

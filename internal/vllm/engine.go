@@ -44,7 +44,27 @@ type Config struct {
 	// SchedulerPolicy selects the waiting-queue order: SchedulerDeadline
 	// (default) or SchedulerFCFS (the pre-deadline baseline).
 	SchedulerPolicy string
+	// CPUOffloadBlocks sizes the host-memory KV spill tier in blocks
+	// (--cpu-offload-blocks; 0 disables tiering): LRU-demoted unreferenced
+	// prefix blocks park there instead of being dropped, and a prefix hit
+	// against a parked block re-promotes it at KVTransferMicros per block.
+	CPUOffloadBlocks int
+	// KVTransferMicros is the per-block host→GPU promotion cost in
+	// microseconds (--kv-transfer-micros; 0 = DefaultKVTransferMicros).
+	// Worth paying whenever it undercuts the block's prefill cost
+	// (BlockSize · Tpf — ~192µs for a 16-token block on H100).
+	KVTransferMicros int
 }
+
+// DefaultBlockSize is the KV block granularity when Config.BlockSize is
+// unset — 16 tokens, vLLM's default. Cache-aware ingress policies hash
+// request prefixes at this granularity to match the engines' block keys.
+const DefaultBlockSize = 16
+
+// DefaultKVTransferMicros is the default per-block host→GPU transfer
+// cost: a 16-token block of a mid-size model is a few MiB of KV, a
+// ~25µs PCIe gen5 move — an order of magnitude under its prefill cost.
+const DefaultKVTransferMicros = 25
 
 func (c *Config) withDefaults() Config {
 	out := *c
@@ -67,13 +87,16 @@ func (c *Config) withDefaults() Config {
 		out.MaxNumSeqs = 1024
 	}
 	if out.BlockSize <= 0 {
-		out.BlockSize = 16
+		out.BlockSize = DefaultBlockSize
 	}
 	if out.MaxBatchedTokens <= 0 {
 		out.MaxBatchedTokens = 8192
 	}
 	if out.SchedulerPolicy == "" {
 		out.SchedulerPolicy = SchedulerDeadline
+	}
+	if out.KVTransferMicros <= 0 {
+		out.KVTransferMicros = DefaultKVTransferMicros
 	}
 	return out
 }
@@ -268,6 +291,12 @@ type Stats struct {
 	PrefixMisses    int64
 	PrefixEvictions int64
 	CachedTokens    int64
+	// Tiered-cache counters (zero without a host tier): GPU→host
+	// demotions, host→GPU promotions, and blocks the bounded host tier
+	// dropped outright.
+	TierDemotions  int64
+	TierPromotions int64
+	HostDrops      int64
 }
 
 // Faults injects the failure modes from §3.5 and §3.3.
@@ -305,6 +334,15 @@ type Engine struct {
 	stats       Stats
 	missByClass map[string]int  // deadline misses by class (lazy)
 	latencies   metrics.Rolling // completed request latencies (ms)
+
+	// transfer is the per-block host→GPU promotion cost charged to the
+	// step that admitted against a demoted block.
+	transfer time.Duration
+	// winHits/winMisses are the trailing-window prefix lookup counters —
+	// the freshness-weighted hit-rate signal placement consults, recorded
+	// at successful admission so blocked-head retries do not inflate them.
+	winHits   metrics.WindowCounter
+	winMisses metrics.WindowCounter
 }
 
 // New validates capacity and builds an engine (not yet processing; call Run).
@@ -329,14 +367,16 @@ func New(simEng *sim.Engine, cfg Config) (*Engine, error) {
 			c.SchedulerPolicy, SchedulerDeadline, SchedulerFCFS)
 	}
 	e := &Engine{
-		sim:  simEng,
-		cfg:  c,
-		perf: LookupParams(c.Model, c.GPU, c.TensorParallel, c.PipelineParallel, c.GPUsPerNode),
-		kv:   NewKVCache(blocks, c.BlockSize),
-		wq:   waitQueue{fcfs: c.SchedulerPolicy == SchedulerFCFS},
+		sim:      simEng,
+		cfg:      c,
+		perf:     LookupParams(c.Model, c.GPU, c.TensorParallel, c.PipelineParallel, c.GPUsPerNode),
+		kv:       NewKVCache(blocks, c.BlockSize),
+		wq:       waitQueue{fcfs: c.SchedulerPolicy == SchedulerFCFS},
+		transfer: time.Duration(c.KVTransferMicros) * time.Microsecond,
 	}
 	if !c.NoPrefixCache {
 		e.idx = NewPrefixIndex(e.kv)
+		e.idx.EnableHostTier(c.CPUOffloadBlocks)
 	}
 	return e, nil
 }
@@ -360,6 +400,9 @@ func (e *Engine) Stats() Stats {
 		st.PrefixMisses = ps.Misses
 		st.PrefixEvictions = ps.Evictions
 		st.CachedTokens = ps.CachedTokens
+		st.TierDemotions = ps.Demotions
+		st.TierPromotions = ps.Promotions
+		st.HostDrops = ps.HostDrops
 	}
 	return st
 }
@@ -394,8 +437,18 @@ func (e *Engine) Telemetry() telemetry.Snapshot {
 		Preemptions:     int64(st.Preemptions),
 		Resumes:         int64(st.Resumes),
 	}
+	now := e.sim.Now()
+	snap.WindowPrefixHits = int64(e.winHits.Total(now))
+	snap.WindowPrefixMisses = int64(e.winMisses.Total(now))
 	if e.idx != nil {
 		snap.KVBlocksCached = e.idx.Evictable()
+		snap.PrefixSketch = e.idx.AppendSketch(nil, maxSketch)
+		snap.TierDemotions = st.TierDemotions
+		snap.TierPromotions = st.TierPromotions
+		if t := e.idx.HostTier(); t != nil {
+			snap.KVHostBlocksTotal = t.Capacity()
+			snap.KVHostBlocksUsed = t.Len()
+		}
 	}
 	return snap
 }
@@ -618,6 +671,13 @@ func (e *Engine) step(p *sim.Proc) {
 		}
 	}
 	dur := e.perf.StepTime(decode, prefillTokens)
+	if e.idx != nil {
+		// Host-tier promotions executed by this step's admissions pay the
+		// PCIe transfer alongside the compute they replaced.
+		if n := e.idx.DrainPromoted(); n > 0 {
+			dur += time.Duration(n) * e.transfer
+		}
+	}
 	if running := len(e.running); running > e.stats.PeakRunning {
 		e.stats.PeakRunning = running
 	}
@@ -728,6 +788,13 @@ func (e *Engine) admitKV(s *sequence) bool {
 	}
 	if e.idx != nil && len(s.hashes) > 0 {
 		e.idx.Register(s.id, s.hashes, hit)
+	}
+	if limit > 0 {
+		// Windowed counters record only settled admissions, so the
+		// blocked-head retry inflation Abort un-counts never enters them.
+		now := e.sim.Now()
+		e.winHits.Add(now, uint64(hit))
+		e.winMisses.Add(now, uint64(limit-hit))
 	}
 	if cached := hit * e.cfg.BlockSize; cached > 0 {
 		s.prefillDone = cached

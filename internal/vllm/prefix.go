@@ -28,12 +28,23 @@ type PrefixStats struct {
 	Evictions int64
 	// CachedTokens totals the prefill tokens skipped via cache hits.
 	CachedTokens int64
+	// Tiered-cache counters (zero without a host tier). Demotions counts
+	// GPU evictions that parked the block in the host tier instead of
+	// dropping it; Promotions counts demoted blocks transferred back on a
+	// prefix hit; HostDrops counts blocks the bounded tier itself evicted.
+	Demotions  int64
+	Promotions int64
+	HostDrops  int64
 }
 
 // prefixBlock is one cache-resident KV block.
 type prefixBlock struct {
 	hash uint64
 	refs int
+	// head marks a depth-0 block: the first block of a prompt chain, the
+	// granularity the prefix-membership sketch publishes (chain hashing
+	// means deeper blocks exist only where their head does).
+	head bool
 	// elem is the block's LRU position while unreferenced (nil otherwise).
 	elem *list.Element
 }
@@ -50,6 +61,17 @@ type PrefixIndex struct {
 	lru   *list.List
 	seqs  map[string][]*prefixBlock
 	stats PrefixStats
+	// tier is the host-memory spill tier (nil = disabled): GPU-evicted
+	// blocks demote here instead of losing their identity.
+	tier *HostTier
+	// heads is the set of available depth-0 chain keys — GPU-resident or
+	// parked in the host tier — published as the replica's
+	// prefix-membership sketch for cache-aware placement.
+	heads map[uint64]struct{}
+	// promoted counts host→GPU transfers since the last DrainPromoted:
+	// the engine charges the per-block transfer cost against the step
+	// that executed the admission.
+	promoted int
 }
 
 // NewPrefixIndex builds an empty index over kv.
@@ -59,8 +81,20 @@ func NewPrefixIndex(kv *KVCache) *PrefixIndex {
 		byHash: make(map[uint64]*prefixBlock),
 		lru:    list.New(),
 		seqs:   make(map[string][]*prefixBlock),
+		heads:  make(map[uint64]struct{}),
 	}
 }
+
+// EnableHostTier attaches a host-memory spill tier holding at most blocks
+// demoted blocks (<= 0 leaves tiering off).
+func (x *PrefixIndex) EnableHostTier(blocks int) {
+	if blocks > 0 {
+		x.tier = NewHostTier(blocks)
+	}
+}
+
+// HostTier returns the attached spill tier (nil when tiering is off).
+func (x *PrefixIndex) HostTier() *HostTier { return x.tier }
 
 // Stats returns the cumulative counters.
 func (x *PrefixIndex) Stats() PrefixStats { return x.stats }
@@ -86,7 +120,8 @@ func (x *PrefixIndex) ref(b *prefixBlock) {
 }
 
 // Lookup reports how many leading blocks of hashes (at most limit) are
-// cached, without referencing them.
+// available — GPU-resident or parked in the host tier — without
+// referencing or promoting them.
 func (x *PrefixIndex) Lookup(hashes []uint64, limit int) int {
 	if limit > len(hashes) {
 		limit = len(hashes)
@@ -94,7 +129,9 @@ func (x *PrefixIndex) Lookup(hashes []uint64, limit int) int {
 	n := 0
 	for n < limit {
 		if _, ok := x.byHash[hashes[n]]; !ok {
-			break
+			if x.tier == nil || !x.tier.Contains(hashes[n]) {
+				break
+			}
 		}
 		n++
 	}
@@ -102,9 +139,11 @@ func (x *PrefixIndex) Lookup(hashes []uint64, limit int) int {
 }
 
 // Acquire references the longest cached chain prefix of hashes (capped at
-// limit blocks) on behalf of seqID and returns the block count. Hit and
-// miss counters cover every block up to limit — a miss is a full block the
-// sequence will now prefill itself.
+// limit blocks) on behalf of seqID and returns the block count. A block
+// parked in the host tier counts as a hit: it is promoted back to a GPU
+// block (the engine charges the transfer cost, far below the block's
+// prefill cost). Hit and miss counters cover every block up to limit — a
+// miss is a full block the sequence will now prefill itself.
 func (x *PrefixIndex) Acquire(seqID string, hashes []uint64, limit int) int {
 	if limit < 0 {
 		limit = 0
@@ -116,7 +155,9 @@ func (x *PrefixIndex) Acquire(seqID string, hashes []uint64, limit int) int {
 	for hit < limit {
 		b, ok := x.byHash[hashes[hit]]
 		if !ok {
-			break
+			if b, ok = x.promote(hashes[hit]); !ok {
+				break
+			}
 		}
 		x.ref(b)
 		x.seqs[seqID] = append(x.seqs[seqID], b)
@@ -125,6 +166,38 @@ func (x *PrefixIndex) Acquire(seqID string, hashes []uint64, limit int) int {
 	x.stats.Hits += int64(hit)
 	x.stats.Misses += int64(limit - hit)
 	return hit
+}
+
+// promote transfers a host-tier block back onto the GPU: the block leaves
+// the tier first (so making GPU room cannot demote it onto itself), then
+// one GPU block is allocated — evicting, and possibly demoting, colder
+// unreferenced cache if needed. On failure the block returns to the tier
+// un-promoted.
+func (x *PrefixIndex) promote(hash uint64) (*prefixBlock, bool) {
+	if x.tier == nil {
+		return nil, false
+	}
+	hb, ok := x.tier.take(hash)
+	if !ok {
+		return nil, false
+	}
+	if !x.EnsureFree(1) || x.kv.Allocate(prefixOwner, 1) != nil {
+		x.tier.put(hb.hash, hb.head)
+		return nil, false
+	}
+	b := &prefixBlock{hash: hash, head: hb.head}
+	x.byHash[hash] = b
+	x.stats.Promotions++
+	x.promoted++
+	return b, true
+}
+
+// DrainPromoted returns the host→GPU transfers since the last call; the
+// engine adds the per-block transfer cost to the step executing them.
+func (x *PrefixIndex) DrainPromoted() int {
+	n := x.promoted
+	x.promoted = 0
+	return n
 }
 
 // Register promotes seqID's freshly computed full prompt blocks into the
@@ -151,9 +224,12 @@ func (x *PrefixIndex) Register(seqID string, hashes []uint64, from int) {
 			// acquire cap); stop quietly.
 			return
 		}
-		b := &prefixBlock{hash: hashes[i], refs: 1}
+		b := &prefixBlock{hash: hashes[i], refs: 1, head: i == 0}
 		x.byHash[hashes[i]] = b
 		x.seqs[seqID] = append(x.seqs[seqID], b)
+		if b.head {
+			x.heads[b.hash] = struct{}{}
+		}
 	}
 }
 
@@ -188,6 +264,10 @@ func (x *PrefixIndex) Release(seqID string) {
 
 // EnsureFree evicts unreferenced cached blocks (oldest first) until the
 // allocator has at least n free blocks, reporting whether it got there.
+// Referenced blocks are never touched: only the LRU of zero-ref blocks is
+// walked. With a host tier attached the evicted block demotes — its GPU
+// block is still freed, but the hash identity parks in host memory for a
+// cheap later re-promotion instead of a full re-prefill.
 func (x *PrefixIndex) EnsureFree(n int) bool {
 	for x.kv.FreeBlocks() < n {
 		front := x.lru.Front()
@@ -200,8 +280,42 @@ func (x *PrefixIndex) EnsureFree(n int) bool {
 		delete(x.byHash, b.hash)
 		x.kv.ReleaseN(prefixOwner, 1)
 		x.stats.Evictions++
+		if x.tier != nil {
+			x.stats.Demotions++
+			if dropped := x.tier.put(b.hash, b.head); dropped != nil {
+				x.stats.HostDrops++
+				// A head leaves the sketch only when its last copy is
+				// gone — a fresh GPU-resident re-registration of the same
+				// chain may shadow the stale tier copy.
+				if _, gpu := x.byHash[dropped.hash]; dropped.head && !gpu {
+					delete(x.heads, dropped.hash)
+				}
+			}
+		} else if b.head {
+			delete(x.heads, b.hash)
+		}
 	}
 	return true
+}
+
+// maxSketch bounds the published prefix-membership sketch: plenty for the
+// distinct system prompts a replica serves concurrently, small enough that
+// the telemetry snapshot stays compact and the picker's membership scan
+// stays trivial.
+const maxSketch = 128
+
+// AppendSketch appends up to max available depth-0 chain keys (GPU- or
+// host-tier-resident) to dst and returns it — the replica's
+// prefix-membership sketch. Order is unspecified; consumers test
+// membership only.
+func (x *PrefixIndex) AppendSketch(dst []uint64, max int) []uint64 {
+	for h := range x.heads {
+		if len(dst) >= max {
+			break
+		}
+		dst = append(dst, h)
+	}
+	return dst
 }
 
 // noteCachedTokens records prefill tokens skipped via cache hits.

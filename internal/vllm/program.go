@@ -39,6 +39,8 @@ type ServeArgs struct {
 	MaxNumSeqs       int
 	NoPrefixCache    bool   // --no-enable-prefix-caching (default: caching on)
 	GPUBlocksOvr     int    // --num-gpu-blocks-override
+	CPUOffloadBlocks int    // --cpu-offload-blocks (host KV tier capacity; 0 = no tier)
+	KVTransferMicros int    // --kv-transfer-micros (host→GPU promote cost per block)
 	SchedulerPolicy  string // --scheduling-policy (deadline | fcfs)
 	DisableLogReqs   bool
 	OverrideGenCfg   string
@@ -77,6 +79,7 @@ func ParseServeArgs(args []string) (*ServeArgs, error) {
 			case "host", "port", "served-model-name", "tensor-parallel-size",
 				"pipeline-parallel-size", "max-model-len", "gpu-memory-utilization",
 				"max-num-seqs", "num-gpu-blocks-override", "scheduling-policy",
+				"cpu-offload-blocks", "kv-transfer-micros",
 				"override-generation-config":
 				val = args[i+1]
 				i++
@@ -129,6 +132,18 @@ func ParseServeArgs(args []string) (*ServeArgs, error) {
 				return nil, fmt.Errorf("vllm: bad --num-gpu-blocks-override %q", val)
 			}
 			sa.GPUBlocksOvr = n
+		case "cpu-offload-blocks":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("vllm: bad --cpu-offload-blocks %q", val)
+			}
+			sa.CPUOffloadBlocks = n
+		case "kv-transfer-micros":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("vllm: bad --kv-transfer-micros %q", val)
+			}
+			sa.KVTransferMicros = n
 		case "scheduling-policy":
 			switch val {
 			case SchedulerDeadline, SchedulerFCFS:
@@ -263,6 +278,8 @@ func (sp *ServerProgram) Run(ctx *cruntime.ExecContext) error {
 		MaxNumSeqs:           args.MaxNumSeqs,
 		NoPrefixCache:        args.NoPrefixCache,
 		NumGPUBlocksOverride: args.GPUBlocksOvr,
+		CPUOffloadBlocks:     args.CPUOffloadBlocks,
+		KVTransferMicros:     args.KVTransferMicros,
 		SchedulerPolicy:      args.SchedulerPolicy,
 	}
 	engine, err := New(ctx.Proc.Engine(), cfg)

@@ -1,0 +1,89 @@
+package vllm
+
+import "container/list"
+
+// Tiered KV cache: a host-memory (CPU offload) tier under the GPU
+// KVCache. When the prefix index needs GPU room it LRU-demotes
+// unreferenced cached blocks; with a host tier configured the demoted
+// block's identity (its chain hash — a real deployment moves the KV bytes
+// over PCIe, the simulation needs only the identity plus the transfer
+// cost) parks in host memory instead of vanishing. A later prefix hit
+// against a demoted block re-promotes it to the GPU at a configurable
+// per-block transfer cost, far cheaper than re-prefilling the block's
+// tokens — the avoidable-recompute cost the paper's long-lived chat
+// services keep paying without a spill tier.
+
+// hostBlock is one demoted prefix block resident in the host tier.
+type hostBlock struct {
+	hash uint64
+	// head marks a depth-0 block (first block of a prompt chain); the
+	// replica's prefix-membership sketch is the set of available heads.
+	head bool
+	elem *list.Element
+}
+
+// HostTier is the bounded host-memory spill tier: a hash→block map plus
+// its own LRU so capacity pressure drops the coldest demoted block first.
+type HostTier struct {
+	capacity int
+	byHash   map[uint64]*hostBlock
+	// lru holds the tier's blocks, oldest demotion at the front.
+	lru *list.List
+}
+
+// NewHostTier builds an empty tier holding at most capacity blocks.
+func NewHostTier(capacity int) *HostTier {
+	return &HostTier{
+		capacity: capacity,
+		byHash:   make(map[uint64]*hostBlock),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the tier's block bound.
+func (t *HostTier) Capacity() int { return t.capacity }
+
+// Len returns the blocks currently parked in the tier.
+func (t *HostTier) Len() int { return t.lru.Len() }
+
+// Contains reports whether hash is parked in the tier.
+func (t *HostTier) Contains(hash uint64) bool {
+	_, ok := t.byHash[hash]
+	return ok
+}
+
+// put parks a demoted block. When the tier is full the oldest resident is
+// dropped to make room and returned; nil otherwise. A hash already parked
+// refreshes its LRU position instead of duplicating.
+func (t *HostTier) put(hash uint64, head bool) (dropped *hostBlock) {
+	if t.capacity <= 0 {
+		return nil
+	}
+	if b, ok := t.byHash[hash]; ok {
+		t.lru.MoveToBack(b.elem)
+		return nil
+	}
+	if t.lru.Len() >= t.capacity {
+		front := t.lru.Front()
+		dropped = front.Value.(*hostBlock)
+		t.lru.Remove(front)
+		delete(t.byHash, dropped.hash)
+	}
+	b := &hostBlock{hash: hash, head: head}
+	b.elem = t.lru.PushBack(b)
+	t.byHash[hash] = b
+	return dropped
+}
+
+// take removes hash from the tier (the promotion path), returning its
+// record.
+func (t *HostTier) take(hash uint64) (*hostBlock, bool) {
+	b, ok := t.byHash[hash]
+	if !ok {
+		return nil, false
+	}
+	t.lru.Remove(b.elem)
+	b.elem = nil
+	delete(t.byHash, hash)
+	return b, true
+}
